@@ -1,0 +1,138 @@
+// Command msreport regenerates the paper's evaluation artifacts: Figure 5,
+// Table 1, the §4.3.1 summary claims, and the ablations DESIGN.md lists.
+//
+// Usage:
+//
+//	msreport -experiment fig5
+//	msreport -experiment table1
+//	msreport -experiment summary
+//	msreport -experiment ablations -workloads compress,tomcatv
+//	msreport -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multiscalar/internal/experiment"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "fig5, chart, table1, summary, ablations, or all")
+		wls   = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
+		pus   = flag.String("pus", "", "comma-separated PU counts (default: 4,8)")
+	)
+	flag.Parse()
+
+	names := splitList(*wls)
+	var puCounts []int
+	for _, s := range splitList(*pus) {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad PU count %q", s))
+		}
+		puCounts = append(puCounts, n)
+	}
+
+	r := experiment.NewRunner()
+	needFig5 := *which == "fig5" || *which == "chart" || *which == "summary" || *which == "all"
+	var cells []experiment.Fig5Cell
+	if needFig5 {
+		var err error
+		cells, err = experiment.Figure5(r, puCounts, names)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	switch *which {
+	case "fig5":
+		fmt.Print(experiment.FormatFigure5(cells))
+	case "chart":
+		for _, n := range []int{4, 8} {
+			fmt.Print(experiment.ChartFigure5(cells, n, false))
+			fmt.Println()
+		}
+	case "summary":
+		fmt.Print(experiment.FormatSummary(experiment.Summarize(cells)))
+	case "table1":
+		printTable1(r, names)
+	case "ablations":
+		printAblations(r, names)
+	case "all":
+		fmt.Print(experiment.FormatFigure5(cells))
+		fmt.Print(experiment.FormatSummary(experiment.Summarize(cells)))
+		fmt.Println()
+		printTable1(r, names)
+		fmt.Println()
+		printAblations(r, names)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *which))
+	}
+}
+
+func printTable1(r *experiment.Runner, names []string) {
+	rows, err := experiment.Table1(r, names)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatTable1(rows))
+}
+
+func printAblations(r *experiment.Runner, names []string) {
+	if len(names) == 0 {
+		// Defaults chosen for sensitivity: perl/vortex expose the target
+		// limit, wave5 exercises the ARB and synchronization table, compress
+		// and tomcatv show the ring bandwidth.
+		names = []string{"compress", "perl", "vortex", "wave5", "tomcatv"}
+	}
+	targets, err := experiment.AblationTargets(r, names, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatAblation("hardware target limit N", targets))
+	fmt.Println()
+	syncRows, err := experiment.AblationSync(r, names)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatAblation("memory dependence synchronization", syncRows))
+	fmt.Println()
+	ring, err := experiment.AblationRing(r, names, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatAblation("register ring bandwidth", ring))
+	fmt.Println()
+	banks, err := experiment.AblationBanks(r, names, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatAblation("L1 D-cache banks", banks))
+	fmt.Println()
+	greedy, err := experiment.AblationGreedy(names)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatAblation("greedy vs first-fit task growth", greedy))
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command mssim partitions one benchmark and simulates it on one Multiscalar
+// machine point, printing IPC, prediction accuracies, the §2.3 time
+// breakdown, and memory-speculation statistics.
+//
+// Usage:
+//
+//	mssim -workload tomcatv -heuristic cf -pus 8
+//	mssim -workload compress -heuristic dd -tasksize -pus 4 -inorder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/sim"
+	"multiscalar/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "compress", "benchmark name")
+		heuristic = flag.String("heuristic", "cf", "task selection heuristic: bb, cf, or dd")
+		taskSize  = flag.Bool("tasksize", false, "apply the task-size heuristic")
+		pus       = flag.Int("pus", 4, "number of processing units")
+		inorder   = flag.Bool("inorder", false, "in-order PUs instead of out-of-order")
+		noSync    = flag.Bool("nosync", false, "disable the memory dependence synchronization table")
+		timeline  = flag.Int("timeline", 0, "print a Gantt chart of the first N task instances")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	var h core.Heuristic
+	switch *heuristic {
+	case "bb":
+		h = core.BasicBlock
+	case "cf":
+		h = core.ControlFlow
+	case "dd":
+		h = core.DataDependence
+	default:
+		fatal(fmt.Errorf("unknown heuristic %q", *heuristic))
+	}
+	part, err := core.Select(w.Build(), core.Options{Heuristic: h, TaskSize: *taskSize})
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig(*pus)
+	cfg.InOrder = *inorder
+	cfg.SyncTable = !*noSync
+	cfg.RecordTimeline = *timeline > 0
+	res, err := sim.Run(part, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	style := "out-of-order"
+	if *inorder {
+		style = "in-order"
+	}
+	fmt.Printf("%s / %s tasks / %d %s PUs\n\n", w.Name, part.Heuristic, *pus, style)
+	fmt.Printf("cycles            %12d\n", res.Cycles)
+	fmt.Printf("instructions      %12d\n", res.Instrs)
+	fmt.Printf("IPC               %12.3f\n", res.IPC)
+	fmt.Printf("task instances    %12d (avg %.1f instrs, %.1f control transfers)\n",
+		res.TaskInstances, res.AvgTaskSize, res.AvgCTInstrs)
+	fmt.Printf("task prediction   %11.1f%% (window span %.0f instrs)\n",
+		100*res.TaskPredAccuracy, res.WindowSpan)
+	fmt.Printf("branch prediction %11.1f%%\n", 100*res.BrPredAccuracy)
+	fmt.Printf("ctrl mispredicts  %12d\n", res.CtrlMispredicts)
+	fmt.Printf("mem violations    %12d (%d restarts, %d sync waits, %d ARB overflows)\n",
+		res.Violations, res.Restarts, res.SyncWaits, res.ARBOverflows)
+	fmt.Printf("caches            L1I %.2f%%  L1D %.2f%%  L2 %.2f%% miss\n",
+		100*res.L1IMissRate, 100*res.L1DMissRate, 100*res.L2MissRate)
+	b := res.Breakdown
+	fmt.Printf("\ntime breakdown (PU-cycles, per §2.3):\n")
+	fmt.Printf("  task start overhead  %12d\n", b.StartOverhead)
+	fmt.Printf("  inter-task data wait %12d\n", b.InterTaskWait)
+	fmt.Printf("  intra-task data wait %12d\n", b.IntraTaskWait)
+	fmt.Printf("  load imbalance       %12d\n", b.LoadImbalance)
+	fmt.Printf("  task end overhead    %12d\n", b.EndOverhead)
+	fmt.Printf("  control penalty      %12d\n", b.CtrlPenalty)
+	fmt.Printf("  memory penalty       %12d\n", b.MemPenalty)
+	if *timeline > 0 {
+		fmt.Printf("\nPU occupancy %.1f%%; first %d task instances:\n",
+			100*res.Timeline.Utilization(*pus), *timeline)
+		fmt.Print(sim.FormatTimeline(res.Timeline, *timeline))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command mstask runs the paper's task selection over a benchmark (or an
+// assembly file) and prints the resulting partition: every task with its
+// member blocks, targets, create mask, and static size.
+//
+// Usage:
+//
+//	mstask -workload compress -heuristic dd -tasksize
+//	mstask -asm prog.s -heuristic cf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/ir"
+	"multiscalar/internal/workloads"
+
+	"multiscalar/internal/asm"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "benchmark name (see -list)")
+		asmFile   = flag.String("asm", "", "assembly file to partition instead of a workload")
+		heuristic = flag.String("heuristic", "cf", "task selection heuristic: bb, cf, or dd")
+		taskSize  = flag.Bool("tasksize", false, "apply the task-size heuristic (unrolling, call inclusion)")
+		targets   = flag.Int("targets", 4, "hardware target limit N")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			suite := "int"
+			if w.FP {
+				suite = "fp"
+			}
+			fmt.Printf("%-10s (%s)\n", w.Name, suite)
+		}
+		return
+	}
+	prog, err := loadProgram(*workload, *asmFile)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		fatal(err)
+	}
+	part, err := core.Select(prog, core.Options{Heuristic: h, TaskSize: *taskSize, MaxTargets: *targets})
+	if err != nil {
+		fatal(err)
+	}
+	printPartition(part)
+}
+
+func loadProgram(workload, asmFile string) (*ir.Program, error) {
+	switch {
+	case workload != "" && asmFile != "":
+		return nil, fmt.Errorf("use either -workload or -asm, not both")
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Parse(asmFile, string(src))
+	case workload != "":
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		return w.Build(), nil
+	}
+	return nil, fmt.Errorf("one of -workload or -asm is required (try -list)")
+}
+
+func parseHeuristic(s string) (core.Heuristic, error) {
+	switch s {
+	case "bb":
+		return core.BasicBlock, nil
+	case "cf":
+		return core.ControlFlow, nil
+	case "dd":
+		return core.DataDependence, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q (want bb, cf, or dd)", s)
+}
+
+func printPartition(part *core.Partition) {
+	fmt.Printf("program %s: %d tasks under the %s heuristic\n\n",
+		part.Prog.Name, len(part.Tasks), part.Heuristic)
+	fmt.Print(core.ComputeStats(part))
+	fmt.Println()
+	for _, t := range part.Tasks {
+		fn := part.Prog.Fn(t.Fn)
+		blocks := make([]int, 0, len(t.Blocks))
+		for b := range t.Blocks {
+			blocks = append(blocks, int(b))
+		}
+		sort.Ints(blocks)
+		fmt.Printf("task %d: %s entry b%d  (%d blocks, %d static instrs)\n",
+			t.ID, fn.Name, t.Entry, len(t.Blocks), t.StaticInstrs)
+		fmt.Printf("  blocks:  %v\n", blocks)
+		fmt.Printf("  targets: %v\n", t.Targets)
+		fmt.Printf("  creates: %v\n", t.CreateMask.Regs())
+		if len(t.IncludeCall) > 0 {
+			var calls []int
+			for b := range t.IncludeCall {
+				calls = append(calls, int(b))
+			}
+			sort.Ints(calls)
+			fmt.Printf("  included calls at blocks %v\n", calls)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mstask:", err)
+	os.Exit(1)
+}

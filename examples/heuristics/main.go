@@ -1,0 +1,70 @@
+// Heuristics: reproduce the paper's core comparison on one benchmark —
+// basic-block vs control-flow vs data-dependence tasks, with and without the
+// task-size heuristic, on in-order and out-of-order PUs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"multiscalar"
+)
+
+func main() {
+	name := flag.String("workload", "compress", "benchmark to study")
+	pus := flag.Int("pus", 4, "processing units")
+	flag.Parse()
+
+	w, err := multiscalar.WorkloadByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type variant struct {
+		label    string
+		h        multiscalar.Heuristic
+		taskSize bool
+	}
+	variants := []variant{
+		{"basic block", multiscalar.BasicBlock, false},
+		{"control flow", multiscalar.ControlFlow, false},
+		{"data dependence", multiscalar.DataDependence, false},
+		{"dd + task size", multiscalar.DataDependence, true},
+	}
+	fmt.Printf("%s on %d PUs (paper machine, §4.2)\n\n", w.Name, *pus)
+	fmt.Printf("%-16s %10s %10s %10s %10s %10s\n",
+		"tasks", "ooo IPC", "ino IPC", "size", "targets", "taskpred")
+	var baseline float64
+	for _, v := range variants {
+		part, err := multiscalar.Select(w.Build(), multiscalar.Options{
+			Heuristic: v.h, TaskSize: v.taskSize,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := multiscalar.DefaultConfig(*pus)
+		ooo, err := multiscalar.Simulate(part, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.InOrder = true
+		ino, err := multiscalar.Simulate(part, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		avgTargets := 0.0
+		for _, t := range part.Tasks {
+			avgTargets += float64(t.NumTargets())
+		}
+		avgTargets /= float64(len(part.Tasks))
+		fmt.Printf("%-16s %10.3f %10.3f %10.1f %10.1f %9.1f%%\n",
+			v.label, ooo.IPC, ino.IPC, ooo.AvgTaskSize, avgTargets,
+			100*ooo.TaskPredAccuracy)
+		if v.h == multiscalar.BasicBlock {
+			baseline = ooo.IPC
+		} else if baseline > 0 {
+			fmt.Printf("%-16s %+9.1f%% over basic-block tasks (out-of-order)\n",
+				"", 100*(ooo.IPC/baseline-1))
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Windowspan: reproduce the paper's §4.3.4 argument — the window span
+// (Σ TaskSize·Predⁱ over the PUs) of heuristic tasks dwarfs both basic-block
+// tasks and a superscalar's branch-prediction-limited window, and grows with
+// the number of PUs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multiscalar"
+)
+
+func main() {
+	names := []string{"go", "compress", "ijpeg", "tomcatv", "swim", "fpppp"}
+	fmt.Println("window span: the dynamic instructions simultaneously in flight")
+	fmt.Println("(Table 1's rightmost column; 8 out-of-order PUs)")
+	fmt.Println()
+	fmt.Printf("%-10s %18s %18s %10s\n", "benchmark", "basic block", "data dependence", "ratio")
+	for _, name := range names {
+		bbSpan := span(name, multiscalar.BasicBlock, 8)
+		ddSpan := span(name, multiscalar.DataDependence, 8)
+		fmt.Printf("%-10s %18.0f %18.0f %9.1fx\n", name, bbSpan, ddSpan, ddSpan/bbSpan)
+	}
+
+	fmt.Println("\nscaling with PU count (tomcatv, data dependence tasks):")
+	for _, pus := range []int{2, 4, 8, 16} {
+		fmt.Printf("  %2d PUs: window span %6.0f instructions\n",
+			pus, span("tomcatv", multiscalar.DataDependence, pus))
+	}
+}
+
+func span(name string, h multiscalar.Heuristic, pus int) float64 {
+	w, err := multiscalar.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := multiscalar.Select(w.Build(), multiscalar.Options{Heuristic: h})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := multiscalar.Simulate(part, multiscalar.DefaultConfig(pus))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.WindowSpan
+}

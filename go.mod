@@ -1,0 +1,3 @@
+module multiscalar
+
+go 1.22

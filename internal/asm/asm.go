@@ -1,0 +1,360 @@
+// Package asm parses the textual assembler syntax that ir.Format emits, so
+// programs can be written, stored, and round-tripped as text. The grammar:
+//
+//	program  := { function }
+//	function := "func" name "{" { block } "}"
+//	block    := label ":" { instr } term
+//	instr    := mnemonic operands      (see ir opcode table)
+//	term     := "goto" label | "br" reg "," label "," label
+//	          | "call" name "," label | "ret" | "halt"
+//
+// Labels are either the b<N> form ir.Format prints or arbitrary
+// identifiers. "#" starts a line comment. A ".data" directive before the
+// first function appends 64-bit words (decimal integers or float64 values
+// with a trailing 'f') to the program's data image.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"multiscalar/internal/ir"
+)
+
+// Parse assembles the source text into a validated, laid-out program.
+func Parse(name, src string) (*ir.Program, error) {
+	p := &parser{b: ir.NewBuilder(name)}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	var prog *ir.Program
+	err := capturePanic(func() { prog = p.b.Build() })
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+func capturePanic(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	f()
+	return nil
+}
+
+type parser struct {
+	b    *ir.Builder
+	fb   *ir.FuncBuilder
+	bb   *ir.BlockBuilder
+	line int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("asm: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.statement(line); err != nil {
+			return err
+		}
+	}
+	if p.fb != nil {
+		return p.errf("unterminated function")
+	}
+	return nil
+}
+
+func (p *parser) statement(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".data"):
+		return p.data(strings.TrimSpace(strings.TrimPrefix(line, ".data")))
+	case strings.HasPrefix(line, "func "):
+		if p.fb != nil {
+			return p.errf("nested function")
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "func "))
+		name := strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+		if name == "" || !strings.HasSuffix(rest, "{") {
+			return p.errf("malformed function header %q", line)
+		}
+		p.fb = p.b.Func(name)
+		p.bb = nil
+		return nil
+	case line == "}":
+		if p.fb == nil {
+			return p.errf("stray }")
+		}
+		if err := capturePanic(func() { p.fb.End() }); err != nil {
+			return p.errf("%v", err)
+		}
+		p.fb, p.bb = nil, nil
+		return nil
+	case strings.HasSuffix(line, ":"):
+		if p.fb == nil {
+			return p.errf("label outside function")
+		}
+		label := strings.TrimSuffix(line, ":")
+		var err error
+		perr := capturePanic(func() { p.bb = p.fb.Block(label) })
+		if perr != nil {
+			return p.errf("%v", perr)
+		}
+		return err
+	default:
+		if p.bb == nil {
+			return p.errf("instruction outside block: %q", line)
+		}
+		return p.instr(line)
+	}
+}
+
+func (p *parser) data(rest string) error {
+	for _, tok := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if tok == "" {
+			continue
+		}
+		if strings.HasSuffix(tok, "f") {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(tok, "f"), 64)
+			if err != nil {
+				return p.errf("bad float datum %q", tok)
+			}
+			p.b.DataF(v)
+			continue
+		}
+		v, err := strconv.ParseInt(tok, 0, 64)
+		if err != nil {
+			return p.errf("bad datum %q", tok)
+		}
+		p.b.Data(v)
+	}
+	return nil
+}
+
+var mnemonics = buildMnemonicTable()
+
+func buildMnemonicTable() map[string]ir.Opcode {
+	m := make(map[string]ir.Opcode)
+	for op := ir.Opcode(0); op.Valid(); op++ {
+		m[op.String()] = op
+	}
+	return m
+}
+
+func (p *parser) instr(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	mn := fields[0]
+	var args []string
+	if len(fields) == 2 {
+		for _, a := range strings.Split(fields[1], ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	switch mn {
+	case "goto":
+		if len(args) != 1 {
+			return p.errf("goto wants 1 operand")
+		}
+		p.bb.Goto(args[0])
+		p.bb = nil
+		return nil
+	case "br":
+		if len(args) != 3 {
+			return p.errf("br wants cond, taken, fall")
+		}
+		cond, err := p.reg(args[0])
+		if err != nil {
+			return err
+		}
+		p.bb.Br(cond, args[1], args[2])
+		p.bb = nil
+		return nil
+	case "call":
+		if len(args) != 2 {
+			return p.errf("call wants callee, return label")
+		}
+		p.bb.Call(p.b.DeclareFn(args[0]), args[1])
+		p.bb = nil
+		return nil
+	case "ret":
+		p.bb.Ret()
+		p.bb = nil
+		return nil
+	case "halt":
+		p.bb.Halt()
+		p.bb = nil
+		return nil
+	}
+	op, ok := mnemonics[mn]
+	if !ok {
+		return p.errf("unknown mnemonic %q", mn)
+	}
+	return p.plainInstr(op, args)
+}
+
+func (p *parser) plainInstr(op ir.Opcode, args []string) error {
+	switch op {
+	case ir.OpNop:
+		p.bb.Nop()
+		return nil
+	case ir.OpMovI:
+		if len(args) != 2 {
+			return p.errf("movi wants reg, imm")
+		}
+		d, err := p.reg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := p.imm(args[1])
+		if err != nil {
+			return err
+		}
+		p.bb.MovI(d, imm)
+		return nil
+	case ir.OpFMovI:
+		if len(args) != 2 {
+			return p.errf("fmovi wants reg, float")
+		}
+		d, err := p.reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return p.errf("bad float %q", args[1])
+		}
+		p.bb.FMovI(d, v)
+		return nil
+	case ir.OpLoad, ir.OpStore:
+		// ld rd, off(rs) / st rv, off(rs)
+		if len(args) != 2 {
+			return p.errf("%v wants reg, off(base)", op)
+		}
+		r0, err := p.reg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := p.memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		if op == ir.OpLoad {
+			p.bb.Load(r0, base, off)
+		} else {
+			p.bb.Store(r0, base, off)
+		}
+		return nil
+	}
+	if op.HasImm() {
+		if len(args) != 3 {
+			return p.errf("%v wants reg, reg, imm", op)
+		}
+		d, err := p.reg(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := p.reg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := p.imm(args[2])
+		if err != nil {
+			return err
+		}
+		p.bb.OpI(op, d, s, imm)
+		return nil
+	}
+	switch op.NumSrcs() {
+	case 1:
+		if len(args) != 2 {
+			return p.errf("%v wants reg, reg", op)
+		}
+		d, err := p.reg(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := p.reg(args[1])
+		if err != nil {
+			return err
+		}
+		p.bb.Op3(op, d, s, ir.RegZero)
+		return nil
+	default:
+		if len(args) != 3 {
+			return p.errf("%v wants reg, reg, reg", op)
+		}
+		d, err := p.reg(args[0])
+		if err != nil {
+			return err
+		}
+		a, err := p.reg(args[1])
+		if err != nil {
+			return err
+		}
+		br, err := p.reg(args[2])
+		if err != nil {
+			return err
+		}
+		p.bb.Op3(op, d, a, br)
+		return nil
+	}
+}
+
+func (p *parser) reg(s string) (ir.Reg, error) {
+	if len(s) < 2 {
+		return 0, p.errf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= 32 {
+		return 0, p.errf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		return ir.R(n), nil
+	case 'f':
+		return ir.F(n), nil
+	}
+	return 0, p.errf("bad register %q", s)
+}
+
+func (p *parser) imm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, p.errf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "off(reg)".
+func (p *parser) memOperand(s string) (int64, ir.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, p.errf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		v, err := strconv.ParseInt(s[:open], 0, 64)
+		if err != nil {
+			return 0, 0, p.errf("bad offset in %q", s)
+		}
+		off = v
+	}
+	r, err := p.reg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, r, nil
+}

@@ -1,0 +1,150 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/emu"
+	"multiscalar/internal/ir"
+	"multiscalar/internal/workloads"
+)
+
+const sumSrc = `
+# sum 0..9 into the first data word
+.data 0
+func main {
+entry:
+	movi r3, 0
+	movi r4, 0
+	movi r8, 65536
+	goto head
+head:
+	slti r5, r3, 10
+	br r5, body, exit
+body:
+	add r4, r4, r3
+	addi r3, r3, 1
+	goto head
+exit:
+	st r4, 0(r8)
+	halt
+}
+`
+
+func TestParseAndRun(t *testing.T) {
+	p, err := Parse("sum", sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Load(ir.DataBase); got != 45 {
+		t.Errorf("sum = %d, want 45", got)
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	src := `
+func main {
+entry:
+	movi r4, 6
+	call double, after
+after:
+	halt
+}
+func double {
+entry:
+	add r2, r4, r4
+	ret
+}
+`
+	p, err := Parse("calls", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[ir.RegRV] != 12 {
+		t.Errorf("double(6) = %d", m.Regs[ir.RegRV])
+	}
+}
+
+func TestParseFloatData(t *testing.T) {
+	src := `
+.data 1.5f, 2.5f
+func main {
+entry:
+	movi r8, 65536
+	ld f0, 0(r8)
+	ld f1, 8(r8)
+	fadd f2, f0, f1
+	st f2, 16(r8)
+	halt
+}
+`
+	p, err := Parse("fdata", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := ir.F64(m.Mem.Load(ir.DataBase + 16)); got != 4.0 {
+		t.Errorf("1.5+2.5 = %g", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "func main {\nentry:\n\tfrob r1, r2\n\thalt\n}", "unknown mnemonic"},
+		{"bad register", "func main {\nentry:\n\tadd r99, r1, r2\n\thalt\n}", "bad register"},
+		{"instr outside block", "func main {\n\tnop\n}", "outside block"},
+		{"stray brace", "}", "stray }"},
+		{"unterminated function", "func main {\nentry:\n\thalt\n", "unterminated"},
+		{"bad datum", ".data zork", "bad datum"},
+		{"undefined label", "func main {\nentry:\n\tgoto nowhere\n}", "undefined label"},
+	}
+	for _, c := range cases {
+		if _, err := Parse("t", c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRoundTripWorkloads formats every workload and re-parses it; the
+// reassembled program must behave identically.
+func TestRoundTripWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			orig := w.Build()
+			text := ir.Format(orig)
+			re, err := Parse(w.Name, text)
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			// Data images are not part of ir.Format; carry them over.
+			re.Data = append([]int64(nil), orig.Data...)
+			re.Layout()
+			m1 := emu.New(orig)
+			m2 := emu.New(re)
+			if err := m1.Run(5_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if err := m2.Run(5_000_000); err != nil {
+				t.Fatalf("reassembled program: %v", err)
+			}
+			if m1.Mem.Checksum() != m2.Mem.Checksum() || m1.Count != m2.Count {
+				t.Errorf("round trip diverged: %d/%d instrs, %#x/%#x checksums",
+					m1.Count, m2.Count, m1.Mem.Checksum(), m2.Mem.Checksum())
+			}
+		})
+	}
+}

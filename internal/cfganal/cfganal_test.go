@@ -1,0 +1,191 @@
+package cfganal
+
+import (
+	"testing"
+
+	"multiscalar/internal/ir"
+)
+
+// diamondLoop builds:
+//
+//	b0 entry -> b1 head
+//	b1 head  -> b2 | b5 (exit)
+//	b2       -> b3 | b4
+//	b3       -> b4
+//	b4 latch -> b1
+//	b5 exit  -> halt
+func diamondLoop(t *testing.T) *ir.Function {
+	t.Helper()
+	b := ir.NewBuilder("p")
+	f := b.Func("main")
+	f.Block("entry").MovI(ir.R(3), 0).Goto("head")
+	f.Block("head").SltI(ir.R(5), ir.R(3), 10).Br(ir.R(5), "left", "exit")
+	f.Block("left").AndI(ir.R(6), ir.R(3), 1).Br(ir.R(6), "odd", "latch")
+	f.Block("odd").AddI(ir.R(3), ir.R(3), 1).Goto("latch")
+	f.Block("latch").AddI(ir.R(3), ir.R(3), 1).Goto("head")
+	f.Block("exit").Halt()
+	f.End()
+	return b.Build().Fn(0)
+}
+
+func TestDFSNumbering(t *testing.T) {
+	g := Analyze(diamondLoop(t))
+	if g.DFSNum[0] != 0 {
+		t.Errorf("entry DFS num = %d", g.DFSNum[0])
+	}
+	// Every reachable block numbered exactly once, ascending along tree edges.
+	seen := map[int]bool{}
+	for b, n := range g.DFSNum {
+		if n < 0 {
+			t.Errorf("block %d unreachable", b)
+			continue
+		}
+		if seen[n] {
+			t.Errorf("duplicate DFS number %d", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBackEdgeDetection(t *testing.T) {
+	g := Analyze(diamondLoop(t))
+	if !g.IsBackEdge(4, 1) {
+		t.Error("latch->head not detected as back edge")
+	}
+	if g.IsBackEdge(0, 1) || g.IsBackEdge(1, 2) {
+		t.Error("forward tree edge misclassified as back edge")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := Analyze(diamondLoop(t))
+	cases := []struct {
+		a, b ir.BlockID
+		want bool
+	}{
+		{0, 5, true},  // entry dominates all
+		{1, 4, true},  // head dominates latch
+		{2, 4, true},  // left dominates latch
+		{3, 4, false}, // odd does not dominate latch (path through left)
+		{4, 1, false}, // latch does not dominate head
+		{1, 1, true},  // reflexive
+	}
+	for _, c := range cases {
+		if got := g.Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNaturalLoopDetection(t *testing.T) {
+	g := Analyze(diamondLoop(t))
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = %d, want 1", l.Header)
+	}
+	wantBody := map[ir.BlockID]bool{1: true, 2: true, 3: true, 4: true}
+	if len(l.Blocks) != len(wantBody) {
+		t.Errorf("body = %v", l.Blocks)
+	}
+	for _, b := range l.Blocks {
+		if !wantBody[b] {
+			t.Errorf("unexpected loop member %d", b)
+		}
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != 4 {
+		t.Errorf("latches = %v, want [4]", l.Latches)
+	}
+	if l.Depth != 1 {
+		t.Errorf("depth = %d", l.Depth)
+	}
+}
+
+func TestLoopEntryExitEdges(t *testing.T) {
+	g := Analyze(diamondLoop(t))
+	if !g.IsLoopEntryEdge(0, 1) {
+		t.Error("entry->head should be a loop entry edge")
+	}
+	if !g.IsLoopExitEdge(1, 5) {
+		t.Error("head->exit should be a loop exit edge")
+	}
+	if g.IsLoopEntryEdge(2, 3) || g.IsLoopExitEdge(2, 3) {
+		t.Error("intra-loop edge misclassified")
+	}
+}
+
+func nestedLoops(t *testing.T) *ir.Function {
+	t.Helper()
+	b := ir.NewBuilder("p")
+	f := b.Func("main")
+	f.Block("entry").MovI(ir.R(3), 0).Goto("ohead")
+	f.Block("ohead").SltI(ir.R(5), ir.R(3), 10).Br(ir.R(5), "ibodyinit", "exit")
+	f.Block("ibodyinit").MovI(ir.R(4), 0).Goto("ihead")
+	f.Block("ihead").SltI(ir.R(6), ir.R(4), 5).Br(ir.R(6), "ibody", "olatch")
+	f.Block("ibody").AddI(ir.R(4), ir.R(4), 1).Goto("ihead")
+	f.Block("olatch").AddI(ir.R(3), ir.R(3), 1).Goto("ohead")
+	f.Block("exit").Halt()
+	f.End()
+	return b.Build().Fn(0)
+}
+
+func TestNestedLoopNesting(t *testing.T) {
+	g := Analyze(nestedLoops(t))
+	if len(g.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(g.Loops))
+	}
+	outer, inner := g.Loops[0], g.Loops[1]
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Fatalf("depths = %d,%d, want 1,2", outer.Depth, inner.Depth)
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop's parent is not the outer loop")
+	}
+	if !outer.Contains(inner.Header) {
+		t.Error("outer loop does not contain inner header")
+	}
+	// LoopOf maps inner blocks to the inner loop.
+	if g.LoopOf[inner.Header] != inner {
+		t.Error("LoopOf(inner header) is not the inner loop")
+	}
+	if g.LoopOf[outer.Header] != outer {
+		t.Error("LoopOf(outer header) is not the outer loop")
+	}
+}
+
+func TestUnreachableBlocks(t *testing.T) {
+	b := ir.NewBuilder("p")
+	f := b.Func("main")
+	f.Block("entry").Goto("end")
+	f.Block("dead").Nop().Goto("end")
+	f.Block("end").Halt()
+	f.End()
+	g := Analyze(b.Build().Fn(0))
+	if g.DFSNum[1] != -1 {
+		t.Errorf("dead block DFS num = %d, want -1", g.DFSNum[1])
+	}
+	if g.IDom[1] != ir.NoBlock {
+		t.Errorf("dead block has idom %d", g.IDom[1])
+	}
+}
+
+func TestRPOOrdering(t *testing.T) {
+	g := Analyze(diamondLoop(t))
+	pos := map[ir.BlockID]int{}
+	for i, b := range g.RPO {
+		pos[b] = i
+	}
+	// In RPO, a block precedes its non-back-edge successors.
+	for b, succs := range g.Succs {
+		for _, s := range succs {
+			if g.IsBackEdge(ir.BlockID(b), s) {
+				continue
+			}
+			if pos[ir.BlockID(b)] >= pos[s] {
+				t.Errorf("RPO violated for edge %d->%d", b, s)
+			}
+		}
+	}
+}

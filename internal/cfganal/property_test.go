@@ -1,0 +1,143 @@
+package cfganal
+
+import (
+	"fmt"
+	"testing"
+
+	"multiscalar/internal/ir"
+	"multiscalar/internal/progtest"
+)
+
+// TestDominatorsAgainstBruteForce checks the iterative dominator solution
+// against the definition: a dominates b iff removing a disconnects b from
+// the entry. Random structured programs from progtest provide the CFGs.
+func TestDominatorsAgainstBruteForce(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		prog := progtest.Generate(int64(seed))
+		for _, f := range prog.Fns {
+			g := Analyze(f)
+			for a := range f.Blocks {
+				for b := range f.Blocks {
+					ba, bb := ir.BlockID(a), ir.BlockID(b)
+					if g.DFSNum[ba] < 0 || g.DFSNum[bb] < 0 {
+						continue
+					}
+					want := bruteDominates(f, ba, bb)
+					if got := g.Dominates(ba, bb); got != want {
+						t.Fatalf("seed %d fn %s: Dominates(%d,%d) = %v, brute force %v",
+							seed, f.Name, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// bruteDominates reports whether every path from the entry to b passes
+// through a: b unreachable when a's out-edges are removed (a==b trivially
+// dominates).
+func bruteDominates(f *ir.Function, a, b ir.BlockID) bool {
+	if a == b {
+		return true
+	}
+	seen := map[ir.BlockID]bool{f.Entry: true}
+	work := []ir.BlockID{f.Entry}
+	if f.Entry == a {
+		return true // the entry dominates everything reachable
+	}
+	for len(work) > 0 {
+		x := work[len(work)-1]
+		work = work[:len(work)-1]
+		if x == b {
+			return false
+		}
+		if x == a {
+			continue // paths may not continue through a
+		}
+		for _, s := range f.Block(x).Succs(nil) {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return true
+}
+
+// TestLoopInvariants checks structural loop properties on random programs:
+// headers dominate their bodies, latches are body members with edges to the
+// header, and nesting is consistent.
+func TestLoopInvariants(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		prog := progtest.Generate(int64(seed))
+		for _, f := range prog.Fns {
+			g := Analyze(f)
+			for li, l := range g.Loops {
+				name := fmt.Sprintf("seed %d fn %s loop %d", seed, f.Name, li)
+				if !l.Contains(l.Header) {
+					t.Fatalf("%s: header not in body", name)
+				}
+				for _, b := range l.Blocks {
+					if !g.Dominates(l.Header, b) {
+						t.Fatalf("%s: header does not dominate member %d", name, b)
+					}
+				}
+				for _, latch := range l.Latches {
+					if !l.Contains(latch) {
+						t.Fatalf("%s: latch %d outside body", name, latch)
+					}
+					found := false
+					for _, s := range f.Block(latch).Succs(nil) {
+						if s == l.Header {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%s: latch %d has no edge to header", name, latch)
+					}
+					if !g.IsBackEdge(latch, l.Header) {
+						t.Fatalf("%s: latch edge not classified as back edge", name)
+					}
+				}
+				if l.Parent != nil {
+					for _, b := range l.Blocks {
+						if !l.Parent.Contains(b) {
+							t.Fatalf("%s: member %d missing from parent loop", name, b)
+						}
+					}
+					if l.Depth != l.Parent.Depth+1 {
+						t.Fatalf("%s: depth %d, parent depth %d", name, l.Depth, l.Parent.Depth)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRPOIdxConsistency: RPOIdx must invert RPO and give -1 for unreachable.
+func TestRPOIdxConsistency(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		prog := progtest.Generate(int64(seed))
+		for _, f := range prog.Fns {
+			g := Analyze(f)
+			for i, b := range g.RPO {
+				if g.RPOIdx[b] != i {
+					t.Fatalf("seed %d: RPOIdx[%d] = %d, want %d", seed, b, g.RPOIdx[b], i)
+				}
+			}
+			for b := range f.Blocks {
+				if (g.DFSNum[b] < 0) != (g.RPOIdx[b] < 0) {
+					t.Fatalf("seed %d: reachability disagrees for block %d", seed, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"multiscalar/internal/emu"
+	"multiscalar/internal/ir"
+	"multiscalar/internal/progtest"
+)
+
+// TestFuzzPipeline drives random programs through validation, emulation,
+// every selection heuristic, task-walk coverage, and register-communication
+// invariants.
+func TestFuzzPipeline(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			prog := progtest.Generate(int64(seed))
+			if err := ir.Validate(prog); err != nil {
+				t.Fatalf("generated invalid program: %v", err)
+			}
+			ref := emu.New(prog)
+			if err := ref.Run(2_000_000); err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			for _, h := range []Heuristic{BasicBlock, ControlFlow, DataDependence} {
+				for _, ts := range []bool{false, true} {
+					part, err := Select(prog, Options{Heuristic: h, TaskSize: ts})
+					if err != nil {
+						t.Fatalf("%v/ts=%v: %v", h, ts, err)
+					}
+					checkPartitionInvariants(t, part)
+					var covered int
+					if err := WalkTasks(part, 2_000_000, func(te TaskExec) {
+						covered += te.DynInstrs
+						if te.TargetIndex < 0 {
+							t.Errorf("%v/ts=%v: task %d exit %v not in targets %v",
+								h, ts, te.Task.ID, te.Target, te.Task.Targets)
+						}
+					}); err != nil {
+						t.Fatalf("%v/ts=%v: WalkTasks: %v", h, ts, err)
+					}
+					m := emu.New(part.Prog)
+					if err := m.Run(2_000_000); err != nil {
+						t.Fatal(err)
+					}
+					if uint64(covered) != m.Count {
+						t.Errorf("%v/ts=%v: tasks cover %d of %d instrs", h, ts, covered, m.Count)
+					}
+					if m.Mem.Checksum() != ref.Mem.Checksum() {
+						t.Errorf("%v/ts=%v: transformed program diverged from reference", h, ts)
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkPartitionInvariants verifies structural properties every partition
+// must satisfy.
+func checkPartitionInvariants(t *testing.T, part *Partition) {
+	t.Helper()
+	for _, task := range part.Tasks {
+		if !task.Blocks[task.Entry] {
+			t.Errorf("task %d does not contain its own entry", task.ID)
+		}
+		if part.ByEntry[EntryKey{Fn: task.Fn, Blk: task.Entry}] != task {
+			t.Errorf("task %d not indexed by its entry", task.ID)
+		}
+		if task.NumTargets() > part.Opts.MaxTargets &&
+			len(task.Blocks) > 1 {
+			t.Errorf("task %d: %d targets exceed limit %d with %d blocks",
+				task.ID, task.NumTargets(), part.Opts.MaxTargets, len(task.Blocks))
+		}
+		for _, tgt := range task.Targets {
+			if tgt.Kind == TargetBlock && part.TaskAt(task.Fn, tgt.Blk) == nil {
+				t.Errorf("task %d target %v has no task", task.ID, tgt)
+			}
+		}
+		// Continue edges stay inside the task and never re-enter the entry.
+		f := part.Prog.Fn(task.Fn)
+		for b := range task.Blocks {
+			for _, s := range f.Block(b).Succs(nil) {
+				if task.Continues(b, s) {
+					if !task.Blocks[s] {
+						t.Errorf("task %d: continue edge b%d->b%d leaves the task", task.ID, b, s)
+					}
+					if s == task.Entry {
+						t.Errorf("task %d: continue edge re-enters the entry", task.ID)
+					}
+				}
+			}
+		}
+	}
+}

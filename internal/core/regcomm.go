@@ -1,0 +1,191 @@
+package core
+
+import (
+	"multiscalar/internal/dataflow"
+	"multiscalar/internal/ir"
+)
+
+// computeRegComm fills in each task's register communication metadata: the
+// create mask (registers the task may write and therefore owns on the ring,
+// filtered by dead-register analysis so dead values never travel) and the
+// forward points (instructions that are provably the last definition of
+// their register on every continuation path, letting the hardware send the
+// value early instead of at task end). facts holds per-function dataflow
+// solutions, indexed by ir.FnID.
+func computeRegComm(part *Partition, facts []*dataflow.Facts) {
+	writes := fnWriteSummaries(part.Prog)
+	for _, t := range part.Tasks {
+		computeTaskRegComm(part.Prog, t, writes, facts[t.Fn])
+	}
+}
+
+// fnWriteSummaries computes, for every function, the set of registers it or
+// any transitive callee may write. Recursion is handled by fixpoint.
+func fnWriteSummaries(p *ir.Program) []dataflow.RegSet {
+	own := make([]dataflow.RegSet, len(p.Fns))
+	for i, f := range p.Fns {
+		var set dataflow.RegSet
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if d, ok := in.Def(); ok {
+					set = set.Add(d)
+				}
+			}
+		}
+		own[i] = set
+	}
+	out := append([]dataflow.RegSet(nil), own...)
+	for changed := true; changed; {
+		changed = false
+		for i, f := range p.Fns {
+			for _, b := range f.Blocks {
+				if b.Term.Kind != ir.TermCall {
+					continue
+				}
+				merged := out[i].Union(out[b.Term.Callee])
+				if merged != out[i] {
+					out[i] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func computeTaskRegComm(p *ir.Program, t *Task, fnWrites []dataflow.RegSet, fa *dataflow.Facts) {
+	f := p.Fn(t.Fn)
+	// Per-block: own defs plus any included callee's writes.
+	blockDef := make(map[ir.BlockID]dataflow.RegSet, len(t.Blocks))
+	var callWrites dataflow.RegSet // regs written by included callees anywhere in the task
+	for b := range t.Blocks {
+		blk := f.Block(b)
+		var def dataflow.RegSet
+		for _, in := range blk.Instrs {
+			if d, ok := in.Def(); ok {
+				def = def.Add(d)
+			}
+		}
+		if t.IncludeCall[b] {
+			cw := fnWrites[blk.Term.Callee]
+			def = def.Union(cw)
+			callWrites = callWrites.Union(cw)
+		}
+		blockDef[b] = def
+		t.CreateMask = t.CreateMask.Union(def)
+	}
+
+	// Dead-register analysis (the paper's §4.2 "dead register analysis for
+	// register communication"): only registers live out of some task exit
+	// need to travel on the ring. Exit points are blocks with at least one
+	// non-continue outcome.
+	if fa != nil {
+		var exitLive dataflow.RegSet
+		for b := range t.Blocks {
+			blk := f.Block(b)
+			exits := blk.Term.Kind == ir.TermRet || blk.Term.Kind == ir.TermHalt ||
+				(blk.Term.Kind == ir.TermCall && !t.IncludeCall[b])
+			for _, s := range blk.Succs(nil) {
+				if !t.Continues(b, s) {
+					exits = true
+				}
+			}
+			if exits {
+				exitLive = exitLive.Union(fa.Blocks[b].LiveOut)
+			}
+		}
+		t.CreateMask = t.CreateMask.Intersect(exitLive)
+		callWrites = callWrites.Intersect(exitLive)
+	}
+
+	// reachDef[b]: registers defined in blocks strictly after b on some
+	// continuation path (via continue edges). Iterate to fixpoint over the
+	// task's (acyclic) continue-edge subgraph.
+	reachDef := make(map[ir.BlockID]dataflow.RegSet, len(t.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for b := range t.Blocks {
+			blk := f.Block(b)
+			var out dataflow.RegSet
+			for _, s := range blk.Succs(nil) {
+				if t.Continues(b, s) {
+					out = out.Union(blockDef[s]).Union(reachDef[s])
+				}
+			}
+			if out != reachDef[b] {
+				reachDef[b] = out
+				changed = true
+			}
+		}
+	}
+
+	// Mark last definitions. Registers written by included callees are never
+	// early-forwarded (the callee body is opaque to the forward-point
+	// analysis); they release at task end.
+	t.lastDef = make(map[instrRef]bool)
+	t.endForward = callWrites
+	for b := range t.Blocks {
+		blk := f.Block(b)
+		var later dataflow.RegSet = reachDef[b]
+		if t.IncludeCall[b] {
+			later = later.Union(fnWrites[blk.Term.Callee])
+		}
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			d, ok := blk.Instrs[i].Def()
+			if !ok {
+				continue
+			}
+			if !later.Has(d) && !callWrites.Has(d) {
+				t.lastDef[instrRef{blk: b, idx: i}] = true
+			}
+			later = later.Add(d)
+		}
+	}
+	// endForward: registers in the create mask that are NOT guaranteed to hit
+	// a forward point on every path from the task entry to an exit; those are
+	// released when the task ends. Backward must-analysis over the (acyclic)
+	// continue-edge subgraph: mustFwd(b) = lastDefRegs(b) ∪ ⋂ outcomes(b),
+	// where an exit outcome contributes the empty set.
+	lastDefRegs := make(map[ir.BlockID]dataflow.RegSet, len(t.Blocks))
+	for ref := range t.lastDef {
+		d, _ := f.Block(ref.blk).Instrs[ref.idx].Def()
+		lastDefRegs[ref.blk] = lastDefRegs[ref.blk].Add(d)
+	}
+	const all = ^dataflow.RegSet(0)
+	mustFwd := make(map[ir.BlockID]dataflow.RegSet, len(t.Blocks))
+	for b := range t.Blocks {
+		mustFwd[b] = all // optimistic start for the greatest fixpoint
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := range t.Blocks {
+			blk := f.Block(b)
+			meet := all
+			exits := false
+			nOutcomes := 0
+			for _, s := range blk.Succs(nil) {
+				nOutcomes++
+				if t.Continues(b, s) {
+					meet &= mustFwd[s]
+				} else {
+					exits = true
+				}
+			}
+			if nOutcomes == 0 || blk.Term.Kind == ir.TermRet || blk.Term.Kind == ir.TermHalt {
+				exits = true
+			}
+			if blk.Term.Kind == ir.TermCall && !t.IncludeCall[b] {
+				exits = true
+			}
+			if exits {
+				meet = 0
+			}
+			nv := lastDefRegs[b].Union(meet)
+			if nv != mustFwd[b] {
+				mustFwd[b] = nv
+				changed = true
+			}
+		}
+	}
+	t.endForward = t.endForward.Union(t.CreateMask.Minus(mustFwd[t.Entry]))
+}

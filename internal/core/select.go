@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"multiscalar/internal/cfganal"
+	"multiscalar/internal/dataflow"
+	"multiscalar/internal/emu"
+	"multiscalar/internal/ir"
+)
+
+// Select partitions the program into Multiscalar tasks using the selected
+// heuristic. The input program is never mutated; when the task-size heuristic
+// is enabled the returned Partition carries a transformed clone.
+func Select(prog *ir.Program, opts Options) (*Partition, error) {
+	opts = opts.withDefaults()
+	if err := ir.Validate(prog); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p := ir.Clone(prog)
+	// Loop restructuring (induction hoisting) is part of the Multiscalar
+	// compilation every binary gets, independent of the heuristic choice.
+	RestructureLoops(p)
+
+	// Profile the (possibly about-to-be-transformed) program. The profile
+	// feeds CALL_THRESH inclusion and def-use edge prioritization.
+	profile, err := profileProgram(p, opts.ProfileBudget)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling: %w", err)
+	}
+
+	if opts.TaskSize {
+		changed := ApplyTaskSize(p, opts)
+		if changed {
+			// Block IDs moved; re-profile the transformed program so the
+			// data-dependence priorities refer to the new CFG.
+			profile, err = profileProgram(p, opts.ProfileBudget)
+			if err != nil {
+				return nil, fmt.Errorf("core: re-profiling after task-size transform: %w", err)
+			}
+		}
+	}
+	p.Layout()
+
+	part := &Partition{
+		Prog:      p,
+		Heuristic: opts.Heuristic,
+		Opts:      opts,
+		ByEntry:   make(map[EntryKey]*Task),
+	}
+	sel := &selector{part: part, opts: opts, profile: profile}
+	sel.markInclusions()
+	sel.run()
+	computeRegComm(part, sel.facts)
+	return part, nil
+}
+
+func profileProgram(p *ir.Program, budget uint64) (*emu.Profile, error) {
+	m := emu.New(p)
+	prof := m.EnableProfile()
+	if err := m.Run(budget); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// selector carries the state of one partitioning run.
+type selector struct {
+	part    *Partition
+	opts    Options
+	profile *emu.Profile
+
+	// includeCall marks call blocks (per function) whose callee is included.
+	includeCall map[EntryKey]bool
+
+	cfgs  []*cfganal.CFG
+	facts []*dataflow.Facts
+}
+
+func (s *selector) prog() *ir.Program { return s.part.Prog }
+
+// markInclusions decides, per call site, whether the callee executes inside
+// the caller's task (CALL_THRESH). Only meaningful when the task-size
+// heuristic is on; otherwise every call terminates its task, as in the
+// paper's control-flow-only configurations.
+func (s *selector) markInclusions() {
+	s.includeCall = make(map[EntryKey]bool)
+	s.part.FnIncluded = make([]bool, len(s.prog().Fns))
+	if !s.opts.TaskSize {
+		return
+	}
+	include := make([]bool, len(s.prog().Fns))
+	for i, f := range s.prog().Fns {
+		if ir.FnID(i) == s.prog().Main {
+			continue
+		}
+		avg := s.profile.AvgInclInstrs(f.ID)
+		if avg == 0 {
+			// Never invoked during profiling: fall back to the static size.
+			include[i] = f.NumInstrs() < s.opts.CallThresh
+			continue
+		}
+		include[i] = avg < float64(s.opts.CallThresh)
+	}
+	for _, f := range s.prog().Fns {
+		for _, b := range f.Blocks {
+			if b.Term.Kind == ir.TermCall && include[b.Term.Callee] && b.Term.Callee != f.ID {
+				s.includeCall[EntryKey{Fn: f.ID, Blk: b.ID}] = true
+			}
+		}
+	}
+	// A function is fully included when every call site includes it (its
+	// entry then never starts a task).
+	calledBare := make([]bool, len(s.prog().Fns))
+	for _, f := range s.prog().Fns {
+		for _, b := range f.Blocks {
+			if b.Term.Kind == ir.TermCall && !s.includeCall[EntryKey{Fn: f.ID, Blk: b.ID}] {
+				calledBare[b.Term.Callee] = true
+			}
+		}
+	}
+	for i := range include {
+		s.part.FnIncluded[i] = include[i] && !calledBare[i]
+	}
+}
+
+// run drives selection over every function.
+func (s *selector) run() {
+	s.cfgs = make([]*cfganal.CFG, len(s.prog().Fns))
+	s.facts = make([]*dataflow.Facts, len(s.prog().Fns))
+	for i, f := range s.prog().Fns {
+		s.cfgs[i] = cfganal.Analyze(f)
+		// Dataflow facts feed the data-dependence heuristic and, for every
+		// heuristic, the dead-register filtering of create masks.
+		s.facts[i] = dataflow.Analyze(s.cfgs[i])
+	}
+	for i := range s.prog().Fns {
+		fn := ir.FnID(i)
+		if s.part.FnIncluded[i] {
+			continue // never starts a task
+		}
+		switch s.opts.Heuristic {
+		case BasicBlock:
+			s.basicBlockTasks(fn)
+		case ControlFlow:
+			s.controlFlowTasks(fn)
+		case DataDependence:
+			s.dataDependenceTasks(fn)
+		}
+	}
+	s.finishTargets()
+}
+
+// newTask registers a task with the partition. The entry must be unowned.
+func (s *selector) newTask(fn ir.FnID, entry ir.BlockID, blocks map[ir.BlockID]bool) *Task {
+	key := EntryKey{Fn: fn, Blk: entry}
+	if s.part.ByEntry[key] != nil {
+		panic(fmt.Sprintf("core: duplicate task entry %v", key))
+	}
+	t := &Task{
+		ID:          len(s.part.Tasks),
+		Fn:          fn,
+		Entry:       entry,
+		Blocks:      blocks,
+		IncludeCall: make(map[ir.BlockID]bool),
+	}
+	f := s.prog().Fn(fn)
+	for b := range blocks {
+		blk := f.Block(b)
+		t.StaticInstrs += blk.Len()
+		if blk.Term.Kind == ir.TermCall && s.includeCall[EntryKey{Fn: fn, Blk: b}] {
+			t.IncludeCall[b] = true
+		}
+	}
+	s.part.Tasks = append(s.part.Tasks, t)
+	s.part.ByEntry[key] = t
+	return t
+}
+
+// basicBlockTasks makes every reachable block its own task.
+func (s *selector) basicBlockTasks(fn ir.FnID) {
+	g := s.cfgs[fn]
+	for i := range s.prog().Fn(fn).Blocks {
+		b := ir.BlockID(i)
+		if g.DFSNum[b] < 0 {
+			continue // unreachable
+		}
+		s.newTask(fn, b, map[ir.BlockID]bool{b: true})
+	}
+}
+
+// terminalNode implements the paper's is_a_terminal_node: blocks ending in a
+// (non-included) call, a return, or halt never grow past themselves.
+func (s *selector) terminalNode(fn ir.FnID, b ir.BlockID) bool {
+	blk := s.prog().Fn(fn).Block(b)
+	switch blk.Term.Kind {
+	case ir.TermCall:
+		return !s.includeCall[EntryKey{Fn: fn, Blk: b}]
+	case ir.TermRet, ir.TermHalt:
+		return true
+	}
+	return false
+}
+
+// terminalEdge implements is_a_terminal_edge plus the loop entry/exit rules
+// of the task-size discussion: DFS back/cross edges, edges entering a loop,
+// and edges leaving a loop all terminate tasks.
+func (s *selector) terminalEdge(fn ir.FnID, from, to ir.BlockID) bool {
+	g := s.cfgs[fn]
+	if g.IsBackEdge(from, to) {
+		return true
+	}
+	if g.IsLoopEntryEdge(from, to) || g.IsLoopExitEdge(from, to) {
+		return true
+	}
+	return false
+}
+
+// dynSuccs returns the blocks control can continue to from b while remaining
+// in the same function's instruction stream (for an included call, execution
+// resumes at the fall block after the callee runs inside the task).
+func (s *selector) dynSuccs(fn ir.FnID, b ir.BlockID) []ir.BlockID {
+	blk := s.prog().Fn(fn).Block(b)
+	switch blk.Term.Kind {
+	case ir.TermCall:
+		if s.includeCall[EntryKey{Fn: fn, Blk: b}] {
+			return []ir.BlockID{blk.Term.Fall}
+		}
+		return nil
+	case ir.TermGoto:
+		return []ir.BlockID{blk.Term.Taken}
+	case ir.TermBr:
+		if blk.Term.Taken == blk.Term.Fall {
+			return []ir.BlockID{blk.Term.Taken}
+		}
+		return []ir.BlockID{blk.Term.Taken, blk.Term.Fall}
+	}
+	return nil
+}
+
+// targetsOf computes the distinct successors of the block set S entered at
+// entry. The rules mirror the dynamic semantics in segment.go exactly.
+func (s *selector) targetsOf(fn ir.FnID, entry ir.BlockID, S map[ir.BlockID]bool) []Target {
+	seen := make(map[Target]bool)
+	var out []Target
+	add := func(t Target) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for b := range S {
+		blk := s.prog().Fn(fn).Block(b)
+		switch blk.Term.Kind {
+		case ir.TermCall:
+			if !s.includeCall[EntryKey{Fn: fn, Blk: b}] {
+				add(Target{Kind: TargetCall, Fn: blk.Term.Callee})
+				continue
+			}
+		case ir.TermRet:
+			add(Target{Kind: TargetReturn})
+			continue
+		case ir.TermHalt:
+			add(Target{Kind: TargetHalt})
+			continue
+		}
+		for _, succ := range s.dynSuccs(fn, b) {
+			if !S[succ] || succ == entry || s.terminalEdge(fn, b, succ) || s.terminalNode(fn, b) {
+				add(Target{Kind: TargetBlock, Blk: succ})
+			}
+		}
+	}
+	sortTargets(out)
+	return out
+}
+
+// grow implements the greedy feasible-task exploration shared by the
+// control-flow and data-dependence heuristics. Starting from the seed set
+// (which must already be feasible), it explores outward along non-terminal
+// edges. `explore`, when non-nil, restricts which included blocks are
+// explored *further* (the data-dependence heuristic explores only the
+// codependent set, but — per the paper's dependence_task pseudo-code — still
+// includes non-codependent children in the feasible task when the target
+// count allows, so reconverging paths keep helping). Exploration continues
+// past the target limit, greedily looking for reconverging paths; the
+// largest set whose target count stays within MaxTargets is returned.
+func (s *selector) grow(fn ir.FnID, entry ir.BlockID, seed map[ir.BlockID]bool, explore func(ir.BlockID) bool) map[ir.BlockID]bool {
+	const exploreCap = 512
+	S := make(map[ir.BlockID]bool, len(seed))
+	var queue []ir.BlockID
+	for b := range seed {
+		S[b] = true
+	}
+	// Deterministic queue: seed blocks ascending.
+	for _, b := range sortedBlocks(seed) {
+		queue = append(queue, b)
+	}
+	best := copySet(S)
+	bestOK := len(s.targetsOf(fn, entry, S)) <= s.opts.MaxTargets
+	for len(queue) > 0 && len(S) < exploreCap {
+		b := queue[0]
+		queue = queue[1:]
+		if s.terminalNode(fn, b) {
+			continue
+		}
+		for _, ch := range s.dynSuccs(fn, b) {
+			if s.terminalEdge(fn, b, ch) || ch == entry || S[ch] {
+				continue
+			}
+			if other := s.part.ByEntry[EntryKey{Fn: fn, Blk: ch}]; other != nil {
+				// ch already starts another task; keep its boundary.
+				continue
+			}
+			S[ch] = true
+			feasible := len(s.targetsOf(fn, entry, S)) <= s.opts.MaxTargets
+			if !feasible && s.opts.NoGreedy {
+				// First-fit: never explore past the target limit.
+				delete(S, ch)
+				continue
+			}
+			if explore == nil || explore(ch) {
+				queue = append(queue, ch)
+			}
+			if feasible {
+				if !bestOK || len(S) > len(best) {
+					best = copySet(S)
+					bestOK = true
+				}
+			}
+		}
+	}
+	if !bestOK {
+		// Even the seed exceeds the limit (cannot happen for a single block,
+		// which has at most two successors, but guard the multi-block case).
+		return seed
+	}
+	return best
+}
+
+func copySet(s map[ir.BlockID]bool) map[ir.BlockID]bool {
+	out := make(map[ir.BlockID]bool, len(s))
+	for k, v := range s {
+		if v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func sortedBlocks(s map[ir.BlockID]bool) []ir.BlockID {
+	out := make([]ir.BlockID, 0, len(s))
+	for b := range s {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// controlFlowTasks grows tasks over a function with the control-flow
+// heuristic: a worklist of seeds starting at the function entry, each grown
+// greedily, with every exposed target becoming a new seed.
+func (s *selector) controlFlowTasks(fn ir.FnID) {
+	s.coverFunction(fn, nil)
+}
+
+// coverFunction grows tasks from the function entry and from every exposed
+// target until all reachable blocks are covered. admitFor, when non-nil,
+// provides the admission filter per seed (used by coverage after the
+// data-dependence pass, where nil is passed to fall back to control flow).
+func (s *selector) coverFunction(fn ir.FnID, owned map[ir.BlockID]bool) {
+	g := s.cfgs[fn]
+	f := s.prog().Fn(fn)
+	queue := []ir.BlockID{f.Entry}
+	queued := map[ir.BlockID]bool{f.Entry: true}
+	for len(queue) > 0 {
+		seed := queue[0]
+		queue = queue[1:]
+		if g.DFSNum[seed] < 0 {
+			continue
+		}
+		t := s.part.ByEntry[EntryKey{Fn: fn, Blk: seed}]
+		if t == nil {
+			blocks := s.grow(fn, seed, map[ir.BlockID]bool{seed: true}, nil)
+			t = s.newTask(fn, seed, blocks)
+			if owned != nil {
+				for b := range blocks {
+					owned[b] = true
+				}
+			}
+		}
+		for _, tgt := range s.targetsOf(fn, t.Entry, t.Blocks) {
+			if tgt.Kind == TargetBlock && !queued[tgt.Blk] {
+				queued[tgt.Blk] = true
+				queue = append(queue, tgt.Blk)
+			}
+		}
+		// The resume point after a non-included call must start a task too.
+		for b := range t.Blocks {
+			blk := f.Block(b)
+			if blk.Term.Kind == ir.TermCall && !t.IncludeCall[b] && !queued[blk.Term.Fall] {
+				queued[blk.Term.Fall] = true
+				queue = append(queue, blk.Term.Fall)
+			}
+		}
+	}
+}
+
+// dataDependenceTasks implements the paper's dependence-driven selection:
+// def-use edges are prioritized by profiled frequency; for each edge the
+// producer's tasks are expanded along the codependent set (or a new task is
+// started at the producer); remaining blocks are covered with the
+// control-flow heuristic.
+func (s *selector) dataDependenceTasks(fn ir.FnID) {
+	facts := s.facts[fn]
+	g := s.cfgs[fn]
+	edges := append([]dataflow.DefUseEdge(nil), facts.Edges...)
+	for i := range edges {
+		d := s.profile.Freq(fn, edges[i].Def)
+		u := s.profile.Freq(fn, edges[i].Use)
+		if u < d {
+			edges[i].Freq = u
+		} else {
+			edges[i].Freq = d
+		}
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Freq > edges[j].Freq })
+
+	owned := make(map[ir.BlockID]bool)    // blocks in some DD task
+	owner := make(map[ir.BlockID][]*Task) // including-tasks per block
+
+	for _, e := range edges {
+		if e.Freq == 0 || g.DFSNum[e.Def] < 0 {
+			continue
+		}
+		codep := facts.Codependent(e)
+		admit := func(b ir.BlockID) bool { return codep[b] }
+		tasks := owner[e.Def]
+		if len(tasks) == 0 {
+			if s.part.ByEntry[EntryKey{Fn: fn, Blk: e.Def}] != nil {
+				// The producer block is an entry of an existing task that
+				// does not contain it?? cannot happen: entry is a member.
+				continue
+			}
+			t := s.newTask(fn, e.Def, map[ir.BlockID]bool{e.Def: true})
+			owner[e.Def] = append(owner[e.Def], t)
+			owned[e.Def] = true
+			tasks = owner[e.Def]
+		}
+		for _, t := range tasks {
+			grown := s.grow(fn, t.Entry, t.Blocks, admit)
+			for b := range grown {
+				if !t.Blocks[b] {
+					t.Blocks[b] = true
+					t.StaticInstrs += s.prog().Fn(fn).Block(b).Len()
+					if s.prog().Fn(fn).Block(b).Term.Kind == ir.TermCall && s.includeCall[EntryKey{Fn: fn, Blk: b}] {
+						t.IncludeCall[b] = true
+					}
+					owned[b] = true
+					owner[b] = append(owner[b], t)
+				}
+			}
+		}
+	}
+	// Cover everything the dependence pass did not reach.
+	s.coverFunction(fn, owned)
+}
+
+// finishTargets recomputes the final target list and continue edges of every
+// task (growth may have changed boundaries), then ensures every exposed
+// block target has a task of its own, growing single-block tasks for any
+// stragglers (this terminates because new tasks only claim unowned entries).
+func (s *selector) finishTargets() {
+	for i := 0; i < len(s.part.Tasks); i++ { // index loop: the slice grows
+		t := s.part.Tasks[i]
+		t.Targets = s.targetsOf(t.Fn, t.Entry, t.Blocks)
+		t.continueEdge = make(map[edge]bool)
+		for b := range t.Blocks {
+			if s.terminalNode(t.Fn, b) {
+				continue
+			}
+			for _, succ := range s.dynSuccs(t.Fn, b) {
+				if t.Blocks[succ] && succ != t.Entry && !s.terminalEdge(t.Fn, b, succ) {
+					t.continueEdge[edge{from: b, to: succ}] = true
+				}
+			}
+		}
+		for _, tgt := range t.Targets {
+			switch tgt.Kind {
+			case TargetBlock:
+				if s.part.ByEntry[EntryKey{Fn: t.Fn, Blk: tgt.Blk}] == nil {
+					nt := s.newTask(t.Fn, tgt.Blk, s.grow(t.Fn, tgt.Blk, map[ir.BlockID]bool{tgt.Blk: true}, nil))
+					_ = nt
+				}
+			case TargetCall:
+				callee := s.prog().Fn(tgt.Fn)
+				if s.part.ByEntry[EntryKey{Fn: tgt.Fn, Blk: callee.Entry}] == nil {
+					s.newTask(tgt.Fn, callee.Entry, s.grow(tgt.Fn, callee.Entry, map[ir.BlockID]bool{callee.Entry: true}, nil))
+				}
+			}
+		}
+		// Post-call resume blocks are reached via return targets.
+		f := s.prog().Fn(t.Fn)
+		for b := range t.Blocks {
+			blk := f.Block(b)
+			if blk.Term.Kind == ir.TermCall && !t.IncludeCall[b] {
+				if s.part.ByEntry[EntryKey{Fn: t.Fn, Blk: blk.Term.Fall}] == nil {
+					s.newTask(t.Fn, blk.Term.Fall, s.grow(t.Fn, blk.Term.Fall, map[ir.BlockID]bool{blk.Term.Fall: true}, nil))
+				}
+			}
+		}
+	}
+}

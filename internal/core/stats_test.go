@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	part := mustSelect(t, callProg(t), Options{Heuristic: ControlFlow, TaskSize: true})
+	s := ComputeStats(part)
+	if s.Tasks != len(part.Tasks) {
+		t.Errorf("Tasks = %d, want %d", s.Tasks, len(part.Tasks))
+	}
+	if s.AvgBlocks < 1 {
+		t.Errorf("AvgBlocks = %v", s.AvgBlocks)
+	}
+	if s.IncludedCalls == 0 {
+		t.Error("included calls not counted")
+	}
+	hist := 0
+	for _, c := range s.TargetHistogram {
+		hist += c
+	}
+	if hist != s.Tasks {
+		t.Errorf("histogram sums to %d, want %d", hist, s.Tasks)
+	}
+	out := s.String()
+	for _, want := range []string{"tasks", "targets/task", "included calls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(&Partition{})
+	if s.Tasks != 0 || s.AvgBlocks != 0 {
+		t.Errorf("empty partition stats: %+v", s)
+	}
+}

@@ -1,0 +1,285 @@
+// Package dataflow implements the register dataflow analyses the paper's
+// compiler uses: block-level def/use summaries, liveness, reaching
+// definitions, def-use chains (the input to the data-dependence heuristic),
+// and codependent sets (the blocks on all control-flow paths from a producer
+// block to a consumer block).
+//
+// Only register dependences are analysed; memory dependences are left to the
+// hardware (ARB + synchronization table), exactly as the paper does for
+// pointer-heavy code.
+package dataflow
+
+import (
+	"sort"
+
+	"multiscalar/internal/cfganal"
+	"multiscalar/internal/ir"
+)
+
+// RegSet is a bit set over the 64 architectural registers.
+type RegSet uint64
+
+// Add returns the set with register r added.
+func (s RegSet) Add(r ir.Reg) RegSet { return s | 1<<uint(r) }
+
+// Has reports whether register r is in the set.
+func (s RegSet) Has(r ir.Reg) bool { return s&(1<<uint(r)) != 0 }
+
+// Union returns the union of the two sets.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Minus returns s with the members of t removed.
+func (s RegSet) Minus(t RegSet) RegSet { return s &^ t }
+
+// Intersect returns the registers present in both sets.
+func (s RegSet) Intersect(t RegSet) RegSet { return s & t }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for v := uint64(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Regs returns the members in ascending order.
+func (s RegSet) Regs() []ir.Reg {
+	var out []ir.Reg
+	for r := 0; r < ir.NumRegs; r++ {
+		if s.Has(ir.Reg(r)) {
+			out = append(out, ir.Reg(r))
+		}
+	}
+	return out
+}
+
+// BlockFacts summarizes one basic block.
+type BlockFacts struct {
+	// Use is the set of registers read before any write in the block
+	// (upward-exposed uses), including the branch condition register.
+	Use RegSet
+	// Def is the set of registers written anywhere in the block.
+	Def RegSet
+	// LiveIn/LiveOut are the liveness solutions.
+	LiveIn, LiveOut RegSet
+}
+
+// DefUseEdge is a register dependence from a definition in one block to an
+// upward-exposed use in another (or the same) block, at block granularity —
+// the granularity at which the paper's data-dependence heuristic works.
+type DefUseEdge struct {
+	Reg ir.Reg
+	Def ir.BlockID // block containing the reaching definition
+	Use ir.BlockID // block with the exposed use
+	// Freq is the profiled execution frequency of the dependence (filled by
+	// the caller from profile data; zero when no profile is attached).
+	Freq uint64
+}
+
+// Facts holds the dataflow solutions for one function.
+type Facts struct {
+	Fn     *ir.Function
+	G      *cfganal.CFG
+	Blocks []BlockFacts
+	// Edges are the def-use edges across blocks, deterministically ordered.
+	Edges []DefUseEdge
+}
+
+// Analyze computes all register dataflow facts for the function.
+func Analyze(g *cfganal.CFG) *Facts {
+	f := g.Fn
+	n := len(f.Blocks)
+	facts := &Facts{Fn: f, G: g, Blocks: make([]BlockFacts, n)}
+	for i, b := range f.Blocks {
+		use, def := blockUseDef(b)
+		facts.Blocks[i] = BlockFacts{Use: use, Def: def}
+	}
+	facts.liveness()
+	facts.defUseEdges()
+	return facts
+}
+
+// blockUseDef computes the upward-exposed uses and the definitions of a
+// block, including the terminator's condition register.
+func blockUseDef(b *ir.Block) (use, def RegSet) {
+	var scratch [2]ir.Reg
+	for _, in := range b.Instrs {
+		for _, r := range in.Uses(scratch[:0]) {
+			if r != ir.RegZero && !def.Has(r) {
+				use = use.Add(r)
+			}
+		}
+		if d, ok := in.Def(); ok {
+			def = def.Add(d)
+		}
+	}
+	if b.Term.Kind == ir.TermBr {
+		if c := b.Term.Cond; c != ir.RegZero && !def.Has(c) {
+			use = use.Add(c)
+		}
+	}
+	return use, def
+}
+
+// liveness solves backward liveness over the CFG. Calls are treated as
+// reading and preserving all registers (our calling convention is
+// caller-managed), and returns/halts conservatively treat every register as
+// live-out of the function so that cross-function dependences are never
+// dropped.
+func (fa *Facts) liveness() {
+	const allLive = ^RegSet(0)
+	for changed := true; changed; {
+		changed = false
+		// Iterate in reverse RPO (postorder) for fast convergence.
+		for i := len(fa.G.RPO) - 1; i >= 0; i-- {
+			b := fa.G.RPO[i]
+			blk := fa.Fn.Block(b)
+			var out RegSet
+			switch blk.Term.Kind {
+			case ir.TermRet, ir.TermHalt:
+				out = allLive
+			case ir.TermCall:
+				// The callee may read anything; its return continues at Fall.
+				out = allLive
+			default:
+				for _, s := range fa.G.Succs[b] {
+					out = out.Union(fa.Blocks[s].LiveIn)
+				}
+			}
+			in := fa.Blocks[b].Use.Union(out.Minus(fa.Blocks[b].Def))
+			if in != fa.Blocks[b].LiveIn || out != fa.Blocks[b].LiveOut {
+				fa.Blocks[b].LiveIn = in
+				fa.Blocks[b].LiveOut = out
+				changed = true
+			}
+		}
+	}
+}
+
+// defUseEdges computes block-granularity def-use chains with a reaching-defs
+// style propagation: for each register, the set of blocks whose definition of
+// that register reaches the entry of each block.
+func (fa *Facts) defUseEdges() {
+	n := len(fa.Fn.Blocks)
+	// reachIn[b] maps reg -> set of def blocks reaching entry of b.
+	reachIn := make([]map[ir.Reg]map[ir.BlockID]bool, n)
+	for i := range reachIn {
+		reachIn[i] = make(map[ir.Reg]map[ir.BlockID]bool)
+	}
+	outOf := func(b ir.BlockID) map[ir.Reg]map[ir.BlockID]bool {
+		out := make(map[ir.Reg]map[ir.BlockID]bool)
+		def := fa.Blocks[b].Def
+		for r, defs := range reachIn[b] {
+			if def.Has(r) {
+				continue // killed
+			}
+			out[r] = defs
+		}
+		for _, r := range def.Regs() {
+			out[r] = map[ir.BlockID]bool{b: true}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fa.G.RPO {
+			blk := fa.Fn.Block(b)
+			if blk.Term.Kind == ir.TermCall || blk.Term.Kind == ir.TermRet || blk.Term.Kind == ir.TermHalt {
+				// Dependences across calls/returns are inter-procedural; the
+				// paper terminates tasks there, so chains stop too.
+				continue
+			}
+			out := outOf(b)
+			for _, s := range fa.G.Succs[b] {
+				for r, defs := range out {
+					m := reachIn[s][r]
+					if m == nil {
+						m = make(map[ir.BlockID]bool)
+						reachIn[s][r] = m
+					}
+					for d := range defs {
+						if !m[d] {
+							m[d] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	seen := make(map[DefUseEdge]bool)
+	for b := 0; b < n; b++ {
+		use := fa.Blocks[b].Use
+		for _, r := range use.Regs() {
+			for d := range reachIn[b][r] {
+				e := DefUseEdge{Reg: r, Def: d, Use: ir.BlockID(b)}
+				if d != ir.BlockID(b) && !seen[e] {
+					seen[e] = true
+					fa.Edges = append(fa.Edges, e)
+				}
+			}
+		}
+	}
+	sort.Slice(fa.Edges, func(i, j int) bool {
+		a, b := fa.Edges[i], fa.Edges[j]
+		if a.Def != b.Def {
+			return a.Def < b.Def
+		}
+		if a.Use != b.Use {
+			return a.Use < b.Use
+		}
+		return a.Reg < b.Reg
+	})
+}
+
+// Codependent returns the codependent set of the def-use edge: every block on
+// some control-flow path from e.Def to e.Use (endpoints included), computed
+// as forward-reachable-from-def intersected with backward-reachable-from-use.
+// Paths never extend through call/ret/halt terminators, matching how the
+// chains were built.
+func (fa *Facts) Codependent(e DefUseEdge) map[ir.BlockID]bool {
+	fwd := fa.reach(e.Def, false)
+	bwd := fa.reach(e.Use, true)
+	set := make(map[ir.BlockID]bool)
+	for b := range fwd {
+		if bwd[b] {
+			set[b] = true
+		}
+	}
+	set[e.Def] = true
+	set[e.Use] = true
+	return set
+}
+
+func (fa *Facts) reach(from ir.BlockID, backward bool) map[ir.BlockID]bool {
+	seen := map[ir.BlockID]bool{from: true}
+	work := []ir.BlockID{from}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		var next []ir.BlockID
+		if backward {
+			next = fa.G.Preds[b]
+		} else {
+			t := fa.Fn.Block(b).Term.Kind
+			if t == ir.TermCall || t == ir.TermRet || t == ir.TermHalt {
+				continue
+			}
+			next = fa.G.Succs[b]
+		}
+		for _, s := range next {
+			if backward {
+				t := fa.Fn.Block(s).Term.Kind
+				if t == ir.TermCall || t == ir.TermRet || t == ir.TermHalt {
+					continue
+				}
+			}
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,223 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiscalar/internal/cfganal"
+	"multiscalar/internal/ir"
+)
+
+func analyzeMain(t *testing.T, p *ir.Program) *Facts {
+	t.Helper()
+	return Analyze(cfganal.Analyze(p.Fn(p.Main)))
+}
+
+func TestRegSetBasics(t *testing.T) {
+	var s RegSet
+	s = s.Add(ir.R(3)).Add(ir.F(0)).Add(ir.R(3))
+	if !s.Has(ir.R(3)) || !s.Has(ir.F(0)) || s.Has(ir.R(4)) {
+		t.Errorf("membership wrong: %b", s)
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	regs := s.Regs()
+	if len(regs) != 2 || regs[0] != ir.R(3) || regs[1] != ir.F(0) {
+		t.Errorf("Regs = %v", regs)
+	}
+	if s.Minus(RegSet(0).Add(ir.R(3))).Has(ir.R(3)) {
+		t.Error("Minus did not remove")
+	}
+}
+
+func TestRegSetProperties(t *testing.T) {
+	f := func(a, b uint64, r uint8) bool {
+		sa, sb := RegSet(a), RegSet(b)
+		reg := ir.Reg(r % ir.NumRegs)
+		if !sa.Add(reg).Has(reg) {
+			return false
+		}
+		u := sa.Union(sb)
+		if sa.Count() > u.Count() || sb.Count() > u.Count() {
+			return false
+		}
+		return !sa.Minus(sb).Has(reg) || !sb.Has(reg) || !sa.Has(reg) == false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockUseDef(t *testing.T) {
+	b := ir.NewBuilder("p")
+	f := b.Func("main")
+	// r3 defined then used (not exposed); r4 used before def (exposed);
+	// branch condition r5 exposed.
+	f.Block("entry").
+		MovI(ir.R(3), 1).
+		Add(ir.R(4), ir.R(3), ir.R(4)).
+		Br(ir.R(5), "end", "end")
+	f.Block("end").Halt()
+	f.End()
+	fa := analyzeMain(t, b.Build())
+	bf := fa.Blocks[0]
+	if bf.Use.Has(ir.R(3)) {
+		t.Error("r3 should not be upward-exposed")
+	}
+	if !bf.Use.Has(ir.R(4)) {
+		t.Error("r4 should be upward-exposed")
+	}
+	if !bf.Use.Has(ir.R(5)) {
+		t.Error("branch condition should be upward-exposed")
+	}
+	if !bf.Def.Has(ir.R(3)) || !bf.Def.Has(ir.R(4)) {
+		t.Error("defs wrong")
+	}
+}
+
+// defUseProg: b0 defines r3; diamond b1(br)/b2/b3; b4 uses r3.
+func defUseProg(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("p")
+	f := b.Func("main")
+	f.Block("def").MovI(ir.R(3), 42).MovI(ir.R(6), 1).Br(ir.R(6), "left", "right")
+	f.Block("left").MovI(ir.R(7), 1).Goto("join")
+	f.Block("right").MovI(ir.R(7), 2).Goto("join")
+	f.Block("join").Add(ir.R(8), ir.R(3), ir.R(7)).Halt()
+	f.End()
+	return b.Build()
+}
+
+func TestDefUseEdges(t *testing.T) {
+	fa := analyzeMain(t, defUseProg(t))
+	// Expect r3: b0->b3, r7: b1->b3 and b2->b3.
+	want := map[DefUseEdge]bool{
+		{Reg: ir.R(3), Def: 0, Use: 3}: true,
+		{Reg: ir.R(7), Def: 1, Use: 3}: true,
+		{Reg: ir.R(7), Def: 2, Use: 3}: true,
+	}
+	got := map[DefUseEdge]bool{}
+	for _, e := range fa.Edges {
+		e.Freq = 0
+		got[e] = true
+	}
+	for e := range want {
+		if !got[e] {
+			t.Errorf("missing edge %+v (got %v)", e, fa.Edges)
+		}
+	}
+	for e := range got {
+		if !want[e] {
+			t.Errorf("spurious edge %+v", e)
+		}
+	}
+}
+
+func TestDefUseKilledByRedefinition(t *testing.T) {
+	b := ir.NewBuilder("p")
+	f := b.Func("main")
+	f.Block("a").MovI(ir.R(3), 1).Goto("b")
+	f.Block("b").MovI(ir.R(3), 2).Goto("c") // kills a's def
+	f.Block("c").AddI(ir.R(4), ir.R(3), 0).Halt()
+	f.End()
+	fa := analyzeMain(t, b.Build())
+	for _, e := range fa.Edges {
+		if e.Reg == ir.R(3) && e.Def == 0 {
+			t.Errorf("killed def still reaches: %+v", e)
+		}
+	}
+}
+
+func TestCodependentSet(t *testing.T) {
+	fa := analyzeMain(t, defUseProg(t))
+	var edge DefUseEdge
+	found := false
+	for _, e := range fa.Edges {
+		if e.Reg == ir.R(3) && e.Def == 0 && e.Use == 3 {
+			edge = e
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("r3 edge not found")
+	}
+	set := fa.Codependent(edge)
+	for _, b := range []ir.BlockID{0, 1, 2, 3} {
+		if !set[b] {
+			t.Errorf("codependent set missing b%d: %v", b, set)
+		}
+	}
+}
+
+func TestCodependentExcludesOffPath(t *testing.T) {
+	b := ir.NewBuilder("p")
+	f := b.Func("main")
+	f.Block("def").MovI(ir.R(3), 1).MovI(ir.R(6), 1).Br(ir.R(6), "on", "off")
+	f.Block("on").AddI(ir.R(4), ir.R(3), 0).Goto("end")
+	f.Block("off").MovI(ir.R(9), 5).Goto("end")
+	f.Block("end").Halt()
+	f.End()
+	fa := analyzeMain(t, b.Build())
+	var edge DefUseEdge
+	for _, e := range fa.Edges {
+		if e.Reg == ir.R(3) && e.Use == 1 {
+			edge = e
+		}
+	}
+	if edge.Reg != ir.R(3) {
+		t.Fatal("edge not found")
+	}
+	set := fa.Codependent(edge)
+	if set[2] {
+		t.Errorf("off-path block in codependent set: %v", set)
+	}
+	if !set[0] || !set[1] {
+		t.Errorf("endpoints missing: %v", set)
+	}
+}
+
+func TestLivenessAcrossBranch(t *testing.T) {
+	fa := analyzeMain(t, defUseProg(t))
+	// r3 defined in b0, used in b3: live out of b0, live in to b1, b2, b3.
+	for _, blk := range []int{1, 2, 3} {
+		if !fa.Blocks[blk].LiveIn.Has(ir.R(3)) {
+			t.Errorf("r3 not live into b%d", blk)
+		}
+	}
+	if !fa.Blocks[0].LiveOut.Has(ir.R(3)) {
+		t.Error("r3 not live out of b0")
+	}
+}
+
+func TestChainsStopAtCalls(t *testing.T) {
+	b := ir.NewBuilder("p")
+	callee := b.DeclareFn("g")
+	f := b.Func("main")
+	f.Block("a").MovI(ir.R(3), 1).Call(callee, "b")
+	f.Block("b").AddI(ir.R(4), ir.R(3), 0).Halt()
+	f.End()
+	g := b.Func("g")
+	g.Block("entry").Ret()
+	g.End()
+	fa := analyzeMain(t, b.Build())
+	for _, e := range fa.Edges {
+		if e.Def == 0 && e.Use == 1 {
+			t.Errorf("def-use chain crossed a call: %+v", e)
+		}
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	p := defUseProg(t)
+	a := analyzeMain(t, p)
+	b := analyzeMain(t, p)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("nondeterministic order at %d: %+v vs %+v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/sim"
+	"multiscalar/internal/workloads"
+)
+
+// AblationRow is one point of a one-dimensional sweep.
+type AblationRow struct {
+	Workload string
+	Label    string // parameter setting, e.g. "N=2"
+	IPC      float64
+	Extra    string // auxiliary metric (violations, accuracy, ...)
+}
+
+// AblationTargets sweeps the hardware target limit N (the paper fixes 4):
+// fewer trackable successors truncate feasible tasks; more relax the
+// control-flow heuristic.
+func AblationTargets(r *Runner, names []string, ns []int) ([]AblationRow, error) {
+	if len(ns) == 0 {
+		ns = []int{2, 4, 8}
+	}
+	var rows []AblationRow
+	for _, name := range names {
+		for _, n := range ns {
+			res, err := r.Run(name, CF, SimConfig{PUs: 8, Targets: n})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Workload: name,
+				Label:    fmt.Sprintf("N=%d", n),
+				IPC:      res.IPC,
+				Extra:    fmt.Sprintf("taskpred=%.1f%% size=%.1f", 100*res.TaskPredAccuracy, res.AvgTaskSize),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationSync compares the memory dependence synchronization table on/off.
+func AblationSync(r *Runner, names []string) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, name := range names {
+		for _, noSync := range []bool{false, true} {
+			res, err := r.Run(name, DD, SimConfig{PUs: 8, NoSyncTable: noSync})
+			if err != nil {
+				return nil, err
+			}
+			label := "sync=on"
+			if noSync {
+				label = "sync=off"
+			}
+			rows = append(rows, AblationRow{
+				Workload: name,
+				Label:    label,
+				IPC:      res.IPC,
+				Extra:    fmt.Sprintf("violations=%d restarts=%d syncwaits=%d", res.Violations, res.Restarts, res.SyncWaits),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationRing sweeps the register communication ring bandwidth.
+func AblationRing(r *Runner, names []string, bws []int) ([]AblationRow, error) {
+	if len(bws) == 0 {
+		bws = []int{1, 2, 4}
+	}
+	var rows []AblationRow
+	for _, name := range names {
+		for _, bw := range bws {
+			res, err := r.Run(name, DD, SimConfig{PUs: 8, RingBW: bw})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Workload: name,
+				Label:    fmt.Sprintf("ring=%d/cyc", bw),
+				IPC:      res.IPC,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationBanks sweeps the L1 D-cache bank count (the paper interleaves one
+// bank per PU).
+func AblationBanks(r *Runner, names []string, banks []int) ([]AblationRow, error) {
+	if len(banks) == 0 {
+		banks = []int{1, 4, 8}
+	}
+	var rows []AblationRow
+	for _, name := range names {
+		for _, nb := range banks {
+			res, err := r.Run(name, CF, SimConfig{PUs: 8, L1DBanks: nb})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Workload: name,
+				Label:    fmt.Sprintf("banks=%d", nb),
+				IPC:      res.IPC,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationGreedy compares the paper's greedy feasible-task search (which
+// explores past the target limit hunting for reconverging control flow)
+// against a first-fit baseline that stops at the limit.
+func AblationGreedy(names []string) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, noGreedy := range []bool{false, true} {
+			part, err := core.Select(w.Build(), core.Options{
+				Heuristic: core.ControlFlow,
+				NoGreedy:  noGreedy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(part, sim.DefaultConfig(8))
+			if err != nil {
+				return nil, err
+			}
+			label := "greedy"
+			if noGreedy {
+				label = "first-fit"
+			}
+			rows = append(rows, AblationRow{
+				Workload: name,
+				Label:    label,
+				IPC:      res.IPC,
+				Extra:    fmt.Sprintf("size=%.1f", res.AvgTaskSize),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationThresh sweeps the task-size heuristic's CALL_THRESH and
+// LOOP_THRESH around the paper's value of 30. Partitions are built directly
+// (the runner's cache is keyed on the standard options).
+func AblationThresh(names []string, threshes []int) ([]AblationRow, error) {
+	if len(threshes) == 0 {
+		threshes = []int{10, 30, 90}
+	}
+	var rows []AblationRow
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range threshes {
+			part, err := core.Select(w.Build(), core.Options{
+				Heuristic:  core.DataDependence,
+				TaskSize:   true,
+				CallThresh: th,
+				LoopThresh: th,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(part, sim.DefaultConfig(8))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Workload: name,
+				Label:    fmt.Sprintf("thresh=%d", th),
+				IPC:      res.IPC,
+				Extra:    fmt.Sprintf("size=%.1f", res.AvgTaskSize),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatAblation renders ablation rows grouped by workload.
+func FormatAblation(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: %s\n", title)
+	fmt.Fprintf(&sb, "%-10s %-12s %8s  %s\n", "benchmark", "setting", "IPC", "notes")
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-10s %-12s %8.3f  %s\n", row.Workload, row.Label, row.IPC, row.Extra)
+	}
+	return sb.String()
+}

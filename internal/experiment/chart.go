@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ChartFigure5 renders one machine configuration of Figure 5 as horizontal
+// text bars grouped per benchmark — the closest a terminal gets to the
+// paper's bar plot. Cells from other configurations are ignored.
+func ChartFigure5(cells []Fig5Cell, pus int, inOrder bool) string {
+	type row struct {
+		name string
+		fp   bool
+		ipc  [4]float64
+	}
+	byName := map[string]*row{}
+	maxIPC := 0.0
+	for _, c := range cells {
+		if c.PUs != pus || c.InOrder != inOrder {
+			continue
+		}
+		r := byName[c.Workload]
+		if r == nil {
+			r = &row{name: c.Workload, fp: c.FP}
+			byName[c.Workload] = r
+		}
+		r.ipc[c.Variant] = c.IPC
+		if c.IPC > maxIPC {
+			maxIPC = c.IPC
+		}
+	}
+	if len(byName) == 0 || maxIPC == 0 {
+		return "(no cells for this configuration)\n"
+	}
+	var rows []*row
+	for _, r := range byName {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].fp != rows[j].fp {
+			return !rows[i].fp
+		}
+		return rows[i].name < rows[j].name
+	})
+	style := "out-of-order"
+	if inOrder {
+		style = "in-order"
+	}
+	const width = 48
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — IPC, %d PUs, %s (bar = IPC, full scale %.2f)\n", pus, style, maxIPC)
+	labels := [4]string{"bb", "cf", "dd", "ts"}
+	lastFP := false
+	for i, r := range rows {
+		if i == 0 || r.fp != lastFP {
+			suite := "integer benchmarks"
+			if r.fp {
+				suite = "floating point benchmarks"
+			}
+			fmt.Fprintf(&sb, "\n  %s\n", suite)
+			lastFP = r.fp
+		}
+		for v := 0; v < 4; v++ {
+			n := int(r.ipc[v] / maxIPC * width)
+			name := ""
+			if v == 0 {
+				name = r.name
+			}
+			fmt.Fprintf(&sb, "%-10s %s %-*s %.3f\n", name, labels[v], width, strings.Repeat("█", n), r.ipc[v])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,169 @@
+// Package experiment regenerates the paper's evaluation: Figure 5 (IPC of
+// the task-selection heuristics on 4 and 8 in-order and out-of-order PUs,
+// integer and floating-point suites) and Table 1 (dynamic task size,
+// control-transfer counts, task and per-branch prediction accuracy, and
+// window span), plus the ablations DESIGN.md calls out.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/sim"
+	"multiscalar/internal/workloads"
+)
+
+// Variant names one bar of Figure 5.
+type Variant int
+
+// The four bars of Figure 5. TaskSize is the paper's "task size" bar: the
+// data-dependence heuristic augmented with the task-size heuristic (the
+// paper applies it to the benchmarks that respond to it, chiefly compress
+// and fpppp; we run it everywhere and report it where it differs).
+const (
+	BB Variant = iota
+	CF
+	DD
+	TS
+	numVariants
+)
+
+// String returns the Figure 5 legend label.
+func (v Variant) String() string {
+	switch v {
+	case BB:
+		return "basic block"
+	case CF:
+		return "control flow"
+	case DD:
+		return "data dependence"
+	case TS:
+		return "task size"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Variants lists all Figure 5 bars in order.
+func Variants() []Variant { return []Variant{BB, CF, DD, TS} }
+
+func (v Variant) options() core.Options {
+	switch v {
+	case BB:
+		return core.Options{Heuristic: core.BasicBlock}
+	case CF:
+		return core.Options{Heuristic: core.ControlFlow}
+	case DD:
+		return core.Options{Heuristic: core.DataDependence}
+	case TS:
+		return core.Options{Heuristic: core.DataDependence, TaskSize: true}
+	}
+	panic("experiment: bad variant")
+}
+
+// Runner caches partitions and simulation results across experiments so that
+// Figure 5, Table 1, and the ablations share work.
+type Runner struct {
+	mu    sync.Mutex
+	parts map[partKey]*core.Partition
+	sims  map[simKey]*sim.Result
+}
+
+type partKey struct {
+	workload string
+	variant  Variant
+	targets  int
+}
+
+type simKey struct {
+	partKey
+	pus     int
+	inOrder bool
+	ring    int
+	sync    bool
+	banks   int
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{
+		parts: make(map[partKey]*core.Partition),
+		sims:  make(map[simKey]*sim.Result),
+	}
+}
+
+// Partition returns (building and caching on demand) the partition for one
+// workload and variant with the given hardware target limit (0 = paper's 4).
+func (r *Runner) Partition(name string, v Variant, targets int) (*core.Partition, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := partKey{workload: name, variant: v, targets: targets}
+	if p, ok := r.parts[key]; ok {
+		return p, nil
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	opts := v.options()
+	opts.MaxTargets = targets
+	p, err := core.Select(w.Build(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: partition %s/%v: %w", name, v, err)
+	}
+	r.parts[key] = p
+	return p, nil
+}
+
+// SimConfig selects one machine point.
+type SimConfig struct {
+	PUs     int
+	InOrder bool
+	// Targets overrides the hardware target limit (0 = 4).
+	Targets int
+	// RingBW overrides the register ring bandwidth (0 = 2).
+	RingBW int
+	// NoSyncTable disables the memory dependence synchronization table.
+	NoSyncTable bool
+	// L1DBanks overrides the data-cache bank count (0 = one per PU).
+	L1DBanks int
+}
+
+// Run simulates one workload/variant on one machine point, caching results.
+func (r *Runner) Run(name string, v Variant, mc SimConfig) (*sim.Result, error) {
+	part, err := r.Partition(name, v, mc.Targets)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(mc.PUs)
+	cfg.InOrder = mc.InOrder
+	if mc.Targets != 0 {
+		cfg.MaxTargets = mc.Targets
+	}
+	if mc.RingBW != 0 {
+		cfg.RingBW = mc.RingBW
+	}
+	cfg.SyncTable = !mc.NoSyncTable
+	if mc.L1DBanks != 0 {
+		cfg.L1DBanks = mc.L1DBanks
+	}
+	key := simKey{
+		partKey: partKey{workload: name, variant: v, targets: mc.Targets},
+		pus:     mc.PUs, inOrder: mc.InOrder, ring: cfg.RingBW, sync: cfg.SyncTable,
+		banks: cfg.L1DBanks,
+	}
+	r.mu.Lock()
+	if res, ok := r.sims[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	res, err := sim.Run(part, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: sim %s/%v/%dPU: %w", name, v, mc.PUs, err)
+	}
+	r.mu.Lock()
+	r.sims[key] = res
+	r.mu.Unlock()
+	return res, nil
+}

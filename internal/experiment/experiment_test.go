@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests use small subsets so the suite stays fast; the full
+// grid runs through cmd/msreport and the root benchmarks.
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner()
+	p1, err := r.Partition("ijpeg", CF, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Partition("ijpeg", CF, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("partition not cached")
+	}
+	s1, err := r.Run("ijpeg", CF, SimConfig{PUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Run("ijpeg", CF, SimConfig{PUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("simulation not cached")
+	}
+	s3, err := r.Run("ijpeg", CF, SimConfig{PUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Error("distinct configs share a cache entry")
+	}
+}
+
+func TestVariantOptions(t *testing.T) {
+	if BB.options().Heuristic.String() != "basic block" {
+		t.Error("BB variant mismatch")
+	}
+	if !TS.options().TaskSize {
+		t.Error("TS variant lacks task-size heuristic")
+	}
+	if CF.options().TaskSize || DD.options().TaskSize {
+		t.Error("CF/DD variants must not enable task size")
+	}
+	for _, v := range Variants() {
+		if v.String() == "" || strings.HasPrefix(v.String(), "Variant(") {
+			t.Errorf("variant %d lacks a name", int(v))
+		}
+	}
+}
+
+func TestFigure5CellCount(t *testing.T) {
+	r := NewRunner()
+	cells, err := Figure5(r, []int{4}, []string{"ijpeg", "swim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads × 1 PU count × 2 pipelines × 4 variants.
+	if len(cells) != 16 {
+		t.Fatalf("cells = %d, want 16", len(cells))
+	}
+	for _, c := range cells {
+		if c.IPC <= 0 {
+			t.Errorf("%s/%v: nonpositive IPC", c.Workload, c.Variant)
+		}
+	}
+	if !cells[0].FP == (cells[0].Workload == "swim") {
+		// order: by name list; ijpeg first (int), swim later (fp)
+		t.Log("suite flags:", cells[0].Workload, cells[0].FP)
+	}
+}
+
+func TestSummarizeDirection(t *testing.T) {
+	// ijpeg is loop-parallel: the control-flow heuristic must improve it.
+	r := NewRunner()
+	cells, err := Figure5(r, []int{4}, []string{"ijpeg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Summarize(cells) {
+		if s.Variant == CF && !s.InOrder && s.GeoMean <= 1.0 {
+			t.Errorf("CF geomean %.3f <= 1 on a loop-parallel benchmark", s.GeoMean)
+		}
+	}
+	out := FormatSummary(Summarize(cells))
+	if !strings.Contains(out, "control flow") {
+		t.Errorf("summary output:\n%s", out)
+	}
+}
+
+func TestTable1Invariants(t *testing.T) {
+	r := NewRunner()
+	rows, err := Table1(r, []string{"ijpeg", "tomcatv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.CFDynInst < row.BBDynInst {
+			t.Errorf("%s: cf tasks (%.1f) smaller than bb tasks (%.1f)",
+				row.Workload, row.CFDynInst, row.BBDynInst)
+		}
+		if row.DDWinSpan <= 0 || row.BBWinSpan <= 0 {
+			t.Errorf("%s: nonpositive window span", row.Workload)
+		}
+		if row.CFBrMisp > row.CFTaskMisp+1e-9 {
+			t.Errorf("%s: per-branch misprediction %.3f exceeds task misprediction %.3f",
+				row.Workload, row.CFBrMisp, row.CFTaskMisp)
+		}
+		for _, m := range []float64{row.BBTaskMisp, row.CFTaskMisp, row.DDTaskMisp} {
+			if m < 0 || m > 1 {
+				t.Errorf("%s: misprediction %v out of range", row.Workload, m)
+			}
+		}
+	}
+}
+
+func TestBrMispNormalization(t *testing.T) {
+	// One branch per task: identical. Many branches: smaller per-branch rate.
+	if got := brMisp(0.2, 1); got < 0.2-1e-9 || got > 0.2+1e-9 {
+		t.Errorf("brMisp(0.2,1) = %v", got)
+	}
+	if got := brMisp(0.2, 4); got >= 0.2 || got <= 0 {
+		t.Errorf("brMisp(0.2,4) = %v, want in (0, 0.2)", got)
+	}
+	if got := brMisp(0, 3); got < 0 || got > 1e-12 {
+		t.Errorf("brMisp(0,3) = %v", got)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r := NewRunner()
+	rows, err := AblationTargets(r, []string{"ijpeg"}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("target rows = %d", len(rows))
+	}
+	sync, err := AblationSync(r, []string{"wave5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sync) != 2 {
+		t.Fatalf("sync rows = %d", len(sync))
+	}
+	ring, err := AblationRing(r, []string{"ijpeg"}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ring) != 2 {
+		t.Fatalf("ring rows = %d", len(ring))
+	}
+	th, err := AblationThresh([]string{"compress"}, []int{10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th) != 2 {
+		t.Fatalf("thresh rows = %d", len(th))
+	}
+	out := FormatAblation("targets", rows)
+	if !strings.Contains(out, "N=2") {
+		t.Errorf("ablation output:\n%s", out)
+	}
+}
+
+func TestRingBandwidthMonotonicity(t *testing.T) {
+	// Wider ring never hurts (results are deterministic; equality allowed).
+	r := NewRunner()
+	rows, err := AblationRing(r, []string{"tomcatv"}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].IPC+1e-9 < rows[0].IPC*0.98 {
+		t.Errorf("ring 4/cyc IPC %.3f well below 1/cyc %.3f", rows[1].IPC, rows[0].IPC)
+	}
+}
+
+func TestChartFigure5(t *testing.T) {
+	r := NewRunner()
+	cells, err := Figure5(r, []int{4}, []string{"ijpeg", "swim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ChartFigure5(cells, 4, false)
+	for _, want := range []string{"Figure 5", "ijpeg", "swim", "█", "integer benchmarks", "floating point benchmarks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if got := ChartFigure5(cells, 16, false); !strings.Contains(got, "no cells") {
+		t.Error("missing-config case not handled")
+	}
+}
+
+func TestAblationBanks(t *testing.T) {
+	r := NewRunner()
+	rows, err := AblationBanks(r, []string{"swim"}, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More banks never hurt a stencil workload.
+	if rows[1].IPC+1e-9 < rows[0].IPC*0.98 {
+		t.Errorf("8 banks IPC %.3f well below 1 bank %.3f", rows[1].IPC, rows[0].IPC)
+	}
+}
+
+func TestAblationGreedy(t *testing.T) {
+	rows, err := AblationGreedy([]string{"go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Label != "greedy" || rows[1].Label != "first-fit" {
+		t.Errorf("labels: %v / %v", rows[0].Label, rows[1].Label)
+	}
+}

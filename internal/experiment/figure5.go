@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"multiscalar/internal/workloads"
+)
+
+// Fig5Cell is one bar of Figure 5: the IPC of one workload under one
+// heuristic variant on one machine.
+type Fig5Cell struct {
+	Workload string
+	FP       bool
+	Variant  Variant
+	PUs      int
+	InOrder  bool
+	IPC      float64
+}
+
+// Figure5 runs the full Figure 5 grid: every workload × {BB, CF, DD, TS} ×
+// the given PU counts × {out-of-order, in-order}. Cells are ordered by
+// suite, workload, PU count, pipeline, then variant.
+func Figure5(r *Runner, pus []int, names []string) ([]Fig5Cell, error) {
+	if len(pus) == 0 {
+		pus = []int{4, 8}
+	}
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+	var cells []Fig5Cell
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range pus {
+			for _, inorder := range []bool{false, true} {
+				for _, v := range Variants() {
+					res, err := r.Run(name, v, SimConfig{PUs: n, InOrder: inorder})
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, Fig5Cell{
+						Workload: name, FP: w.FP, Variant: v,
+						PUs: n, InOrder: inorder, IPC: res.IPC,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FormatFigure5 renders the cells as the paper's two plots (integer and
+// floating point), one table per machine configuration, with per-variant IPC
+// columns and the improvement of each heuristic over basic-block tasks.
+func FormatFigure5(cells []Fig5Cell) string {
+	type cfg struct {
+		pus     int
+		inOrder bool
+	}
+	byCfg := map[cfg]map[string][4]float64{}
+	fp := map[string]bool{}
+	for _, c := range cells {
+		k := cfg{pus: c.PUs, inOrder: c.InOrder}
+		if byCfg[k] == nil {
+			byCfg[k] = map[string][4]float64{}
+		}
+		row := byCfg[k][c.Workload]
+		row[c.Variant] = c.IPC
+		byCfg[k][c.Workload] = row
+		fp[c.Workload] = c.FP
+	}
+	var keys []cfg
+	for k := range byCfg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pus != keys[j].pus {
+			return keys[i].pus < keys[j].pus
+		}
+		return !keys[i].inOrder && keys[j].inOrder
+	})
+	var sb strings.Builder
+	for _, k := range keys {
+		style := "out-of-order"
+		if k.inOrder {
+			style = "in-order"
+		}
+		fmt.Fprintf(&sb, "Figure 5: IPC, %d PUs, %s\n", k.pus, style)
+		fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %9s %9s\n",
+			"benchmark", "bb", "cf", "dd", "ts", "cf/bb", "dd/bb")
+		for _, isFP := range []bool{false, true} {
+			suite := "integer"
+			if isFP {
+				suite = "floating point"
+			}
+			fmt.Fprintf(&sb, "-- %s --\n", suite)
+			var names []string
+			for n := range byCfg[k] {
+				if fp[n] == isFP {
+					names = append(names, n)
+				}
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				row := byCfg[k][n]
+				fmt.Fprintf(&sb, "%-10s %8.3f %8.3f %8.3f %8.3f %8.1f%% %8.1f%%\n",
+					n, row[BB], row[CF], row[DD], row[TS],
+					100*(row[CF]/row[BB]-1), 100*(row[DD]/row[BB]-1))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SuiteSummary aggregates Figure 5 into the paper's §4.3.1 claims: the
+// geometric-mean improvement of each heuristic over basic-block tasks per
+// suite and machine, and the min/max range across benchmarks.
+type SuiteSummary struct {
+	Suite    string // "int" or "fp"
+	PUs      int
+	InOrder  bool
+	Variant  Variant
+	GeoMean  float64 // geomean IPC ratio over BB (1.0 = no gain)
+	Min, Max float64
+}
+
+// Summarize reduces Figure 5 cells to suite summaries for CF, DD and TS.
+func Summarize(cells []Fig5Cell) []SuiteSummary {
+	type key struct {
+		fp      bool
+		pus     int
+		inOrder bool
+		v       Variant
+	}
+	ratios := map[key][]float64{}
+	base := map[string]map[[2]interface{}]float64{}
+	_ = base
+	bbIPC := map[string]float64{}
+	for _, c := range cells {
+		if c.Variant == BB {
+			bbIPC[fmt.Sprintf("%s/%d/%v", c.Workload, c.PUs, c.InOrder)] = c.IPC
+		}
+	}
+	for _, c := range cells {
+		if c.Variant == BB {
+			continue
+		}
+		bb := bbIPC[fmt.Sprintf("%s/%d/%v", c.Workload, c.PUs, c.InOrder)]
+		if bb <= 0 {
+			continue
+		}
+		k := key{fp: c.FP, pus: c.PUs, inOrder: c.InOrder, v: c.Variant}
+		ratios[k] = append(ratios[k], c.IPC/bb)
+	}
+	var out []SuiteSummary
+	for k, rs := range ratios {
+		s := SuiteSummary{PUs: k.pus, InOrder: k.inOrder, Variant: k.v, Suite: "int"}
+		if k.fp {
+			s.Suite = "fp"
+		}
+		logSum := 0.0
+		s.Min, s.Max = math.Inf(1), math.Inf(-1)
+		for _, r := range rs {
+			logSum += math.Log(r)
+			s.Min = math.Min(s.Min, r)
+			s.Max = math.Max(s.Max, r)
+		}
+		s.GeoMean = math.Exp(logSum / float64(len(rs)))
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Suite != b.Suite {
+			return a.Suite < b.Suite
+		}
+		if a.PUs != b.PUs {
+			return a.PUs < b.PUs
+		}
+		if a.InOrder != b.InOrder {
+			return !a.InOrder
+		}
+		return a.Variant < b.Variant
+	})
+	return out
+}
+
+// FormatSummary renders suite summaries.
+func FormatSummary(sums []SuiteSummary) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %4s %-12s %-15s %9s %9s %9s\n",
+		"suite", "PUs", "pipeline", "variant", "geomean", "min", "max")
+	for _, s := range sums {
+		style := "out-of-order"
+		if s.InOrder {
+			style = "in-order"
+		}
+		fmt.Fprintf(&sb, "%-5s %4d %-12s %-15s %+8.1f%% %+8.1f%% %+8.1f%%\n",
+			s.Suite, s.PUs, style, s.Variant.String(),
+			100*(s.GeoMean-1), 100*(s.Min-1), 100*(s.Max-1))
+	}
+	return sb.String()
+}

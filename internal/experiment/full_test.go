@@ -1,0 +1,24 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFullGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is slow")
+	}
+	r := NewRunner()
+	cells, err := Figure5(r, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatFigure5(cells))
+	fmt.Print(FormatSummary(Summarize(cells)))
+	rows, err := Table1(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatTable1(rows))
+}

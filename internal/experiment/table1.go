@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"multiscalar/internal/workloads"
+)
+
+// T1Row is one benchmark's row of the paper's Table 1. Prediction numbers
+// are misprediction percentages, as printed in the paper.
+type T1Row struct {
+	Workload string
+	FP       bool
+
+	// Basic block tasks: dynamic instructions per task, task misprediction
+	// %, and window span on 8 PUs.
+	BBDynInst  float64
+	BBTaskMisp float64
+	BBWinSpan  float64
+
+	// Control flow tasks: control transfers and dynamic instructions per
+	// task, task misprediction %, per-branch normalized misprediction %.
+	CFCTInst   float64
+	CFDynInst  float64
+	CFTaskMisp float64
+	CFBrMisp   float64
+
+	// Data dependence tasks: same columns plus window span on 8 PUs.
+	DDCTInst   float64
+	DDDynInst  float64
+	DDTaskMisp float64
+	DDBrMisp   float64
+	DDWinSpan  float64
+}
+
+// brMisp normalizes a task misprediction rate to an effective per-branch
+// rate given the average control transfers per task, per §4.3.3:
+// (1-taskMisp) = (1-brMisp)^ct.
+func brMisp(taskMisp, ctPerTask float64) float64 {
+	if ctPerTask <= 0 || taskMisp >= 1 {
+		return taskMisp
+	}
+	return 1 - math.Pow(1-taskMisp, 1/ctPerTask)
+}
+
+// Table1 measures the paper's Table 1 on 8 out-of-order PUs (the paper's
+// window-span configuration). The compress and fpppp rows use the task-size
+// augmented variants, as the paper does.
+func Table1(r *Runner, names []string) ([]T1Row, error) {
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+	mc := SimConfig{PUs: 8}
+	var rows []T1Row
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		// "Since only 129.compress and 145.fpppp respond to the task size
+		// heuristic, both control flow tasks and data dependence tasks are
+		// augmented with the task size heuristic for these benchmarks."
+		cfVariant, ddVariant := CF, DD
+		if name == "compress" || name == "fpppp" {
+			ddVariant = TS
+		}
+		bb, err := r.Run(name, BB, mc)
+		if err != nil {
+			return nil, err
+		}
+		cf, err := r.Run(name, cfVariant, mc)
+		if err != nil {
+			return nil, err
+		}
+		dd, err := r.Run(name, ddVariant, mc)
+		if err != nil {
+			return nil, err
+		}
+		row := T1Row{
+			Workload:   name,
+			FP:         w.FP,
+			BBDynInst:  bb.AvgTaskSize,
+			BBTaskMisp: 1 - bb.TaskPredAccuracy,
+			BBWinSpan:  bb.WindowSpan,
+			CFCTInst:   cf.AvgCTInstrs,
+			CFDynInst:  cf.AvgTaskSize,
+			CFTaskMisp: 1 - cf.TaskPredAccuracy,
+			CFBrMisp:   brMisp(1-cf.TaskPredAccuracy, cf.AvgCTInstrs),
+			DDCTInst:   dd.AvgCTInstrs,
+			DDDynInst:  dd.AvgTaskSize,
+			DDTaskMisp: 1 - dd.TaskPredAccuracy,
+			DDBrMisp:   brMisp(1-dd.TaskPredAccuracy, dd.AvgCTInstrs),
+			DDWinSpan:  dd.WindowSpan,
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows in the paper's column layout.
+func FormatTable1(rows []T1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: dynamic task size, control flow misspeculation rate and window span (8 PUs)\n")
+	fmt.Fprintf(&sb, "%-10s | %6s %6s %7s | %5s %6s %6s %6s | %5s %6s %6s %6s %7s\n",
+		"", "bb", "bb", "bb", "cf", "cf", "cf", "cf", "dd", "dd", "dd", "dd", "dd")
+	fmt.Fprintf(&sb, "%-10s | %6s %6s %7s | %5s %6s %6s %6s | %5s %6s %6s %6s %7s\n",
+		"benchmark", "#dyn", "task", "win", "#ct", "#dyn", "task", "br", "#ct", "#dyn", "task", "br", "win")
+	fmt.Fprintf(&sb, "%-10s | %6s %6s %7s | %5s %6s %6s %6s | %5s %6s %6s %6s %7s\n",
+		"", "inst", "pred", "span", "inst", "inst", "pred", "pred", "inst", "inst", "pred", "pred", "span")
+	line := strings.Repeat("-", 112) + "\n"
+	sb.WriteString(line)
+	writeSuite := func(isFP bool) {
+		for _, row := range rows {
+			if row.FP != isFP {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-10s | %6.1f %6.1f %7.0f | %5.1f %6.1f %6.1f %6.1f | %5.1f %6.1f %6.1f %6.1f %7.0f\n",
+				row.Workload,
+				row.BBDynInst, 100*row.BBTaskMisp, row.BBWinSpan,
+				row.CFCTInst, row.CFDynInst, 100*row.CFTaskMisp, 100*row.CFBrMisp,
+				row.DDCTInst, row.DDDynInst, 100*row.DDTaskMisp, 100*row.DDBrMisp, row.DDWinSpan)
+		}
+	}
+	writeSuite(false)
+	sb.WriteString(line)
+	writeSuite(true)
+	return sb.String()
+}

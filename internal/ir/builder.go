@@ -1,0 +1,326 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Program incrementally. It is the authoring API used by
+// internal/workloads and the examples; the zero value is not usable, call
+// NewBuilder.
+type Builder struct {
+	prog    *Program
+	ids     map[string]FnID // every function name ever seen -> its ID
+	defined map[string]bool // names whose definition has started
+	nextID  FnID
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		prog:    &Program{Name: name, Main: NoFn},
+		ids:     make(map[string]FnID),
+		defined: make(map[string]bool),
+	}
+}
+
+// DeclareFn reserves a function ID for name so that calls can reference
+// functions defined later (or currently being defined, for recursion).
+// Declaring the same name twice returns the same ID.
+func (b *Builder) DeclareFn(name string) FnID {
+	if id, ok := b.ids[name]; ok {
+		return id
+	}
+	id := b.nextID
+	b.nextID++
+	b.ids[name] = id
+	return id
+}
+
+// Func starts defining a function and returns its builder. If the name was
+// forward-declared the reserved ID is used.
+func (b *Builder) Func(name string) *FuncBuilder {
+	if b.defined[name] {
+		panic(fmt.Sprintf("ir: function %q defined twice", name))
+	}
+	b.defined[name] = true
+	id := b.DeclareFn(name)
+	f := &Function{ID: id, Name: name, Entry: 0}
+	return &FuncBuilder{b: b, fn: f}
+}
+
+// Data appends words to the program's initial data image and returns the byte
+// address of the first appended word.
+func (b *Builder) Data(words ...int64) uint64 {
+	addr := DataBase + uint64(len(b.prog.Data))*WordBytes
+	b.prog.Data = append(b.prog.Data, words...)
+	return addr
+}
+
+// DataF appends float64 words to the initial data image.
+func (b *Builder) DataF(vals ...float64) uint64 {
+	addr := DataBase + uint64(len(b.prog.Data))*WordBytes
+	for _, v := range vals {
+		b.prog.Data = append(b.prog.Data, Float64Imm(v))
+	}
+	return addr
+}
+
+// Zeros reserves n zero-initialized words and returns their byte address.
+func (b *Builder) Zeros(n int) uint64 {
+	addr := DataBase + uint64(len(b.prog.Data))*WordBytes
+	b.prog.Data = append(b.prog.Data, make([]int64, n)...)
+	return addr
+}
+
+// Build finalizes the program: every declared function must be defined, main
+// must exist, the program is validated and laid out. Build panics on misuse
+// (workloads are static data; a bad workload is a programming error).
+func (b *Builder) Build() *Program {
+	for name := range b.ids {
+		if !b.defined[name] {
+			panic(fmt.Sprintf("ir: function %q declared but never defined", name))
+		}
+	}
+	if main := b.prog.FnByName("main"); main != nil {
+		b.prog.Main = main.ID
+	}
+	if b.prog.Main == NoFn {
+		panic("ir: program has no main function")
+	}
+	// Function IDs were handed out interleaved with pending declarations;
+	// re-sort the slice so Fns[id].ID == id.
+	fns := make([]*Function, len(b.prog.Fns))
+	for _, f := range b.prog.Fns {
+		if int(f.ID) >= len(fns) || fns[f.ID] != nil {
+			panic(fmt.Sprintf("ir: inconsistent function IDs for %q", f.Name))
+		}
+		fns[f.ID] = f
+	}
+	b.prog.Fns = fns
+	if err := Validate(b.prog); err != nil {
+		panic(fmt.Sprintf("ir: built an invalid program: %v", err))
+	}
+	b.prog.Layout()
+	return b.prog
+}
+
+// FuncBuilder accumulates the blocks of one function.
+type FuncBuilder struct {
+	b      *Builder
+	fn     *Function
+	labels map[string]BlockID
+	fixups []fixup
+	cur    *BlockBuilder
+	done   bool
+}
+
+type fixup struct {
+	block BlockID
+	field int // 0 = Taken, 1 = Fall
+	label string
+}
+
+// Label reserves (or retrieves) the block ID for a named block, allowing
+// forward branches.
+func (fb *FuncBuilder) Label(name string) BlockID {
+	if fb.labels == nil {
+		fb.labels = make(map[string]BlockID)
+	}
+	if id, ok := fb.labels[name]; ok {
+		return id
+	}
+	id := BlockID(-2 - len(fb.labels)) // placeholder, patched in End
+	fb.labels[name] = id
+	return id
+}
+
+// Block starts a new basic block, optionally bound to a label name
+// (empty name = anonymous). The previous block must have been terminated.
+func (fb *FuncBuilder) Block(name string) *BlockBuilder {
+	if fb.cur != nil && !fb.cur.terminated {
+		panic(fmt.Sprintf("ir: function %q: starting block %q before terminating previous block", fb.fn.Name, name))
+	}
+	id := BlockID(len(fb.fn.Blocks))
+	blk := &Block{ID: id}
+	fb.fn.Blocks = append(fb.fn.Blocks, blk)
+	if name != "" {
+		if fb.labels == nil {
+			fb.labels = make(map[string]BlockID)
+		}
+		if old, ok := fb.labels[name]; ok && old >= 0 {
+			panic(fmt.Sprintf("ir: function %q: duplicate block label %q", fb.fn.Name, name))
+		}
+		fb.labels[name] = id
+	}
+	fb.cur = &BlockBuilder{fb: fb, blk: blk}
+	return fb.cur
+}
+
+func (fb *FuncBuilder) resolve(label string) BlockID {
+	if id, ok := fb.labels[label]; ok && id >= 0 {
+		return id
+	}
+	return NoBlock
+}
+
+// End finishes the function: all label references are patched and the
+// function is registered with the program builder.
+func (fb *FuncBuilder) End() FnID {
+	if fb.done {
+		panic(fmt.Sprintf("ir: function %q ended twice", fb.fn.Name))
+	}
+	if fb.cur == nil {
+		panic(fmt.Sprintf("ir: function %q has no blocks", fb.fn.Name))
+	}
+	if !fb.cur.terminated {
+		panic(fmt.Sprintf("ir: function %q: last block is unterminated", fb.fn.Name))
+	}
+	for _, fx := range fb.fixups {
+		id := fb.resolve(fx.label)
+		if id == NoBlock {
+			panic(fmt.Sprintf("ir: function %q: undefined label %q", fb.fn.Name, fx.label))
+		}
+		t := &fb.fn.Blocks[fx.block].Term
+		if fx.field == 0 {
+			t.Taken = id
+		} else {
+			t.Fall = id
+		}
+	}
+	fb.done = true
+	fb.b.prog.Fns = append(fb.b.prog.Fns, fb.fn)
+	return fb.fn.ID
+}
+
+// BlockBuilder appends instructions to one basic block.
+type BlockBuilder struct {
+	fb         *FuncBuilder
+	blk        *Block
+	terminated bool
+}
+
+func (bb *BlockBuilder) emit(in Instr) *BlockBuilder {
+	if bb.terminated {
+		panic("ir: emitting into a terminated block")
+	}
+	bb.blk.Instrs = append(bb.blk.Instrs, in)
+	return bb
+}
+
+// Op3 emits a three-register instruction.
+func (bb *BlockBuilder) Op3(op Opcode, dst, s1, s2 Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: op, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// OpI emits a register-immediate instruction.
+func (bb *BlockBuilder) OpI(op Opcode, dst, s1 Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: op, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// Convenience emitters for the common opcodes. Each returns the receiver so
+// straight-line code chains fluently.
+
+func (bb *BlockBuilder) Add(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpAdd, d, a, b) }
+func (bb *BlockBuilder) Sub(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpSub, d, a, b) }
+func (bb *BlockBuilder) Mul(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpMul, d, a, b) }
+func (bb *BlockBuilder) Div(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpDiv, d, a, b) }
+func (bb *BlockBuilder) Rem(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpRem, d, a, b) }
+func (bb *BlockBuilder) And(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpAnd, d, a, b) }
+func (bb *BlockBuilder) Or(d, a, b Reg) *BlockBuilder   { return bb.Op3(OpOr, d, a, b) }
+func (bb *BlockBuilder) Xor(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpXor, d, a, b) }
+func (bb *BlockBuilder) Shl(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpShl, d, a, b) }
+func (bb *BlockBuilder) Shr(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpShr, d, a, b) }
+func (bb *BlockBuilder) Slt(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpSlt, d, a, b) }
+func (bb *BlockBuilder) Sle(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpSle, d, a, b) }
+func (bb *BlockBuilder) Seq(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpSeq, d, a, b) }
+func (bb *BlockBuilder) Sne(d, a, b Reg) *BlockBuilder  { return bb.Op3(OpSne, d, a, b) }
+func (bb *BlockBuilder) FAdd(d, a, b Reg) *BlockBuilder { return bb.Op3(OpFAdd, d, a, b) }
+func (bb *BlockBuilder) FSub(d, a, b Reg) *BlockBuilder { return bb.Op3(OpFSub, d, a, b) }
+func (bb *BlockBuilder) FMul(d, a, b Reg) *BlockBuilder { return bb.Op3(OpFMul, d, a, b) }
+func (bb *BlockBuilder) FDiv(d, a, b Reg) *BlockBuilder { return bb.Op3(OpFDiv, d, a, b) }
+func (bb *BlockBuilder) FSlt(d, a, b Reg) *BlockBuilder { return bb.Op3(OpFSlt, d, a, b) }
+func (bb *BlockBuilder) FSle(d, a, b Reg) *BlockBuilder { return bb.Op3(OpFSle, d, a, b) }
+func (bb *BlockBuilder) FSeq(d, a, b Reg) *BlockBuilder { return bb.Op3(OpFSeq, d, a, b) }
+
+func (bb *BlockBuilder) FNeg(d, a Reg) *BlockBuilder  { return bb.Op3(OpFNeg, d, a, RegZero) }
+func (bb *BlockBuilder) FAbs(d, a Reg) *BlockBuilder  { return bb.Op3(OpFAbs, d, a, RegZero) }
+func (bb *BlockBuilder) FSqrt(d, a Reg) *BlockBuilder { return bb.Op3(OpFSqrt, d, a, RegZero) }
+func (bb *BlockBuilder) CvtIF(d, a Reg) *BlockBuilder { return bb.Op3(OpCvtIF, d, a, RegZero) }
+func (bb *BlockBuilder) CvtFI(d, a Reg) *BlockBuilder { return bb.Op3(OpCvtFI, d, a, RegZero) }
+func (bb *BlockBuilder) Mov(d, a Reg) *BlockBuilder   { return bb.Op3(OpMov, d, a, RegZero) }
+
+func (bb *BlockBuilder) AddI(d, a Reg, imm int64) *BlockBuilder { return bb.OpI(OpAddI, d, a, imm) }
+func (bb *BlockBuilder) MulI(d, a Reg, imm int64) *BlockBuilder { return bb.OpI(OpMulI, d, a, imm) }
+func (bb *BlockBuilder) AndI(d, a Reg, imm int64) *BlockBuilder { return bb.OpI(OpAndI, d, a, imm) }
+func (bb *BlockBuilder) OrI(d, a Reg, imm int64) *BlockBuilder  { return bb.OpI(OpOrI, d, a, imm) }
+func (bb *BlockBuilder) XorI(d, a Reg, imm int64) *BlockBuilder { return bb.OpI(OpXorI, d, a, imm) }
+func (bb *BlockBuilder) ShlI(d, a Reg, imm int64) *BlockBuilder { return bb.OpI(OpShlI, d, a, imm) }
+func (bb *BlockBuilder) ShrI(d, a Reg, imm int64) *BlockBuilder { return bb.OpI(OpShrI, d, a, imm) }
+func (bb *BlockBuilder) SltI(d, a Reg, imm int64) *BlockBuilder { return bb.OpI(OpSltI, d, a, imm) }
+func (bb *BlockBuilder) SeqI(d, a Reg, imm int64) *BlockBuilder { return bb.OpI(OpSeqI, d, a, imm) }
+
+// MovI loads an integer constant.
+func (bb *BlockBuilder) MovI(d Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: OpMovI, Dst: d, Imm: imm})
+}
+
+// FMovI loads a float64 constant.
+func (bb *BlockBuilder) FMovI(d Reg, v float64) *BlockBuilder {
+	return bb.emit(Instr{Op: OpFMovI, Dst: d, Imm: Float64Imm(v)})
+}
+
+// Load emits Dst = mem[base + off].
+func (bb *BlockBuilder) Load(d, base Reg, off int64) *BlockBuilder {
+	return bb.emit(Instr{Op: OpLoad, Dst: d, Src1: base, Imm: off})
+}
+
+// Store emits mem[base + off] = val.
+func (bb *BlockBuilder) Store(val, base Reg, off int64) *BlockBuilder {
+	return bb.emit(Instr{Op: OpStore, Dst: val, Src1: base, Imm: off})
+}
+
+// Nop emits a no-op (useful to pad task sizes in tests).
+func (bb *BlockBuilder) Nop() *BlockBuilder { return bb.emit(Instr{Op: OpNop}) }
+
+func (bb *BlockBuilder) terminate(t Terminator) {
+	if bb.terminated {
+		panic("ir: block terminated twice")
+	}
+	bb.blk.Term = t
+	bb.terminated = true
+}
+
+func (bb *BlockBuilder) target(label string, field int) BlockID {
+	id := bb.fb.resolve(label)
+	if id == NoBlock {
+		bb.fb.fixups = append(bb.fb.fixups, fixup{block: bb.blk.ID, field: field, label: label})
+		return NoBlock
+	}
+	return id
+}
+
+// Goto ends the block with an unconditional jump to the labelled block.
+func (bb *BlockBuilder) Goto(label string) {
+	bb.terminate(Terminator{Kind: TermGoto, Taken: bb.target(label, 0)})
+}
+
+// Br ends the block with a conditional branch: to taken when cond != 0, else
+// to fall.
+func (bb *BlockBuilder) Br(cond Reg, taken, fall string) {
+	t := Terminator{Kind: TermBr, Cond: cond}
+	t.Taken = bb.target(taken, 0)
+	t.Fall = bb.target(fall, 1)
+	bb.terminate(t)
+}
+
+// Call ends the block with a call to fn, continuing at the labelled block on
+// return.
+func (bb *BlockBuilder) Call(fn FnID, ret string) {
+	t := Terminator{Kind: TermCall, Callee: fn}
+	t.Fall = bb.target(ret, 1)
+	bb.terminate(t)
+}
+
+// Ret ends the block with a function return.
+func (bb *BlockBuilder) Ret() { bb.terminate(Terminator{Kind: TermRet}) }
+
+// Halt ends the block by stopping the program.
+func (bb *BlockBuilder) Halt() { bb.terminate(Terminator{Kind: TermHalt}) }

@@ -1,0 +1,24 @@
+package ir
+
+// Clone returns a deep copy of the program. Transforming passes (loop
+// unrolling, preheader insertion) clone first so callers keep the original.
+func Clone(p *Program) *Program {
+	out := &Program{
+		Name: p.Name,
+		Main: p.Main,
+		Data: append([]int64(nil), p.Data...),
+	}
+	out.Fns = make([]*Function, len(p.Fns))
+	for i, f := range p.Fns {
+		nf := &Function{ID: f.ID, Name: f.Name, Entry: f.Entry}
+		nf.Blocks = make([]*Block, len(f.Blocks))
+		for j, b := range f.Blocks {
+			nb := &Block{ID: b.ID, Term: b.Term, Addr: b.Addr}
+			nb.Instrs = append([]Instr(nil), b.Instrs...)
+			nf.Blocks[j] = nb
+		}
+		out.Fns[i] = nf
+	}
+	out.laidOut = p.laidOut
+	return out
+}

@@ -1,0 +1,297 @@
+// Package ir defines the intermediate representation that the whole
+// reproduction is built on: a small RISC-like register machine with an
+// explicit control flow graph.
+//
+// Programs are collections of functions; functions are collections of basic
+// blocks; basic blocks hold straight-line instructions and end in exactly one
+// terminator (goto, conditional branch, call, return, or halt). Branch
+// targets are block identifiers, never raw addresses, so the CFG is always
+// explicit and analyses (internal/cfganal, internal/dataflow) and the task
+// selector (internal/core) never have to reconstruct it.
+//
+// The machine has 64 general registers of 64 bits each. By convention
+// registers 0-31 hold integers (register 0 is hardwired to zero) and
+// registers 32-63 hold float64 bit patterns, but the hardware does not
+// enforce the split; floating-point opcodes simply reinterpret the bits.
+package ir
+
+import "fmt"
+
+// Reg names one of the 64 architectural registers.
+type Reg uint8
+
+// Register file geometry and conventional assignments.
+const (
+	// NumRegs is the total number of architectural registers.
+	NumRegs = 64
+	// RegZero is hardwired to zero; writes to it are discarded.
+	RegZero Reg = 0
+	// RegSP is the conventional stack pointer (software convention only).
+	RegSP Reg = 1
+	// RegRV is the conventional integer return-value register.
+	RegRV Reg = 2
+	// RegArg0 is the first conventional argument register; arguments occupy
+	// RegArg0..RegArg0+7.
+	RegArg0 Reg = 4
+	// FP0 is the first conventional floating-point register.
+	FP0 Reg = 32
+)
+
+// R returns the i'th integer register. It panics if i is out of range.
+func R(i int) Reg {
+	if i < 0 || i >= int(FP0) {
+		panic(fmt.Sprintf("ir.R(%d): integer register out of range", i))
+	}
+	return Reg(i)
+}
+
+// F returns the i'th floating-point register. It panics if i is out of range.
+func F(i int) Reg {
+	if i < 0 || i >= NumRegs-int(FP0) {
+		panic(fmt.Sprintf("ir.F(%d): fp register out of range", i))
+	}
+	return FP0 + Reg(i)
+}
+
+// IsFP reports whether r is in the conventional floating-point bank.
+func (r Reg) IsFP() bool { return r >= FP0 }
+
+// String returns the assembler name of the register (r0..r31, f0..f31).
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", int(r-FP0))
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// BlockID identifies a basic block within its function.
+type BlockID int
+
+// NoBlock is the zero-ish sentinel for "no successor".
+const NoBlock BlockID = -1
+
+// FnID identifies a function within its program.
+type FnID int
+
+// NoFn is the sentinel for "no function".
+const NoFn FnID = -1
+
+// Instr is one straight-line (non-control-transfer) instruction. Control
+// transfer lives exclusively in Block.Term. The meaning of the fields depends
+// on the opcode; see the Opcode constants.
+type Instr struct {
+	Op   Opcode
+	Dst  Reg   // destination register (OpStore uses it as the value source)
+	Src1 Reg   // first source register
+	Src2 Reg   // second source register
+	Imm  int64 // immediate: constant for OpMovI/*I forms, byte offset for loads/stores
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpMovI:
+		return fmt.Sprintf("movi %s, %d", in.Dst, in.Imm)
+	case OpFMovI:
+		return fmt.Sprintf("fmovi %s, %g", in.Dst, immFloat(in.Imm))
+	case OpLoad:
+		return fmt.Sprintf("ld %s, %d(%s)", in.Dst, in.Imm, in.Src1)
+	case OpStore:
+		return fmt.Sprintf("st %s, %d(%s)", in.Dst, in.Imm, in.Src1)
+	}
+	if in.Op.HasImm() {
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	}
+	if in.Op.NumSrcs() == 1 {
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src1)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+}
+
+// TermKind discriminates the block terminator.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	// TermGoto transfers unconditionally to Taken.
+	TermGoto TermKind = iota
+	// TermBr transfers to Taken when register Cond is nonzero, else to Fall.
+	TermBr
+	// TermCall invokes function Callee and continues at Fall on return.
+	TermCall
+	// TermRet returns from the current function.
+	TermRet
+	// TermHalt stops the program. Only valid in the entry function.
+	TermHalt
+)
+
+// String returns the assembler mnemonic of the terminator kind.
+func (k TermKind) String() string {
+	switch k {
+	case TermGoto:
+		return "goto"
+	case TermBr:
+		return "br"
+	case TermCall:
+		return "call"
+	case TermRet:
+		return "ret"
+	case TermHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("TermKind(%d)", uint8(k))
+}
+
+// Terminator is the single control-transfer operation ending a basic block.
+type Terminator struct {
+	Kind   TermKind
+	Cond   Reg     // TermBr: taken when nonzero
+	Taken  BlockID // TermGoto/TermBr target
+	Fall   BlockID // TermBr fall-through; TermCall return-to block
+	Callee FnID    // TermCall only
+}
+
+// IsCT reports whether the terminator is a dynamic control-transfer
+// instruction (everything except a pure fall-through goto to the next block
+// still counts: in this IR every terminator except Halt is a real control
+// transfer instruction occupying an instruction slot).
+func (t Terminator) IsCT() bool { return t.Kind != TermHalt }
+
+// Block is a basic block: a maximal straight-line instruction sequence with a
+// single entry (the first instruction) and a single terminator.
+type Block struct {
+	ID     BlockID
+	Instrs []Instr
+	Term   Terminator
+
+	// Addr is the byte address of the first instruction once the program has
+	// been laid out (see Program.Layout).
+	Addr uint64
+}
+
+// Len returns the number of dynamic instructions the block executes,
+// including its terminator (halt counts as one instruction too).
+func (b *Block) Len() int { return len(b.Instrs) + 1 }
+
+// Succs appends the static successor block IDs of b to dst and returns it.
+// A call's successor is its return-to block (the callee body is not a CFG
+// successor, matching the paper's treatment of calls as task terminators).
+// Ret and Halt have no successors.
+func (b *Block) Succs(dst []BlockID) []BlockID {
+	switch b.Term.Kind {
+	case TermGoto:
+		return append(dst, b.Term.Taken)
+	case TermBr:
+		if b.Term.Taken == b.Term.Fall {
+			return append(dst, b.Term.Taken)
+		}
+		return append(dst, b.Term.Taken, b.Term.Fall)
+	case TermCall:
+		return append(dst, b.Term.Fall)
+	}
+	return dst
+}
+
+// Function is a single-entry procedure.
+type Function struct {
+	ID     FnID
+	Name   string
+	Entry  BlockID
+	Blocks []*Block
+}
+
+// Block returns the block with the given ID. It panics on a bad ID so that
+// analysis bugs fail loudly rather than corrupting results.
+func (f *Function) Block(id BlockID) *Block {
+	if id < 0 || int(id) >= len(f.Blocks) {
+		panic(fmt.Sprintf("ir: function %q has no block %d", f.Name, id))
+	}
+	return f.Blocks[id]
+}
+
+// NumInstrs returns the static instruction count of the function, terminators
+// included.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += b.Len()
+	}
+	return n
+}
+
+// Program is a complete executable: functions plus an initial data image.
+type Program struct {
+	Name string
+	Fns  []*Function
+	Main FnID
+
+	// Data is the initial contents of memory starting at DataBase, in 64-bit
+	// words. Memory outside the image reads as zero.
+	Data []int64
+
+	laidOut bool
+}
+
+// Memory map constants shared by the emulator and the simulator.
+const (
+	// DataBase is the byte address where Program.Data is loaded.
+	DataBase uint64 = 1 << 16
+	// StackBase is the conventional initial stack pointer (stack grows down).
+	StackBase uint64 = 1 << 24
+	// CodeBase is the byte address of the first instruction after layout.
+	CodeBase uint64 = 1 << 12
+	// InstrBytes is the encoded size of every instruction.
+	InstrBytes = 4
+	// WordBytes is the size of a memory word (all loads/stores are 8 bytes).
+	WordBytes = 8
+)
+
+// Fn returns the function with the given ID, panicking on a bad ID.
+func (p *Program) Fn(id FnID) *Function {
+	if id < 0 || int(id) >= len(p.Fns) {
+		panic(fmt.Sprintf("ir: program %q has no function %d", p.Name, id))
+	}
+	return p.Fns[id]
+}
+
+// FnByName returns the function with the given name, or nil.
+func (p *Program) FnByName(name string) *Function {
+	for _, f := range p.Fns {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the static instruction count of the whole program.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Fns {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// Layout assigns a code address to every basic block (functions in order,
+// blocks in order, InstrBytes per instruction, terminators included).
+// Layout is idempotent.
+func (p *Program) Layout() {
+	addr := CodeBase
+	for _, f := range p.Fns {
+		for _, b := range f.Blocks {
+			b.Addr = addr
+			addr += uint64(b.Len() * InstrBytes)
+		}
+	}
+	p.laidOut = true
+}
+
+// LaidOut reports whether Layout has run.
+func (p *Program) LaidOut() bool { return p.laidOut }
+
+func immFloat(bits int64) float64 {
+	return float64frombits(uint64(bits))
+}

@@ -1,0 +1,253 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildLoopProg builds: main { b0: i=0; b1: if i<n ...; b2: body; b3: exit }
+func buildLoopProg(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("loop")
+	f := b.Func("main")
+	f.Block("entry").MovI(R(3), 0).MovI(R(4), 10).Goto("head")
+	f.Block("head").Slt(R(5), R(3), R(4)).Br(R(5), "body", "exit")
+	f.Block("body").AddI(R(3), R(3), 1).Goto("head")
+	f.Block("exit").Halt()
+	f.End()
+	return b.Build()
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	p := buildLoopProg(t)
+	if err := Validate(p); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.Main != 0 {
+		t.Errorf("Main = %d, want 0", p.Main)
+	}
+	f := p.Fn(p.Main)
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	head := f.Block(1)
+	if head.Term.Kind != TermBr || head.Term.Taken != 2 || head.Term.Fall != 3 {
+		t.Errorf("head terminator = %+v, want br to b2/b3", head.Term)
+	}
+}
+
+func TestBuilderForwardLabels(t *testing.T) {
+	b := NewBuilder("fwd")
+	f := b.Func("main")
+	f.Block("entry").MovI(R(3), 1).Br(R(3), "later", "mid")
+	f.Block("mid").Goto("later")
+	f.Block("later").Halt()
+	f.End()
+	p := b.Build()
+	entry := p.Fn(0).Block(0)
+	if entry.Term.Taken != 2 || entry.Term.Fall != 1 {
+		t.Errorf("forward labels resolved to %+v", entry.Term)
+	}
+}
+
+func TestBuilderDeclareFnAndCalls(t *testing.T) {
+	b := NewBuilder("calls")
+	callee := b.DeclareFn("helper")
+	f := b.Func("main")
+	f.Block("entry").MovI(R(4), 7).Call(callee, "after")
+	f.Block("after").Halt()
+	f.End()
+	h := b.Func("helper")
+	h.Block("entry").AddI(R(2), R(4), 1).Ret()
+	h.End()
+	p := b.Build()
+	if got := p.FnByName("helper"); got == nil || got.ID != callee {
+		t.Fatalf("helper not registered under declared ID %d", callee)
+	}
+	if p.Fn(0).Block(0).Term.Callee != callee {
+		t.Errorf("call wired to %d, want %d", p.Fn(0).Block(0).Term.Callee, callee)
+	}
+}
+
+func TestBuilderPanicsOnUndefinedFunction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build did not panic with an undefined declared function")
+		}
+	}()
+	b := NewBuilder("bad")
+	callee := b.DeclareFn("missing")
+	f := b.Func("main")
+	f.Block("entry").Call(callee, "after")
+	f.Block("after").Halt()
+	f.End()
+	b.Build()
+}
+
+func TestBuilderPanicsOnUnterminatedBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unterminated block")
+		}
+	}()
+	b := NewBuilder("bad")
+	f := b.Func("main")
+	f.Block("entry").MovI(R(3), 1)
+	f.Block("next").Halt()
+	_ = f
+}
+
+func TestLayoutAssignsDistinctAddresses(t *testing.T) {
+	p := buildLoopProg(t)
+	p.Layout()
+	seen := map[uint64]bool{}
+	addr := CodeBase
+	for _, f := range p.Fns {
+		for _, blk := range f.Blocks {
+			if blk.Addr != addr {
+				t.Errorf("block %d addr = %#x, want %#x", blk.ID, blk.Addr, addr)
+			}
+			if seen[blk.Addr] {
+				t.Errorf("duplicate address %#x", blk.Addr)
+			}
+			seen[blk.Addr] = true
+			addr += uint64(blk.Len() * InstrBytes)
+		}
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	p := buildLoopProg(t)
+	f := p.Fn(0)
+	cases := []struct {
+		blk  BlockID
+		want []BlockID
+	}{
+		{0, []BlockID{1}},
+		{1, []BlockID{2, 3}},
+		{2, []BlockID{1}},
+		{3, nil},
+	}
+	for _, c := range cases {
+		got := f.Block(c.blk).Succs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("Succs(b%d) = %v, want %v", c.blk, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Succs(b%d) = %v, want %v", c.blk, got, c.want)
+			}
+		}
+	}
+}
+
+func TestInstrUsesAndDef(t *testing.T) {
+	cases := []struct {
+		in      Instr
+		uses    []Reg
+		def     Reg
+		hasDef  bool
+		isStore bool
+	}{
+		{Instr{Op: OpAdd, Dst: R(3), Src1: R(4), Src2: R(5)}, []Reg{R(4), R(5)}, R(3), true, false},
+		{Instr{Op: OpAddI, Dst: R(3), Src1: R(4), Imm: 1}, []Reg{R(4)}, R(3), true, false},
+		{Instr{Op: OpMovI, Dst: R(3), Imm: 1}, nil, R(3), true, false},
+		{Instr{Op: OpStore, Dst: R(6), Src1: R(7), Imm: 8}, []Reg{R(7), R(6)}, 0, false, true},
+		{Instr{Op: OpLoad, Dst: R(6), Src1: R(7), Imm: 8}, []Reg{R(7)}, R(6), true, false},
+		{Instr{Op: OpAdd, Dst: RegZero, Src1: R(4), Src2: R(5)}, []Reg{R(4), R(5)}, 0, false, false},
+	}
+	for _, c := range cases {
+		got := c.in.Uses(nil)
+		if len(got) != len(c.uses) {
+			t.Errorf("%v Uses = %v, want %v", c.in, got, c.uses)
+		} else {
+			for i := range got {
+				if got[i] != c.uses[i] {
+					t.Errorf("%v Uses = %v, want %v", c.in, got, c.uses)
+				}
+			}
+		}
+		d, ok := c.in.Def()
+		if ok != c.hasDef || (ok && d != c.def) {
+			t.Errorf("%v Def = %v,%v want %v,%v", c.in, d, ok, c.def, c.hasDef)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if R(5).String() != "r5" {
+		t.Errorf("R(5) = %q", R(5).String())
+	}
+	if F(2).String() != "f2" {
+		t.Errorf("F(2) = %q", F(2).String())
+	}
+	if !F(0).IsFP() || R(31).IsFP() {
+		t.Error("IsFP misclassifies bank boundary")
+	}
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	p := buildLoopProg(t)
+	p.Fn(0).Block(1).Term.Taken = 99
+	if err := Validate(p); err == nil {
+		t.Fatal("Validate accepted out-of-range branch target")
+	}
+}
+
+func TestValidateCatchesBadCallee(t *testing.T) {
+	p := buildLoopProg(t)
+	p.Fn(0).Block(0).Term = Terminator{Kind: TermCall, Callee: 42, Fall: 1}
+	if err := Validate(p); err == nil {
+		t.Fatal("Validate accepted out-of-range callee")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildLoopProg(t)
+	q := Clone(p)
+	q.Fn(0).Block(0).Instrs[0].Imm = 999
+	q.Fn(0).Block(1).Term.Taken = 3
+	q.Data = append(q.Data, 1)
+	if p.Fn(0).Block(0).Instrs[0].Imm == 999 {
+		t.Error("clone shares instruction storage")
+	}
+	if p.Fn(0).Block(1).Term.Taken == 3 {
+		t.Error("clone shares terminator")
+	}
+	if len(p.Data) != 0 {
+		t.Error("clone shares data image")
+	}
+}
+
+func TestFormatRoundtripsMnemonics(t *testing.T) {
+	p := buildLoopProg(t)
+	text := Format(p)
+	for _, want := range []string{"func main", "movi r3, 0", "slt r5, r3, r4", "br r5, b2, b3", "halt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFloatImmRoundtrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25, 1e300, -1e-300} {
+		if got := F64(uint64(Float64Imm(v))); got != v {
+			t.Errorf("roundtrip(%g) = %g", v, got)
+		}
+	}
+}
+
+func TestOpcodeTableConsistency(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if op.Latency() <= 0 {
+			t.Errorf("opcode %v has nonpositive latency", op)
+		}
+		if op.FUClass() >= Class(NumClasses) {
+			t.Errorf("opcode %v has bad class", op)
+		}
+	}
+}

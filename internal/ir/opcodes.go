@@ -1,0 +1,227 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Opcode enumerates the straight-line instruction set. Control transfer is
+// expressed by block terminators, not opcodes.
+type Opcode uint8
+
+// Integer opcodes. The *I forms take Src1 and the Imm field.
+const (
+	OpNop Opcode = iota
+
+	OpAdd // Dst = Src1 + Src2
+	OpSub // Dst = Src1 - Src2
+	OpMul // Dst = Src1 * Src2
+	OpDiv // Dst = Src1 / Src2 (0 if Src2 == 0)
+	OpRem // Dst = Src1 % Src2 (0 if Src2 == 0)
+	OpAnd // Dst = Src1 & Src2
+	OpOr  // Dst = Src1 | Src2
+	OpXor // Dst = Src1 ^ Src2
+	OpShl // Dst = Src1 << (Src2 & 63)
+	OpShr // Dst = Src1 >> (Src2 & 63) (arithmetic)
+	OpSlt // Dst = 1 if Src1 < Src2 else 0 (signed)
+	OpSle // Dst = 1 if Src1 <= Src2 else 0 (signed)
+	OpSeq // Dst = 1 if Src1 == Src2 else 0
+	OpSne // Dst = 1 if Src1 != Src2 else 0
+
+	OpAddI // Dst = Src1 + Imm
+	OpMulI // Dst = Src1 * Imm
+	OpAndI // Dst = Src1 & Imm
+	OpOrI  // Dst = Src1 | Imm
+	OpXorI // Dst = Src1 ^ Imm
+	OpShlI // Dst = Src1 << (Imm & 63)
+	OpShrI // Dst = Src1 >> (Imm & 63)
+	OpSltI // Dst = 1 if Src1 < Imm else 0
+	OpSeqI // Dst = 1 if Src1 == Imm else 0
+
+	OpMovI // Dst = Imm
+	OpMov  // Dst = Src1
+
+	OpLoad  // Dst = mem[Src1 + Imm]
+	OpStore // mem[Src1 + Imm] = Dst (Dst is the *value* register)
+
+	// Floating point. Operands are float64 bit patterns.
+	OpFAdd  // Dst = Src1 + Src2
+	OpFSub  // Dst = Src1 - Src2
+	OpFMul  // Dst = Src1 * Src2
+	OpFDiv  // Dst = Src1 / Src2
+	OpFNeg  // Dst = -Src1
+	OpFAbs  // Dst = |Src1|
+	OpFSqrt // Dst = sqrt(Src1)
+	OpFSlt  // Dst = 1 if Src1 < Src2 else 0 (integer result)
+	OpFSle  // Dst = 1 if Src1 <= Src2 else 0
+	OpFSeq  // Dst = 1 if Src1 == Src2 else 0
+	OpFMovI // Dst = float64 immediate (bits in Imm)
+	OpCvtIF // Dst = float64(int64 Src1)
+	OpCvtFI // Dst = int64(float64 Src1) (truncated)
+
+	numOpcodes
+)
+
+// Class groups opcodes by the functional unit that executes them.
+type Class uint8
+
+// Functional-unit classes, matching the paper's PU configuration of two
+// integer units, one floating-point unit, one branch unit, and one memory
+// unit.
+const (
+	ClassIntALU Class = iota
+	ClassIntMul
+	ClassIntDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassMem
+	ClassBranch
+	numClasses
+)
+
+// NumClasses is the number of distinct functional-unit classes.
+const NumClasses = int(numClasses)
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassIntALU:
+		return "int"
+	case ClassIntMul:
+		return "imul"
+	case ClassIntDiv:
+		return "idiv"
+	case ClassFPAdd:
+		return "fadd"
+	case ClassFPMul:
+		return "fmul"
+	case ClassFPDiv:
+		return "fdiv"
+	case ClassMem:
+		return "mem"
+	case ClassBranch:
+		return "br"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+type opInfo struct {
+	name    string
+	srcs    int // register sources used (1 or 2); imm forms use 1
+	hasImm  bool
+	writes  bool // writes Dst
+	class   Class
+	latency int // execution latency in cycles (memory latency comes from the cache)
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpNop:   {"nop", 0, false, false, ClassIntALU, 1},
+	OpAdd:   {"add", 2, false, true, ClassIntALU, 1},
+	OpSub:   {"sub", 2, false, true, ClassIntALU, 1},
+	OpMul:   {"mul", 2, false, true, ClassIntMul, 3},
+	OpDiv:   {"div", 2, false, true, ClassIntDiv, 12},
+	OpRem:   {"rem", 2, false, true, ClassIntDiv, 12},
+	OpAnd:   {"and", 2, false, true, ClassIntALU, 1},
+	OpOr:    {"or", 2, false, true, ClassIntALU, 1},
+	OpXor:   {"xor", 2, false, true, ClassIntALU, 1},
+	OpShl:   {"shl", 2, false, true, ClassIntALU, 1},
+	OpShr:   {"shr", 2, false, true, ClassIntALU, 1},
+	OpSlt:   {"slt", 2, false, true, ClassIntALU, 1},
+	OpSle:   {"sle", 2, false, true, ClassIntALU, 1},
+	OpSeq:   {"seq", 2, false, true, ClassIntALU, 1},
+	OpSne:   {"sne", 2, false, true, ClassIntALU, 1},
+	OpAddI:  {"addi", 1, true, true, ClassIntALU, 1},
+	OpMulI:  {"muli", 1, true, true, ClassIntMul, 3},
+	OpAndI:  {"andi", 1, true, true, ClassIntALU, 1},
+	OpOrI:   {"ori", 1, true, true, ClassIntALU, 1},
+	OpXorI:  {"xori", 1, true, true, ClassIntALU, 1},
+	OpShlI:  {"shli", 1, true, true, ClassIntALU, 1},
+	OpShrI:  {"shri", 1, true, true, ClassIntALU, 1},
+	OpSltI:  {"slti", 1, true, true, ClassIntALU, 1},
+	OpSeqI:  {"seqi", 1, true, true, ClassIntALU, 1},
+	OpMovI:  {"movi", 0, true, true, ClassIntALU, 1},
+	OpMov:   {"mov", 1, false, true, ClassIntALU, 1},
+	OpLoad:  {"ld", 1, true, true, ClassMem, 1},
+	OpStore: {"st", 1, true, false, ClassMem, 1},
+	OpFAdd:  {"fadd", 2, false, true, ClassFPAdd, 2},
+	OpFSub:  {"fsub", 2, false, true, ClassFPAdd, 2},
+	OpFMul:  {"fmul", 2, false, true, ClassFPMul, 4},
+	OpFDiv:  {"fdiv", 2, false, true, ClassFPDiv, 12},
+	OpFNeg:  {"fneg", 1, false, true, ClassFPAdd, 2},
+	OpFAbs:  {"fabs", 1, false, true, ClassFPAdd, 2},
+	OpFSqrt: {"fsqrt", 1, false, true, ClassFPDiv, 12},
+	OpFSlt:  {"fslt", 2, false, true, ClassFPAdd, 2},
+	OpFSle:  {"fsle", 2, false, true, ClassFPAdd, 2},
+	OpFSeq:  {"fseq", 2, false, true, ClassFPAdd, 2},
+	OpFMovI: {"fmovi", 0, true, true, ClassFPAdd, 1},
+	OpCvtIF: {"cvtif", 1, false, true, ClassFPAdd, 2},
+	OpCvtFI: {"cvtfi", 1, false, true, ClassFPAdd, 2},
+}
+
+func (op Opcode) info() opInfo {
+	if op >= numOpcodes {
+		panic(fmt.Sprintf("ir: bad opcode %d", uint8(op)))
+	}
+	return opTable[op]
+}
+
+// String returns the assembler mnemonic.
+func (op Opcode) String() string { return op.info().name }
+
+// NumSrcs returns how many register sources the opcode reads (not counting
+// OpStore's value register, which travels in Dst).
+func (op Opcode) NumSrcs() int { return op.info().srcs }
+
+// HasImm reports whether the opcode consumes the Imm field.
+func (op Opcode) HasImm() bool { return op.info().hasImm }
+
+// WritesDst reports whether the opcode writes its Dst register.
+func (op Opcode) WritesDst() bool { return op.info().writes }
+
+// FUClass returns the functional-unit class executing the opcode.
+func (op Opcode) FUClass() Class { return op.info().class }
+
+// Latency returns the execution latency in cycles. Loads return 1 here; the
+// memory hierarchy adds cache latency on top.
+func (op Opcode) Latency() int { return op.info().latency }
+
+// Valid reports whether the opcode is in range.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// Uses appends the registers read by the instruction to dst and returns it.
+// RegZero reads are included (they are free but still syntactic uses).
+func (in Instr) Uses(dst []Reg) []Reg {
+	info := in.Op.info()
+	if in.Op == OpStore {
+		// Store reads both the address base and the value.
+		return append(dst, in.Src1, in.Dst)
+	}
+	switch info.srcs {
+	case 1:
+		dst = append(dst, in.Src1)
+	case 2:
+		dst = append(dst, in.Src1, in.Src2)
+	}
+	return dst
+}
+
+// Def returns the register written by the instruction and whether it writes
+// one at all (writes to RegZero are reported as no def, matching hardware).
+func (in Instr) Def() (Reg, bool) {
+	if !in.Op.WritesDst() || in.Dst == RegZero {
+		return RegZero, false
+	}
+	return in.Dst, true
+}
+
+// Float64Imm packs a float64 into the Imm field encoding used by OpFMovI.
+func Float64Imm(v float64) int64 { return int64(math.Float64bits(v)) }
+
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// F64 converts a register bit pattern to float64.
+func F64(bits uint64) float64 { return math.Float64frombits(bits) }
+
+// F64Bits converts a float64 to the register bit pattern.
+func F64Bits(v float64) uint64 { return math.Float64bits(v) }

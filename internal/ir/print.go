@@ -1,0 +1,53 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the whole program in the textual assembler syntax accepted
+// by internal/asm.
+func Format(p *Program) string {
+	var sb strings.Builder
+	for i, f := range p.Fns {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		FormatFn(&sb, p, f)
+	}
+	return sb.String()
+}
+
+// FormatFn writes one function in assembler syntax.
+func FormatFn(sb *strings.Builder, p *Program, f *Function) {
+	fmt.Fprintf(sb, "func %s {\n", f.Name)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "b%d:\n", b.ID)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(sb, "\t%s\n", in)
+		}
+		fmt.Fprintf(sb, "\t%s\n", FormatTerm(p, b.Term))
+	}
+	sb.WriteString("}\n")
+}
+
+// FormatTerm renders a terminator in assembler syntax.
+func FormatTerm(p *Program, t Terminator) string {
+	switch t.Kind {
+	case TermGoto:
+		return fmt.Sprintf("goto b%d", t.Taken)
+	case TermBr:
+		return fmt.Sprintf("br %s, b%d, b%d", t.Cond, t.Taken, t.Fall)
+	case TermCall:
+		name := fmt.Sprintf("fn%d", t.Callee)
+		if p != nil && t.Callee >= 0 && int(t.Callee) < len(p.Fns) {
+			name = p.Fns[t.Callee].Name
+		}
+		return fmt.Sprintf("call %s, b%d", name, t.Fall)
+	case TermRet:
+		return "ret"
+	case TermHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("term(%d)", uint8(t.Kind))
+}

@@ -1,0 +1,92 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid wraps all validation failures so callers can errors.Is on it.
+var ErrInvalid = errors.New("invalid IR")
+
+// Validate checks the structural invariants every consumer of the IR relies
+// on: block IDs are dense and self-consistent, every terminator target exists,
+// every callee exists, opcodes are in range, and main (if set) exists.
+func Validate(p *Program) error {
+	if len(p.Fns) == 0 {
+		return fmt.Errorf("%w: program %q has no functions", ErrInvalid, p.Name)
+	}
+	if p.Main != NoFn && (p.Main < 0 || int(p.Main) >= len(p.Fns)) {
+		return fmt.Errorf("%w: program %q: main %d out of range", ErrInvalid, p.Name, p.Main)
+	}
+	for i, f := range p.Fns {
+		if f == nil {
+			return fmt.Errorf("%w: program %q: function slot %d is nil", ErrInvalid, p.Name, i)
+		}
+		if f.ID != FnID(i) {
+			return fmt.Errorf("%w: function %q: ID %d does not match slot %d", ErrInvalid, f.Name, f.ID, i)
+		}
+		if err := validateFn(p, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateFn(p *Program, f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%w: function %q has no blocks", ErrInvalid, f.Name)
+	}
+	if f.Entry < 0 || int(f.Entry) >= len(f.Blocks) {
+		return fmt.Errorf("%w: function %q: entry %d out of range", ErrInvalid, f.Name, f.Entry)
+	}
+	checkTarget := func(b *Block, what string, id BlockID) error {
+		if id < 0 || int(id) >= len(f.Blocks) {
+			return fmt.Errorf("%w: function %q block %d: %s target %d out of range", ErrInvalid, f.Name, b.ID, what, id)
+		}
+		return nil
+	}
+	for i, b := range f.Blocks {
+		if b == nil {
+			return fmt.Errorf("%w: function %q: block slot %d is nil", ErrInvalid, f.Name, i)
+		}
+		if b.ID != BlockID(i) {
+			return fmt.Errorf("%w: function %q: block ID %d does not match slot %d", ErrInvalid, f.Name, b.ID, i)
+		}
+		for j, in := range b.Instrs {
+			if !in.Op.Valid() {
+				return fmt.Errorf("%w: function %q block %d instr %d: bad opcode %d", ErrInvalid, f.Name, b.ID, j, uint8(in.Op))
+			}
+			if in.Dst >= NumRegs || in.Src1 >= NumRegs || in.Src2 >= NumRegs {
+				return fmt.Errorf("%w: function %q block %d instr %d: register out of range", ErrInvalid, f.Name, b.ID, j)
+			}
+		}
+		switch b.Term.Kind {
+		case TermGoto:
+			if err := checkTarget(b, "goto", b.Term.Taken); err != nil {
+				return err
+			}
+		case TermBr:
+			if b.Term.Cond >= NumRegs {
+				return fmt.Errorf("%w: function %q block %d: branch condition register out of range", ErrInvalid, f.Name, b.ID)
+			}
+			if err := checkTarget(b, "branch taken", b.Term.Taken); err != nil {
+				return err
+			}
+			if err := checkTarget(b, "branch fall", b.Term.Fall); err != nil {
+				return err
+			}
+		case TermCall:
+			if b.Term.Callee < 0 || int(b.Term.Callee) >= len(p.Fns) {
+				return fmt.Errorf("%w: function %q block %d: callee %d out of range", ErrInvalid, f.Name, b.ID, b.Term.Callee)
+			}
+			if err := checkTarget(b, "call return", b.Term.Fall); err != nil {
+				return err
+			}
+		case TermRet, TermHalt:
+			// no targets
+		default:
+			return fmt.Errorf("%w: function %q block %d: bad terminator kind %d", ErrInvalid, f.Name, b.ID, uint8(b.Term.Kind))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package mem
+
+// ARB models the Address Resolution Buffer: the structure that buffers
+// speculative memory state per task stage and detects memory dependence
+// violations (a later task loaded a word an earlier task then stored).
+//
+// The simulator drives it in task (program) order: for every load of the
+// task being simulated it asks which earlier in-flight task, if any, stores
+// to the same word and at what cycle, so the caller can either synchronize
+// or flag a violation when the store's cycle is after the load's. Stores of
+// retired tasks leave the ARB as their words commit.
+type ARB struct {
+	entriesPerPU int
+	hitLat       int
+
+	// stores[addr] = per-word store record list in task order.
+	stores map[uint64][]storeRec
+
+	// perTask tracks the distinct speculative words each active task holds,
+	// for capacity (overflow stall) modeling.
+	perTask map[int]map[uint64]bool
+
+	// Violations and Overflows count events for reporting.
+	Violations, Overflows uint64
+}
+
+type storeRec struct {
+	task  int
+	cycle int64
+}
+
+// NewARB builds an ARB with the paper's parameters: 32 entries per PU,
+// two-cycle hit.
+func NewARB(entriesPerPU int) *ARB {
+	if entriesPerPU == 0 {
+		entriesPerPU = 32
+	}
+	return &ARB{
+		entriesPerPU: entriesPerPU,
+		hitLat:       2,
+		stores:       make(map[uint64][]storeRec),
+		perTask:      make(map[int]map[uint64]bool),
+	}
+}
+
+// HitLatency returns the ARB probe latency (2 cycles per the paper).
+func (a *ARB) HitLatency() int { return a.hitLat }
+
+func word(addr uint64) uint64 { return addr &^ 7 }
+
+// RecordStore registers a speculative store by task seq at the given cycle.
+func (a *ARB) RecordStore(task int, addr uint64, cycle int64) {
+	w := word(addr)
+	a.stores[w] = append(a.stores[w], storeRec{task: task, cycle: cycle})
+	a.touch(task, w)
+}
+
+// RecordLoad registers a speculative load (loads occupy ARB entries too, so
+// violations can be detected).
+func (a *ARB) RecordLoad(task int, addr uint64) {
+	a.touch(task, word(addr))
+}
+
+func (a *ARB) touch(task int, w uint64) {
+	m := a.perTask[task]
+	if m == nil {
+		m = make(map[uint64]bool)
+		a.perTask[task] = m
+	}
+	m[w] = true
+}
+
+// LastStoreBefore returns the cycle at which the latest store to addr by a
+// task earlier than `task` executes, and whether one exists among the
+// still-active (unretired) tasks. The simulator compares that cycle with the
+// load's cycle: a producing store that executes later than the load is a
+// dependence violation (or a synchronization point when the sync table
+// predicts it).
+func (a *ARB) LastStoreBefore(task int, addr uint64) (cycle int64, ok bool) {
+	recs := a.stores[word(addr)]
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].task < task {
+			return recs[i].cycle, true
+		}
+	}
+	return 0, false
+}
+
+// NoteViolation bumps the violation counter.
+func (a *ARB) NoteViolation() { a.Violations++ }
+
+// Words returns how many distinct speculative words task holds; the caller
+// stalls the task's memory operations when this exceeds Capacity.
+func (a *ARB) Words(task int) int { return len(a.perTask[task]) }
+
+// Capacity returns the per-PU entry budget.
+func (a *ARB) Capacity() int { return a.entriesPerPU }
+
+// WouldOverflow reports whether adding addr for task would exceed its ARB
+// stage capacity, counting the event when it does.
+func (a *ARB) WouldOverflow(task int, addr uint64) bool {
+	m := a.perTask[task]
+	if m != nil && m[word(addr)] {
+		return false
+	}
+	n := 0
+	if m != nil {
+		n = len(m)
+	}
+	if n >= a.entriesPerPU {
+		a.Overflows++
+		return true
+	}
+	return false
+}
+
+// Retire drops all state belonging to tasks with sequence <= task (their
+// speculative words have committed to architectural memory).
+func (a *ARB) Retire(task int) {
+	for t := range a.perTask {
+		if t <= task {
+			delete(a.perTask, t)
+		}
+	}
+	for w, recs := range a.stores {
+		keep := recs[:0]
+		for _, r := range recs {
+			if r.task > task {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			delete(a.stores, w)
+		} else {
+			a.stores[w] = keep
+		}
+	}
+}
+
+// SquashTask removes the speculative state of one squashed task (it will
+// re-execute and re-insert).
+func (a *ARB) SquashTask(task int) {
+	delete(a.perTask, task)
+	for w, recs := range a.stores {
+		keep := recs[:0]
+		for _, r := range recs {
+			if r.task != task {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			delete(a.stores, w)
+		} else {
+			a.stores[w] = keep
+		}
+	}
+}
+
+// SyncTable is the 256-entry memory dependence synchronization table: loads
+// whose address (instruction identity) caused squashes are predicted to
+// depend on an earlier store and are made to wait instead of speculate.
+type SyncTable struct {
+	capacity int
+	entries  map[uint64]uint8 // load identity -> 2-bit confidence
+	order    []uint64         // FIFO for eviction
+
+	// Hits counts loads that synchronized instead of speculating.
+	Hits uint64
+}
+
+// NewSyncTable builds the table with the paper's 256 entries.
+func NewSyncTable(capacity int) *SyncTable {
+	if capacity == 0 {
+		capacity = 256
+	}
+	return &SyncTable{capacity: capacity, entries: make(map[uint64]uint8)}
+}
+
+// Insert records that the load identified by id caused a memory dependence
+// violation.
+func (s *SyncTable) Insert(id uint64) {
+	if c, ok := s.entries[id]; ok {
+		if c < 3 {
+			s.entries[id] = c + 1
+		}
+		return
+	}
+	if len(s.entries) >= s.capacity {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, oldest)
+	}
+	s.entries[id] = 2
+	s.order = append(s.order, id)
+}
+
+// ShouldSync reports whether the load identified by id is predicted to
+// conflict and must synchronize with the producing store.
+func (s *SyncTable) ShouldSync(id uint64) bool {
+	c, ok := s.entries[id]
+	if ok && c >= 2 {
+		s.Hits++
+		return true
+	}
+	return false
+}
+
+// Weaken lowers confidence for id after a synchronization that turned out to
+// be unnecessary (no earlier store materialized).
+func (s *SyncTable) Weaken(id uint64) {
+	if c, ok := s.entries[id]; ok && c > 0 {
+		s.entries[id] = c - 1
+	}
+}
+
+// Len returns the number of live entries.
+func (s *SyncTable) Len() int { return len(s.entries) }

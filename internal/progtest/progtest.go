@@ -1,0 +1,159 @@
+// Package progtest generates random structured programs for property-based
+// tests: nested sequences, diamonds, counted loops, scratch-array memory
+// traffic, and acyclic helper calls — always terminating, always valid IR.
+package progtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multiscalar/internal/ir"
+)
+
+// progGen builds random structured (hence terminating) programs: nested
+// sequences, if-else diamonds, counted loops with dedicated counter
+// registers, stores/loads into a shared scratch array (masked addressing, so
+// random programs still create real memory dependences), and calls to
+// previously generated helper functions (acyclic call graph).
+type progGen struct {
+	rng   *rand.Rand
+	b     *ir.Builder
+	helps []ir.FnID
+	label int
+}
+
+// Generate builds a random structured program from the seed.
+func Generate(seed int64) *ir.Program {
+	g := &progGen{rng: rand.New(rand.NewSource(seed)), b: ir.NewBuilder(fmt.Sprintf("fuzz%d", seed))}
+	g.b.Zeros(64) // scratch array at DataBase
+	nHelpers := g.rng.Intn(3)
+	for i := 0; i < nHelpers; i++ {
+		name := fmt.Sprintf("helper%d", i)
+		f := g.b.Func(name)
+		bb := f.Block(g.fresh("entry"))
+		bb = g.segments(f, bb, 2)
+		bb.Ret()
+		g.helps = append(g.helps, f.End())
+	}
+	f := g.b.Func("main")
+	bb := f.Block(g.fresh("entry"))
+	// Base register for the scratch array.
+	bb.MovI(ir.R(15), int64(ir.DataBase))
+	bb = g.segments(f, bb, 3)
+	bb.Halt()
+	f.End()
+	return g.b.Build()
+}
+
+func (g *progGen) fresh(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s_%d", prefix, g.label)
+}
+
+// segments appends 1..depth+1 random segments, returning the open block.
+func (g *progGen) segments(f *ir.FuncBuilder, bb *ir.BlockBuilder, depth int) *ir.BlockBuilder {
+	n := 1 + g.rng.Intn(depth+1)
+	for i := 0; i < n; i++ {
+		switch k := g.rng.Intn(10); {
+		case k < 4 || depth == 0:
+			g.straightLine(bb)
+		case k < 6:
+			bb = g.ifElse(f, bb, depth-1)
+		case k < 9:
+			bb = g.loop(f, bb, depth-1)
+		default:
+			bb = g.call(f, bb)
+		}
+	}
+	return bb
+}
+
+// straightLine emits 1-6 random ALU/memory ops into the open block.
+func (g *progGen) straightLine(bb *ir.BlockBuilder) {
+	reg := func() ir.Reg { return ir.R(3 + g.rng.Intn(10)) } // r3..r12
+	for i := 0; i < 1+g.rng.Intn(6); i++ {
+		switch g.rng.Intn(8) {
+		case 0:
+			bb.MovI(reg(), int64(g.rng.Intn(1000)))
+		case 1:
+			bb.Add(reg(), reg(), reg())
+		case 2:
+			bb.Sub(reg(), reg(), reg())
+		case 3:
+			bb.MulI(reg(), reg(), int64(1+g.rng.Intn(7)))
+		case 4:
+			bb.Xor(reg(), reg(), reg())
+		case 5:
+			bb.SltI(reg(), reg(), int64(g.rng.Intn(100)))
+		case 6: // masked store into the scratch array
+			v, idx := reg(), reg()
+			bb.AndI(ir.R(13), idx, 63).
+				ShlI(ir.R(13), ir.R(13), 3).
+				MovI(ir.R(14), int64(ir.DataBase)).
+				Add(ir.R(13), ir.R(13), ir.R(14)).
+				Store(v, ir.R(13), 0)
+		default: // masked load from the scratch array
+			d, idx := reg(), reg()
+			bb.AndI(ir.R(13), idx, 63).
+				ShlI(ir.R(13), ir.R(13), 3).
+				MovI(ir.R(14), int64(ir.DataBase)).
+				Add(ir.R(13), ir.R(13), ir.R(14)).
+				Load(d, ir.R(13), 0)
+		}
+	}
+}
+
+// ifElse closes the open block with a branch over two arms that reconverge.
+func (g *progGen) ifElse(f *ir.FuncBuilder, bb *ir.BlockBuilder, depth int) *ir.BlockBuilder {
+	thenL, elseL, joinL := g.fresh("then"), g.fresh("else"), g.fresh("join")
+	cond := ir.R(3 + g.rng.Intn(10))
+	bb.Br(cond, thenL, elseL)
+	tb := f.Block(thenL)
+	g.straightLine(tb)
+	tb = g.maybeNest(f, tb, depth)
+	tb.Goto(joinL)
+	eb := f.Block(elseL)
+	g.straightLine(eb)
+	eb.Goto(joinL)
+	return f.Block(joinL)
+}
+
+func (g *progGen) maybeNest(f *ir.FuncBuilder, bb *ir.BlockBuilder, depth int) *ir.BlockBuilder {
+	if depth > 0 && g.rng.Intn(2) == 0 {
+		return g.segments(f, bb, depth)
+	}
+	return bb
+}
+
+// loop closes the open block with a counted loop (dedicated counters r20/r21
+// guarantee termination regardless of body effects).
+func (g *progGen) loop(f *ir.FuncBuilder, bb *ir.BlockBuilder, depth int) *ir.BlockBuilder {
+	headL, bodyL, exitL := g.fresh("head"), g.fresh("body"), g.fresh("exit")
+	trips := int64(1 + g.rng.Intn(20))
+	bb.MovI(ir.R(20), 0).Goto(headL)
+	hb := f.Block(headL)
+	hb.SltI(ir.R(21), ir.R(20), trips).Br(ir.R(21), bodyL, exitL)
+	body := f.Block(bodyL)
+	g.straightLine(body)
+	if depth > 0 && g.rng.Intn(3) == 0 {
+		body = g.segments(f, body, 0) // straight-line only inside loops
+	}
+	body.AddI(ir.R(20), ir.R(20), 1).Goto(headL)
+	return f.Block(exitL)
+}
+
+// call closes the open block with a call to a helper (if any exist).
+func (g *progGen) call(f *ir.FuncBuilder, bb *ir.BlockBuilder) *ir.BlockBuilder {
+	if len(g.helps) == 0 {
+		g.straightLine(bb)
+		return bb
+	}
+	retL := g.fresh("ret")
+	callee := g.helps[g.rng.Intn(len(g.helps))]
+	bb.MovI(ir.RegArg0, int64(g.rng.Intn(100)))
+	bb.Call(callee, retL)
+	nb := f.Block(retL)
+	// Helpers write the scratch registers; re-seed the base register.
+	nb.MovI(ir.R(15), int64(ir.DataBase))
+	return nb
+}

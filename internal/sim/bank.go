@@ -1,0 +1,53 @@
+package sim
+
+// bankSched models the banked L1 D-cache ports: the cache is interleaved at
+// block granularity into one bank per PU (§4.2), and each bank accepts one
+// access per cycle. Conflicting accesses from different PUs serialize.
+type bankSched struct {
+	banks int
+	use   map[bankSlot]bool
+	// floor is a pruning watermark: slots below it can never be requested
+	// again (tasks are timed in program order, and every timestamp derives
+	// from assignments that only move forward).
+	floor int64
+}
+
+type bankSlot struct {
+	bank  int
+	cycle int64
+}
+
+func newBankSched(banks int) *bankSched {
+	if banks < 1 {
+		banks = 1
+	}
+	return &bankSched{banks: banks, use: make(map[bankSlot]bool)}
+}
+
+// schedule returns the first cycle >= t at which addr's bank is free, and
+// claims it. Blocks interleave across banks (32-byte granularity).
+func (b *bankSched) schedule(addr uint64, t int64) int64 {
+	bank := int((addr >> 5) % uint64(b.banks))
+	if t < b.floor {
+		t = b.floor
+	}
+	for b.use[bankSlot{bank: bank, cycle: t}] {
+		t++
+	}
+	b.use[bankSlot{bank: bank, cycle: t}] = true
+	return t
+}
+
+// prune drops reservations older than the watermark to bound memory; no
+// future request can target cycles below it.
+func (b *bankSched) prune(watermark int64) {
+	if watermark <= b.floor {
+		return
+	}
+	for slot := range b.use {
+		if slot.cycle < watermark {
+			delete(b.use, slot)
+		}
+	}
+	b.floor = watermark
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/emu"
+	"multiscalar/internal/progtest"
+)
+
+// TestFuzzSimulatorOracle drives random structured programs through every
+// heuristic and several machine shapes, checking that the simulator's final
+// architectural state always equals the sequential emulator's and that the
+// basic result invariants hold.
+func TestFuzzSimulatorOracle(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			prog := progtest.Generate(int64(seed))
+			for _, h := range []core.Heuristic{core.BasicBlock, core.ControlFlow, core.DataDependence} {
+				part, err := core.Select(prog, core.Options{Heuristic: h, TaskSize: seed%2 == 0})
+				if err != nil {
+					t.Fatalf("%v: %v", h, err)
+				}
+				ref := emu.New(part.Prog)
+				if err := ref.Run(2_000_000); err != nil {
+					t.Fatal(err)
+				}
+				for _, pus := range []int{1, 3, 8} {
+					for _, inorder := range []bool{false, true} {
+						cfg := DefaultConfig(pus)
+						cfg.InOrder = inorder
+						res, err := Run(part, cfg)
+						if err != nil {
+							t.Fatalf("%v/%dPU: %v", h, pus, err)
+						}
+						if res.FinalChecksum != ref.Mem.Checksum() {
+							t.Errorf("%v/%dPU/io=%v: memory diverged", h, pus, inorder)
+						}
+						if res.FinalRegs != ref.Regs {
+							t.Errorf("%v/%dPU/io=%v: registers diverged", h, pus, inorder)
+						}
+						if res.Instrs != ref.Count {
+							t.Errorf("%v/%dPU/io=%v: instrs %d vs %d", h, pus, inorder, res.Instrs, ref.Count)
+						}
+						if res.Cycles <= 0 || res.IPC <= 0 {
+							t.Errorf("%v/%dPU/io=%v: degenerate result %d cycles IPC %.3f",
+								h, pus, inorder, res.Cycles, res.IPC)
+						}
+						if res.IPC > float64(pus*cfg.IssueWidth) {
+							t.Errorf("%v/%dPU/io=%v: IPC %.3f exceeds machine width", h, pus, inorder, res.IPC)
+						}
+					}
+				}
+			}
+		})
+	}
+}

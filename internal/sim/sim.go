@@ -1,0 +1,613 @@
+package sim
+
+import (
+	"fmt"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/ir"
+	"multiscalar/internal/mem"
+	"multiscalar/internal/predict"
+)
+
+// Config describes one simulated Multiscalar machine. DefaultConfig returns
+// the paper's §4.2 parameters.
+type Config struct {
+	NumPUs     int
+	IssueWidth int  // per-PU issue width (2)
+	ROBSize    int  // reorder buffer entries (16), out-of-order only
+	IssueQSize int  // issue list entries (8), out-of-order only
+	InOrder    bool // in-order vs out-of-order PUs
+
+	IntUnits    int // integer FUs per PU (2)
+	FPUnits     int // floating-point FUs per PU (1)
+	MemUnits    int // memory ports per PU (1)
+	BranchUnits int // branch units per PU (1)
+
+	RingBW            int // register ring values/cycle (2)
+	TaskStartOverhead int // pipeline-fill cycles at task start (2)
+	TaskEndOverhead   int // commit cycles at task end (2)
+
+	HistoryBits uint // gshare and path predictor history (16)
+	MaxTargets  int  // successors tracked by hardware (4)
+	RASDepth    int  // sequencer return-address stack (32)
+
+	ARBEntries int  // ARB entries per PU (32)
+	SyncTable  bool // memory dependence synchronization table enabled
+	L1DBanks   int  // data cache banks, 1 access/cycle each (default NumPUs)
+
+	Mem mem.Config
+
+	// MaxInstrs bounds the simulated dynamic instruction count.
+	MaxInstrs uint64
+
+	// RecordTimeline captures a TaskRecord per dynamic task instance in
+	// Result.Timeline (memory grows with the run; off by default).
+	RecordTimeline bool
+}
+
+// DefaultConfig returns the paper's machine for the given PU count.
+func DefaultConfig(numPUs int) Config {
+	return Config{
+		NumPUs:            numPUs,
+		IssueWidth:        2,
+		ROBSize:           16,
+		IssueQSize:        8,
+		IntUnits:          2,
+		FPUnits:           1,
+		MemUnits:          1,
+		BranchUnits:       1,
+		RingBW:            2,
+		TaskStartOverhead: 2,
+		TaskEndOverhead:   2,
+		HistoryBits:       16,
+		MaxTargets:        4,
+		RASDepth:          32,
+		ARBEntries:        32,
+		SyncTable:         true,
+		L1DBanks:          numPUs,
+		Mem:               mem.Config{NumPUs: numPUs},
+		MaxInstrs:         200_000_000,
+	}
+}
+
+// Breakdown attributes PU time to the paper's §2.3 categories (cycles,
+// summed across tasks).
+type Breakdown struct {
+	StartOverhead int64
+	InterTaskWait int64
+	IntraTaskWait int64
+	LoadImbalance int64
+	EndOverhead   int64
+	CtrlPenalty   int64
+	MemPenalty    int64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Cycles        int64
+	Instrs        uint64
+	TaskInstances uint64
+	IPC           float64
+
+	AvgTaskSize float64 // dynamic instructions per task (Table 1 "#dyn inst")
+	AvgCTInstrs float64 // control transfers per task (Table 1 "#ct inst")
+
+	TaskPredAccuracy float64 // inter-task prediction accuracy (Table 1)
+	BrPredAccuracy   float64 // intra-task gshare accuracy
+	WindowSpan       float64 // Σ_{i<N} TaskSize·Pred^i (Table 1 "win span")
+
+	CtrlMispredicts uint64
+	Violations      uint64
+	Restarts        uint64
+	SyncWaits       uint64
+	ARBOverflows    uint64
+	RASMispredicts  uint64
+
+	Breakdown Breakdown
+
+	// FinalChecksum and FinalRegs capture architectural state for the
+	// emulator oracle.
+	FinalChecksum uint64
+	FinalRegs     [ir.NumRegs]uint64
+
+	// Cache statistics.
+	L1IMissRate, L1DMissRate, L2MissRate float64
+
+	// Timeline holds per-task lifetime records when Config.RecordTimeline
+	// was set.
+	Timeline Timeline
+}
+
+// forwardRec records the latest creator of an architectural register.
+type forwardRec struct {
+	task int
+	time int64
+}
+
+// simulator holds the machine-wide state for one run.
+type simulator struct {
+	cfg  Config
+	part *core.Partition
+	m    *machine
+
+	hier *mem.Hierarchy
+	arb  *mem.ARB
+	sync *mem.SyncTable
+	tp   *predict.PathPredictor
+	gsh  *predict.Gshare
+	ras  *predict.RAS
+
+	puFree     []int64 // retire time of the task N back, per PU slot
+	lastRetire int64   // retire time of the most recently retired task
+	regFwd     [ir.NumRegs]forwardRec
+	banks      *bankSched
+
+	res Result
+}
+
+// Run simulates the partitioned program on the configured machine.
+func Run(part *core.Partition, cfg Config) (*Result, error) {
+	if cfg.NumPUs <= 0 {
+		return nil, fmt.Errorf("sim: NumPUs must be positive, got %d", cfg.NumPUs)
+	}
+	if cfg.Mem.NumPUs == 0 {
+		cfg.Mem.NumPUs = cfg.NumPUs
+	}
+	s := &simulator{
+		cfg:  cfg,
+		part: part,
+		m:    newMachine(part.Prog),
+		hier: mem.NewHierarchy(cfg.Mem),
+		arb:  mem.NewARB(cfg.ARBEntries),
+		sync: mem.NewSyncTable(256),
+		tp:   predict.NewPathPredictor(cfg.HistoryBits, cfg.MaxTargets),
+		gsh:  predict.NewGshare(cfg.HistoryBits),
+		ras:  predict.NewRAS(cfg.RASDepth),
+	}
+	s.puFree = make([]int64, cfg.NumPUs)
+	if cfg.L1DBanks == 0 {
+		cfg.L1DBanks = cfg.NumPUs
+		s.cfg.L1DBanks = cfg.NumPUs
+	}
+	s.banks = newBankSched(cfg.L1DBanks)
+	for i := range s.regFwd {
+		s.regFwd[i] = forwardRec{task: -1}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return &s.res, nil
+}
+
+func (s *simulator) run() error {
+	cur := s.part.EntryTask()
+	if cur == nil {
+		return fmt.Errorf("sim: partition has no entry task")
+	}
+	var (
+		seq       int
+		assign    int64
+		totalCT   uint64
+		lastRetir int64
+	)
+	for {
+		tr, err := s.m.runTask(s.part, cur, s.cfg.MaxInstrs)
+		if err != nil {
+			return err
+		}
+		markForwards(tr)
+		entryAddr := s.part.Prog.Fn(cur.Fn).Block(cur.Entry).Addr
+
+		// Task descriptor fetch through the task cache.
+		start := assign + int64(s.hier.TaskFetch(entryAddr)-1)
+
+		complete, restarts := s.timeTask(tr, seq, start)
+
+		retire := complete
+		if lastRetir > retire {
+			s.res.Breakdown.LoadImbalance += lastRetir - retire
+			retire = lastRetir
+		}
+		retire += int64(s.cfg.TaskEndOverhead)
+		s.res.Breakdown.EndOverhead += int64(s.cfg.TaskEndOverhead)
+		s.res.Breakdown.StartOverhead += int64(s.cfg.TaskStartOverhead)
+		lastRetir = retire
+		s.lastRetire = retire
+		s.puFree[seq%s.cfg.NumPUs] = retire
+		s.arb.Retire(seq - 2*s.cfg.NumPUs) // state older than any in-flight window
+		if seq%64 == 0 {
+			// No future access can be scheduled before the current assign
+			// cycle; prune old bank reservations to bound memory.
+			s.banks.prune(assign)
+		}
+
+		s.res.TaskInstances++
+		s.res.Instrs += uint64(len(tr.ops))
+		totalCT += uint64(tr.ctInstrs)
+
+		if s.cfg.RecordTimeline {
+			s.res.Timeline = append(s.res.Timeline, TaskRecord{
+				Seq:      seq,
+				TaskID:   cur.ID,
+				PU:       seq % s.cfg.NumPUs,
+				Assign:   assign,
+				Start:    start,
+				Complete: complete,
+				Retire:   retire,
+				Instrs:   len(tr.ops),
+				Exit:     tr.exit,
+				Restarts: restarts,
+			})
+		}
+
+		if tr.done {
+			s.res.Cycles = retire
+			break
+		}
+
+		// Inter-task prediction: resolve the exit of the task just timed.
+		predIdx := s.tp.Predict(entryAddr)
+		correct := s.tp.Resolve(entryAddr, predIdx, tr.exitIdx)
+		next := s.part.TaskAt(tr.next.Fn, tr.next.Blk)
+		if next == nil {
+			return fmt.Errorf("sim: task %d exited to %v with no successor task", cur.ID, tr.next)
+		}
+		nextAddr := s.part.Prog.Fn(next.Fn).Block(next.Entry).Addr
+		switch tr.exit.Kind {
+		case core.TargetCall:
+			s.ras.Push(encodeEntry(tr.retResume))
+		case core.TargetReturn:
+			if top, ok := s.ras.Pop(); !ok || top != encodeEntry(tr.next) {
+				s.res.RASMispredicts++
+				correct = false
+			}
+		}
+		s.tp.Speculate(nextAddr)
+
+		// Sequence the successor: one assignment per cycle, PU must be free,
+		// and a misprediction stalls it to the resolving task's completion.
+		nextAssign := assign + 1
+		if free := s.puFree[(seq+1)%s.cfg.NumPUs]; free > nextAssign {
+			nextAssign = free
+		}
+		if !correct {
+			s.res.CtrlMispredicts++
+			if s.cfg.RecordTimeline {
+				s.res.Timeline[len(s.res.Timeline)-1].Mispredicted = true
+			}
+			if complete+1 > nextAssign {
+				s.res.Breakdown.CtrlPenalty += complete + 1 - nextAssign
+				nextAssign = complete + 1
+			}
+		}
+		assign = nextAssign
+		seq++
+		cur = next
+	}
+
+	// Finalize metrics.
+	if s.res.TaskInstances > 0 {
+		s.res.AvgTaskSize = float64(s.res.Instrs) / float64(s.res.TaskInstances)
+		s.res.AvgCTInstrs = float64(totalCT) / float64(s.res.TaskInstances)
+	}
+	if s.res.Cycles > 0 {
+		s.res.IPC = float64(s.res.Instrs) / float64(s.res.Cycles)
+	}
+	s.res.TaskPredAccuracy = s.tp.Accuracy()
+	if s.gsh.Lookups > 0 {
+		s.res.BrPredAccuracy = 1 - float64(s.gsh.Mispredicts)/float64(s.gsh.Lookups)
+	} else {
+		s.res.BrPredAccuracy = 1
+	}
+	span, term := 0.0, s.res.AvgTaskSize
+	for i := 0; i < s.cfg.NumPUs; i++ {
+		span += term
+		term *= s.res.TaskPredAccuracy
+	}
+	s.res.WindowSpan = span
+	s.res.Violations = s.arb.Violations
+	s.res.ARBOverflows = s.arb.Overflows
+	s.res.FinalChecksum = s.m.mem.Checksum()
+	s.res.FinalRegs = s.m.regs
+	s.res.L1IMissRate = s.hier.L1I.MissRate()
+	s.res.L1DMissRate = s.hier.L1D.MissRate()
+	s.res.L2MissRate = s.hier.L2.MissRate()
+	return nil
+}
+
+func encodeEntry(k core.EntryKey) uint64 {
+	return uint64(k.Fn)<<32 | uint64(uint32(k.Blk))
+}
+
+// timeTask runs the timing model over a task trace, handling memory
+// dependence violations by restarting the attempt at the violating store's
+// cycle (squash + re-execute), and returns the completion cycle and the
+// number of restarts.
+func (s *simulator) timeTask(tr *taskTrace, seq int, start int64) (int64, int) {
+	restarts := 0
+	for {
+		complete, viol := s.timeAttempt(tr, seq, start)
+		if viol == nil {
+			return complete, restarts
+		}
+		restarts++
+		s.arb.NoteViolation()
+		s.res.Restarts++
+		s.res.Breakdown.MemPenalty += viol.time - start
+		if s.cfg.SyncTable {
+			s.sync.Insert(viol.pc)
+		}
+		s.arb.SquashTask(seq)
+		start = viol.time + 1
+	}
+}
+
+type violation struct {
+	time int64
+	pc   uint64
+}
+
+// fuPool models the per-PU functional units: schedule returns the issue
+// cycle for an op of the given class not earlier than t.
+type fuPool struct {
+	intFree []int64
+	fpFree  []int64
+	memFree []int64
+	brFree  []int64
+}
+
+func newFUPool(cfg Config) *fuPool {
+	return &fuPool{
+		intFree: make([]int64, cfg.IntUnits),
+		fpFree:  make([]int64, cfg.FPUnits),
+		memFree: make([]int64, cfg.MemUnits),
+		brFree:  make([]int64, cfg.BranchUnits),
+	}
+}
+
+// schedule returns the issue cycle for an op of the given class not earlier
+// than t. All units are fully pipelined (one issue slot per cycle); long
+// operations like divides run on iterative side logic without blocking the
+// unit's issue slot, as on contemporary cores.
+func (f *fuPool) schedule(class ir.Class, t int64) int64 {
+	var units []int64
+	switch class {
+	case ir.ClassIntALU, ir.ClassIntMul, ir.ClassIntDiv:
+		units = f.intFree
+	case ir.ClassFPAdd, ir.ClassFPMul, ir.ClassFPDiv:
+		units = f.fpFree
+	case ir.ClassMem:
+		units = f.memFree
+	case ir.ClassBranch:
+		units = f.brFree
+	}
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	issue := t
+	if units[best] > issue {
+		issue = units[best]
+	}
+	units[best] = issue + 1
+	return issue
+}
+
+// timeAttempt is one timing pass over the trace. It returns the completion
+// cycle, or the first memory dependence violation encountered.
+func (s *simulator) timeAttempt(tr *taskTrace, seq int, start int64) (int64, *violation) {
+	cfg := s.cfg
+	task := tr.task
+
+	var regReady [ir.NumRegs]int64
+	var regLocal [ir.NumRegs]bool
+	for r := 0; r < ir.NumRegs; r++ {
+		regReady[r] = s.recvTime(seq, ir.Reg(r), start)
+	}
+
+	fus := newFUPool(cfg)
+	ringUse := make(map[int64]int)
+	fwdTime := make(map[ir.Reg]int64)
+
+	sendOnRing := func(t int64) int64 {
+		for ringUse[t] >= cfg.RingBW {
+			t++
+		}
+		ringUse[t]++
+		return t
+	}
+
+	fetchCycle := start + int64(cfg.TaskStartOverhead)
+	fetched := 0
+	var lastIssue int64 = -1 << 62
+	issuedInCycle := 0
+
+	// Rolling windows for the out-of-order ROB / issue list.
+	retireWin := make([]int64, cfg.ROBSize)
+	issueWin := make([]int64, cfg.IssueQSize)
+	var prevRetire int64
+
+	var complete int64 = start
+
+	for i := range tr.ops {
+		op := &tr.ops[i]
+		if op.newBlock {
+			if lat := s.hier.InstrFetch(op.blockAddr); lat > 1 {
+				fetchCycle += int64(lat - 1)
+				fetched = 0
+			}
+		}
+		if fetched >= cfg.IssueWidth {
+			fetchCycle++
+			fetched = 0
+		}
+		fetch := fetchCycle
+		fetched++
+
+		// Operand readiness with stall attribution.
+		ready := fetch
+		interTask := false
+		for k := 0; k < op.nsrc; k++ {
+			r := op.srcs[k]
+			if regReady[r] > ready {
+				ready = regReady[r]
+				interTask = !regLocal[r]
+			}
+		}
+		if ready > fetch {
+			if interTask {
+				s.res.Breakdown.InterTaskWait += ready - fetch
+			} else {
+				s.res.Breakdown.IntraTaskWait += ready - fetch
+			}
+		}
+
+		// Pipeline structure.
+		var issueMin int64
+		if cfg.InOrder {
+			issueMin = ready
+			if issueMin < lastIssue {
+				issueMin = lastIssue
+			}
+			if issueMin == lastIssue && issuedInCycle >= cfg.IssueWidth {
+				issueMin++
+			}
+		} else {
+			dispatch := fetch
+			if w := retireWin[i%cfg.ROBSize]; i >= cfg.ROBSize && w+1 > dispatch {
+				dispatch = w + 1
+			}
+			if w := issueWin[i%cfg.IssueQSize]; i >= cfg.IssueQSize && w > dispatch {
+				dispatch = w
+			}
+			issueMin = ready
+			if dispatch > issueMin {
+				issueMin = dispatch
+			}
+		}
+
+		issue := fus.schedule(op.class, issueMin)
+		done := issue + int64(op.lat)
+
+		if op.isLoad || op.isStore {
+			if s.arb.WouldOverflow(seq, op.addr) {
+				// Stall the access until the task is non-speculative.
+				if s.lastRetire+1 > issue {
+					issue = s.lastRetire + 1
+				}
+			}
+			if op.isLoad && cfg.SyncTable && s.sync.ShouldSync(op.pc) {
+				sc, ok := s.arb.LastStoreBefore(seq, op.addr)
+				switch {
+				case ok && sc > issue:
+					// Predicted dependence confirmed and still in flight:
+					// wait for the store instead of speculating.
+					s.res.SyncWaits++
+					issue = sc
+				case !ok:
+					// No earlier store to this word at all: the prediction
+					// was stale, lower its confidence.
+					s.sync.Weaken(op.pc)
+				}
+			}
+			// The L1 D-cache is interleaved into banks (one per PU in the
+			// paper); each bank accepts one access per cycle.
+			issue = s.banks.schedule(op.addr, issue)
+			// The ARB and the L1 D-cache are probed in parallel (the ARB
+			// supplies speculative versions; the cache the architectural
+			// ones), so a load completes at the slower of the two. Stores
+			// complete into the ARB (which buffers speculative state until
+			// retirement); the line fill proceeds off the critical path, so
+			// only the ARB latency charges the pipeline.
+			dlat := int64(s.hier.DataAccess(op.addr))
+			if a := int64(s.arb.HitLatency()); a > dlat {
+				dlat = a
+			}
+			if op.isLoad {
+				access := issue + dlat
+				done = access
+				s.arb.RecordLoad(seq, op.addr)
+				if sc, ok := s.arb.LastStoreBefore(seq, op.addr); ok && sc > access {
+					// An earlier task stores this word after we loaded it.
+					return 0, &violation{time: sc, pc: op.pc}
+				}
+			} else {
+				access := issue + int64(s.arb.HitLatency())
+				done = access
+				s.arb.RecordStore(seq, op.addr, access)
+			}
+		}
+
+		if op.isBranch {
+			if !s.gsh.Update(op.pc, op.taken) {
+				// Intra-task misprediction: redirect fetch after resolution.
+				if done+1 > fetchCycle {
+					fetchCycle = done + 1
+					fetched = 0
+				}
+			}
+		}
+
+		if cfg.InOrder {
+			if issue > lastIssue {
+				lastIssue = issue
+				issuedInCycle = 1
+			} else {
+				issuedInCycle++
+			}
+		} else {
+			r := done
+			if prevRetire > r {
+				r = prevRetire
+			}
+			prevRetire = r
+			retireWin[i%cfg.ROBSize] = r
+			issueWin[i%cfg.IssueQSize] = issue
+		}
+
+		if op.hasDst {
+			regReady[op.dst] = done
+			regLocal[op.dst] = true
+			if op.forwards && task.CreateMask.Has(op.dst) {
+				fwdTime[op.dst] = sendOnRing(done)
+			}
+		}
+		if done > complete {
+			complete = done
+		}
+	}
+
+	// Release every created register not already forwarded, then publish the
+	// forward times for downstream tasks.
+	for _, r := range task.CreateMask.Regs() {
+		if _, ok := fwdTime[r]; !ok {
+			fwdTime[r] = sendOnRing(complete)
+		}
+	}
+	for r, t := range fwdTime {
+		s.regFwd[r] = forwardRec{task: seq, time: t}
+	}
+	return complete, nil
+}
+
+// recvTime computes when register r's value reaches the PU running task seq.
+func (s *simulator) recvTime(seq int, r ir.Reg, start int64) int64 {
+	rec := s.regFwd[r]
+	if rec.task < 0 {
+		return start
+	}
+	hops := seq - rec.task - 1
+	if hops < 0 {
+		hops = 0
+	}
+	if hops > s.cfg.NumPUs-1 {
+		hops = s.cfg.NumPUs - 1
+	}
+	t := rec.time + int64(hops)
+	if t < start {
+		return start
+	}
+	return t
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/core"
+)
+
+// TaskRecord captures the lifetime of one dynamic task instance when
+// Config.RecordTimeline is set.
+type TaskRecord struct {
+	Seq      int   // dynamic sequence number (program order)
+	TaskID   int   // static task identity
+	PU       int   // processing unit (Seq mod NumPUs)
+	Assign   int64 // cycle the sequencer assigned the task
+	Start    int64 // cycle execution began (after descriptor fetch)
+	Complete int64 // cycle the last instruction finished
+	Retire   int64 // cycle the task retired (includes end overhead)
+	Instrs   int   // dynamic instructions
+	Exit     core.Target
+	// Mispredicted marks that this task's *successor* was mispredicted.
+	Mispredicted bool
+	// Restarts counts memory dependence squashes of this instance.
+	Restarts int
+}
+
+// Timeline is the per-run record sequence (nil unless recording).
+type Timeline []TaskRecord
+
+// FormatTimeline renders up to max records as a text Gantt chart: one row
+// per task, columns assign/start/complete/retire, plus a proportional bar.
+// Pass max <= 0 for all records.
+func FormatTimeline(tl Timeline, max int) string {
+	if len(tl) == 0 {
+		return "(empty timeline)\n"
+	}
+	if max <= 0 || max > len(tl) {
+		max = len(tl)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%4s %5s %3s %8s %8s %8s %8s %6s %5s %s\n",
+		"seq", "task", "pu", "assign", "start", "complete", "retire", "instrs", "exit", "activity")
+	end := tl[max-1].Retire
+	begin := tl[0].Assign
+	span := end - begin
+	if span <= 0 {
+		span = 1
+	}
+	const width = 40
+	for _, rec := range tl[:max] {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		mark := func(from, to int64, ch byte) {
+			lo := int((from - begin) * width / span)
+			hi := int((to - begin) * width / span)
+			for i := lo; i <= hi && i < width; i++ {
+				if i >= 0 {
+					bar[i] = ch
+				}
+			}
+		}
+		mark(rec.Assign, rec.Start, '.')
+		mark(rec.Start, rec.Complete, '#')
+		mark(rec.Complete, rec.Retire, '-')
+		flag := ""
+		if rec.Mispredicted {
+			flag = "!"
+		}
+		fmt.Fprintf(&sb, "%4d %4d%s %3d %8d %8d %8d %8d %6d %5s |%s|\n",
+			rec.Seq, rec.TaskID, flag, rec.PU, rec.Assign, rec.Start, rec.Complete,
+			rec.Retire, rec.Instrs, rec.Exit, string(bar))
+	}
+	return sb.String()
+}
+
+// Utilization computes the fraction of PU-cycles spent holding live tasks
+// (start to retire) over the whole run — a coarse occupancy figure.
+func (tl Timeline) Utilization(numPUs int) float64 {
+	if len(tl) == 0 {
+		return 0
+	}
+	var busy, total int64
+	end := tl[len(tl)-1].Retire
+	for _, rec := range tl {
+		busy += rec.Retire - rec.Start
+	}
+	total = end * int64(numPUs)
+	if total <= 0 {
+		return 0
+	}
+	u := float64(busy) / float64(total)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

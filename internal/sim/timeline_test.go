@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/ir"
+)
+
+func TestTimelineRecording(t *testing.T) {
+	part := partition(t, vecSum(t, 50), core.ControlFlow)
+	cfg := DefaultConfig(4)
+	cfg.RecordTimeline = true
+	res := runSim(t, part, cfg)
+	if uint64(len(res.Timeline)) != res.TaskInstances {
+		t.Fatalf("timeline has %d records, %d instances", len(res.Timeline), res.TaskInstances)
+	}
+	var prevRetire, prevAssign int64
+	total := 0
+	for i, rec := range res.Timeline {
+		if rec.Seq != i {
+			t.Errorf("record %d has seq %d", i, rec.Seq)
+		}
+		if rec.PU != i%4 {
+			t.Errorf("record %d on PU %d, want %d", i, rec.PU, i%4)
+		}
+		if rec.Assign < prevAssign {
+			t.Errorf("record %d assigned at %d before predecessor %d", i, rec.Assign, prevAssign)
+		}
+		if rec.Start < rec.Assign || rec.Complete < rec.Start || rec.Retire < rec.Complete {
+			t.Errorf("record %d out of order: %+v", i, rec)
+		}
+		if rec.Retire < prevRetire {
+			t.Errorf("record %d retires at %d before predecessor at %d (order violated)",
+				i, rec.Retire, prevRetire)
+		}
+		prevRetire = rec.Retire
+		prevAssign = rec.Assign
+		total += rec.Instrs
+	}
+	if uint64(total) != res.Instrs {
+		t.Errorf("timeline instrs %d != result %d", total, res.Instrs)
+	}
+	if last := res.Timeline[len(res.Timeline)-1]; last.Retire != res.Cycles {
+		t.Errorf("last retire %d != total cycles %d", last.Retire, res.Cycles)
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	part := partition(t, vecSum(t, 20), core.ControlFlow)
+	res := runSim(t, part, DefaultConfig(4))
+	if res.Timeline != nil {
+		t.Error("timeline recorded without RecordTimeline")
+	}
+}
+
+func TestTimelineMispredictFlags(t *testing.T) {
+	part := partition(t, vecSum(t, 50), core.ControlFlow)
+	cfg := DefaultConfig(4)
+	cfg.RecordTimeline = true
+	res := runSim(t, part, cfg)
+	flagged := uint64(0)
+	for _, rec := range res.Timeline {
+		if rec.Mispredicted {
+			flagged++
+		}
+	}
+	if flagged != res.CtrlMispredicts {
+		t.Errorf("%d flagged records, %d mispredicts", flagged, res.CtrlMispredicts)
+	}
+}
+
+func TestFormatTimeline(t *testing.T) {
+	part := partition(t, vecSum(t, 30), core.ControlFlow)
+	cfg := DefaultConfig(2)
+	cfg.RecordTimeline = true
+	res := runSim(t, part, cfg)
+	out := FormatTimeline(res.Timeline, 5)
+	if !strings.Contains(out, "activity") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 6 { // header + 5 rows
+		t.Errorf("rows = %d, want 6:\n%s", got, out)
+	}
+	if FormatTimeline(nil, 10) != "(empty timeline)\n" {
+		t.Error("empty timeline not handled")
+	}
+}
+
+func TestUtilizationRange(t *testing.T) {
+	part := partition(t, vecSum(t, 80), core.ControlFlow)
+	cfg := DefaultConfig(4)
+	cfg.RecordTimeline = true
+	res := runSim(t, part, cfg)
+	u := res.Timeline.Utilization(4)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization %v out of (0,1]", u)
+	}
+	if Timeline(nil).Utilization(4) != 0 {
+		t.Error("empty utilization not zero")
+	}
+}
+
+// TestARBOverflowStalls builds a task touching more speculative words than
+// the ARB holds and checks the overflow counter fires (the access stalls to
+// non-speculative time rather than corrupting state).
+func TestARBOverflowStalls(t *testing.T) {
+	b := ir.NewBuilder("bigtask")
+	buf := b.Zeros(128)
+	f := b.Func("main")
+	f.Block("entry").MovI(ir.R(8), int64(buf)).MovI(ir.R(3), 0).Goto("head")
+	f.Block("head").SltI(ir.R(5), ir.R(3), 4).Br(ir.R(5), "body", "exit")
+	// One giant straight-line block touching 48 distinct words (> 32 ARB
+	// entries per task stage).
+	bb := f.Block("body")
+	for i := 0; i < 48; i++ {
+		bb.Store(ir.R(3), ir.R(8), int64(i*8))
+	}
+	bb.AddI(ir.R(3), ir.R(3), 1)
+	bb.Goto("head")
+	f.Block("exit").Halt()
+	f.End()
+	part, err := core.Select(b.Build(), core.Options{Heuristic: core.ControlFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSim(t, part, DefaultConfig(4))
+	if res.ARBOverflows == 0 {
+		t.Error("48-word speculative task did not overflow a 32-entry ARB stage")
+	}
+}
+
+// TestRASHandlesDeepCalls checks return-target sequencing through nested
+// calls (the sequencer's RAS must resolve every return without mispredicts
+// once warmed).
+func TestRASHandlesDeepCalls(t *testing.T) {
+	b := ir.NewBuilder("deep")
+	inner := b.DeclareFn("inner")
+	outer := b.DeclareFn("outer")
+	f := b.Func("main")
+	f.Block("entry").MovI(ir.R(3), 0).Goto("head")
+	f.Block("head").SltI(ir.R(5), ir.R(3), 10).Br(ir.R(5), "body", "exit")
+	f.Block("body").Nop().Call(outer, "cont")
+	f.Block("cont").AddI(ir.R(3), ir.R(3), 1).Goto("head")
+	f.Block("exit").Halt()
+	f.End()
+	o := b.Func("outer")
+	// Pad so the callee exceeds CALL_THRESH and is never included.
+	ob := o.Block("entry")
+	for i := 0; i < 40; i++ {
+		ob.Nop()
+	}
+	ob.Call(inner, "back")
+	o.Block("back").Ret()
+	o.End()
+	in := b.Func("inner")
+	ib := in.Block("entry")
+	for i := 0; i < 40; i++ {
+		ib.Nop()
+	}
+	ib.Ret()
+	in.End()
+	part, err := core.Select(b.Build(), core.Options{Heuristic: core.ControlFlow, TaskSize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSim(t, part, DefaultConfig(4))
+	if res.RASMispredicts != 0 {
+		t.Errorf("%d RAS mispredicts on perfectly nested calls", res.RASMispredicts)
+	}
+}

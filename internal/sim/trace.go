@@ -1,0 +1,233 @@
+// Package sim is the cycle-level Multiscalar timing simulator. It is
+// functional-first and timing-directed: tasks are executed functionally in
+// program order (so architectural state always matches the sequential
+// emulator — an invariant the integration tests check), and a detailed
+// timing model is overlaid per task: fetch through the L1 I-cache, two-way
+// in-order or out-of-order issue with the paper's functional units and ROB /
+// issue-list sizes, gshare intra-task branch prediction, path-based
+// inter-task prediction, compiler-directed register communication over the
+// ring, and ARB-based memory dependence speculation with squash/restart and
+// the synchronization table.
+//
+// Because information between tasks flows through explicitly timestamped
+// events (register forwards, speculative stores, retirement), tasks can be
+// timed in program order: control mispredictions delay the assignment of the
+// corrected task, memory violations restart the offending task at the
+// violating store's cycle, and wrong-path occupancy is subsumed by those
+// delayed assignments. DESIGN.md discusses this structure and its
+// (documented) idealizations.
+package sim
+
+import (
+	"fmt"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/emu"
+	"multiscalar/internal/ir"
+)
+
+// traceOp is one dynamic instruction of a task instance, annotated with
+// everything the timing model needs.
+type traceOp struct {
+	srcs    [2]ir.Reg
+	nsrc    int
+	dst     ir.Reg
+	hasDst  bool
+	class   ir.Class
+	lat     int
+	pc      uint64 // instruction address (gshare index, sync-table identity)
+	isLoad  bool
+	isStore bool
+	addr    uint64 // effective address for loads/stores
+	// newBlock is set on the first op of each basic block; blockAddr is the
+	// block's code address (I-cache access granularity).
+	newBlock  bool
+	blockAddr uint64
+	// branch terminator info
+	isBranch bool
+	taken    bool
+	// forwards marks a compiler-designated forward point (last def).
+	forwards bool
+}
+
+// taskTrace is the functional execution record of one task instance.
+type taskTrace struct {
+	task *core.Task
+	ops  []traceOp
+	// exit describes how the instance ended.
+	exit core.Target
+	// exitIdx is the target number (index into task.Targets, -1 if absent).
+	exitIdx int
+	// next is the successor task's entry (invalid when done).
+	next core.EntryKey
+	// retResume is, for a TargetCall exit, the caller-side entry where
+	// execution resumes after the callee returns (the sequencer pushes it on
+	// the return-address stack).
+	retResume core.EntryKey
+	done      bool
+	// ctInstrs counts dynamic control transfers.
+	ctInstrs int
+}
+
+// machine is the sequential architectural state the functional pass runs on.
+type machine struct {
+	prog  *ir.Program
+	regs  [ir.NumRegs]uint64
+	mem   *emu.Memory
+	fn    ir.FnID
+	blk   ir.BlockID
+	stack []retAddr
+	count uint64
+}
+
+type retAddr struct {
+	fn  ir.FnID
+	blk ir.BlockID
+}
+
+func newMachine(p *ir.Program) *machine {
+	m := &machine{prog: p, mem: emu.NewMemory(), fn: p.Main, blk: p.Fn(p.Main).Entry}
+	m.mem.LoadImage(p)
+	m.regs[ir.RegSP] = ir.StackBase
+	return m
+}
+
+// runTask executes one dynamic instance of the task the machine is parked at
+// and returns its annotated trace. The machine advances to the successor
+// task's entry.
+func (m *machine) runTask(part *core.Partition, t *core.Task, budget uint64) (*taskTrace, error) {
+	inst := core.NewInstance(t)
+	tr := &taskTrace{task: t, exitIdx: -1}
+	for {
+		f := m.prog.Fn(m.fn)
+		b := f.Block(m.blk)
+		base := b.Addr
+		for idx, in := range b.Instrs {
+			op := traceOp{
+				class: in.Op.FUClass(),
+				lat:   in.Op.Latency(),
+				pc:    base + uint64(idx*ir.InstrBytes),
+			}
+			op.nsrc = len(in.Uses(op.srcs[:0]))
+			if d, ok := in.Def(); ok {
+				op.dst, op.hasDst = d, true
+			}
+			if idx == 0 {
+				op.newBlock, op.blockAddr = true, base
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				op.isLoad = true
+				op.addr = uint64(int64(m.regs[in.Src1]) + in.Imm)
+			case ir.OpStore:
+				op.isStore = true
+				op.addr = uint64(int64(m.regs[in.Src1]) + in.Imm)
+			}
+			// Forward points are set by markForwards after the whole trace
+			// is known (per-path release, as the Multiscalar compiler's
+			// register communication scheduling produces).
+			emu.ExecOn(in, &m.regs, m.mem.Load, m.mem.Store)
+			m.count++
+			tr.ops = append(tr.ops, op)
+		}
+		// Terminator: occupies the branch unit for one cycle.
+		term := traceOp{
+			class: ir.ClassBranch,
+			lat:   1,
+			pc:    base + uint64(len(b.Instrs)*ir.InstrBytes),
+		}
+		if len(b.Instrs) == 0 {
+			term.newBlock, term.blockAddr = true, base
+		}
+		m.count++
+		// Evaluate the terminator: advance machine position and compute the
+		// dynamic successor block Instance.Step needs.
+		var nextBlk ir.BlockID
+		done := false
+		switch b.Term.Kind {
+		case ir.TermGoto:
+			nextBlk = b.Term.Taken
+			m.blk = nextBlk
+		case ir.TermBr:
+			term.isBranch = true
+			term.srcs[0] = b.Term.Cond
+			term.nsrc = 1
+			if m.regs[b.Term.Cond] != 0 {
+				term.taken = true
+				nextBlk = b.Term.Taken
+			} else {
+				nextBlk = b.Term.Fall
+			}
+			m.blk = nextBlk
+		case ir.TermCall:
+			m.stack = append(m.stack, retAddr{fn: m.fn, blk: b.Term.Fall})
+			m.fn = b.Term.Callee
+			m.blk = m.prog.Fn(b.Term.Callee).Entry
+			nextBlk = m.blk
+		case ir.TermRet:
+			if len(m.stack) == 0 {
+				done = true // return from main ends the program
+				break
+			}
+			top := m.stack[len(m.stack)-1]
+			m.stack = m.stack[:len(m.stack)-1]
+			m.fn, m.blk = top.fn, top.blk
+			nextBlk = top.blk
+		case ir.TermHalt:
+			done = true
+		}
+		tr.ops = append(tr.ops, term)
+		if b.Term.IsCT() {
+			tr.ctInstrs++
+		}
+		if done {
+			if b.Term.Kind == ir.TermRet {
+				tr.exit = core.Target{Kind: core.TargetReturn}
+			} else {
+				tr.exit = core.Target{Kind: core.TargetHalt}
+			}
+			tr.exitIdx = t.TargetIndex(tr.exit)
+			tr.done = true
+			return tr, m.checkBudget(budget)
+		}
+		cont, tgt := inst.Step(b, nextBlk)
+		if !cont {
+			tr.exit = tgt
+			tr.exitIdx = t.TargetIndex(tgt)
+			tr.next = core.EntryKey{Fn: m.fn, Blk: m.blk}
+			if tgt.Kind == core.TargetCall && len(m.stack) > 0 {
+				top := m.stack[len(m.stack)-1]
+				tr.retResume = core.EntryKey{Fn: top.fn, Blk: top.blk}
+			}
+			return tr, m.checkBudget(budget)
+		}
+		if err := m.checkBudget(budget); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (m *machine) checkBudget(budget uint64) error {
+	if m.count > budget {
+		return fmt.Errorf("sim: %w (budget %d)", emu.ErrLimit, budget)
+	}
+	return nil
+}
+
+// markForwards marks, for every register in the task's create mask, the
+// dynamically last write in the instance as the forward point. This models
+// the paper's compiler-scheduled register communication: a forward bit on
+// the last update along each path, with release instructions on paths that
+// update a register earlier (or not at all — those registers release at task
+// end, which the timing model applies to any created register without a
+// marked forward).
+func markForwards(tr *taskTrace) {
+	var seen [ir.NumRegs]bool
+	for i := len(tr.ops) - 1; i >= 0; i-- {
+		op := &tr.ops[i]
+		if op.hasDst && !seen[op.dst] && tr.task.CreateMask.Has(op.dst) {
+			op.forwards = true
+			seen[op.dst] = true
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package workloads
+
+import "multiscalar/internal/ir"
+
+// FP scratch registers.
+var (
+	f0 = ir.F(0)
+	f1 = ir.F(1)
+	f2 = ir.F(2)
+	f3 = ir.F(3)
+	f4 = ir.F(4)
+	f5 = ir.F(5)
+	f6 = ir.F(6)
+)
+
+// fillGrid emits a deterministic initialization loop writing f(i) = i*scale
+// to n words at base (register rB0 must hold base already).
+func fillGrid(f *ir.FuncBuilder, n int64, scale float64, next string) {
+	f.Block("fillinit").MovI(rJ, 0).FMovI(f6, scale).Goto("fillhead")
+	f.Block("fillhead").SltI(rT0, rJ, n).Br(rT0, "fillbody", next)
+	f.Block("fillbody").
+		CvtIF(f0, rJ).
+		FMul(f0, f0, f6).
+		ShlI(rT1, rJ, 3).
+		Add(rT1, rT1, rB0).
+		Store(f0, rT1, 0).
+		AddI(rJ, rJ, 1).
+		Goto("fillhead")
+}
+
+// reduceGrid emits a reduction loop summing n words at rB1 into f0 and
+// storing the bits to rOut, then halting.
+func reduceGrid(f *ir.FuncBuilder, n int64) {
+	f.Block("redinit").MovI(rJ, 0).FMovI(f0, 0).Goto("redhead")
+	f.Block("redhead").SltI(rT0, rJ, n).Br(rT0, "redbody", "redout")
+	f.Block("redbody").
+		ShlI(rT1, rJ, 3).
+		Add(rT1, rT1, rB1).
+		Load(f1, rT1, 0).
+		FAdd(f0, f0, f1).
+		AddI(rJ, rJ, 1).
+		Goto("redhead")
+	f.Block("redout").Store(f0, rOut, 0).Halt()
+}
+
+// Tomcatv models 101.tomcatv: regular 2-D mesh smoothing — perfectly nested
+// loops with large predictable bodies (the paper's best-behaved FP shape).
+func Tomcatv() *ir.Program {
+	b := ir.NewBuilder("tomcatv")
+	const n = 26
+	a := b.Zeros(n * n)
+	c := b.Zeros(n * n)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(a)).MovI(rB1, int64(c)).MovI(rOut, int64(out)).
+		Goto("fillinit")
+	fillGrid(f, n*n, 0.5, "sweepinit")
+	f.Block("sweepinit").MovI(r14, 0).FMovI(f5, 0.25).Goto("sweephead")
+	f.Block("sweephead").SltI(rT0, r14, 4).Br(rT0, "jinit", "redinit")
+	f.Block("jinit").MovI(rJ, 1).Goto("jhead")
+	f.Block("jhead").SltI(rT0, rJ, n-1).Br(rT0, "iinit", "sweeplatch")
+	f.Block("iinit").MovI(rI, 1).Goto("ihead")
+	f.Block("ihead").SltI(rT0, rI, n-1).Br(rT0, "ibody", "jlatch")
+	f.Block("ibody").
+		MulI(rT1, rJ, n).
+		Add(rT1, rT1, rI).
+		ShlI(rT1, rT1, 3).
+		Add(rT2, rT1, rB0).
+		Load(f0, rT2, -8).
+		Load(f1, rT2, 8).
+		Load(f2, rT2, -8*n).
+		Load(f3, rT2, 8*n).
+		FAdd(f0, f0, f1).
+		FAdd(f2, f2, f3).
+		FAdd(f0, f0, f2).
+		FMul(f0, f0, f5).
+		Add(rT3, rT1, rB1).
+		Store(f0, rT3, 0).
+		AddI(rI, rI, 1).
+		Goto("ihead")
+	f.Block("jlatch").AddI(rJ, rJ, 1).Goto("jhead")
+	f.Block("sweeplatch"). // swap roles of a and c
+				Mov(rT1, rB0).
+				Mov(rB0, rB1).
+				Mov(rB1, rT1).
+				AddI(r14, r14, 1).
+				Goto("sweephead")
+	reduceGrid(f, n*n)
+	f.End()
+	return b.Build()
+}
+
+// Swim models 102.swim: shallow-water stencils over three fields with
+// distinct coefficient patterns per field.
+func Swim() *ir.Program {
+	b := ir.NewBuilder("swim")
+	const n = 24
+	u := b.Zeros(n * n)
+	v := b.Zeros(n * n)
+	p := b.Zeros(n * n)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(u)).MovI(rOut, int64(out)).
+		Goto("fillinit")
+	fillGrid(f, n*n, 0.125, "fill2")
+	// Second and third fields get shifted copies of the first.
+	f.Block("fill2").
+		MovI(rB1, int64(v)).MovI(rB2, int64(p)).MovI(rJ, 0).
+		Goto("f2head")
+	f.Block("f2head").SltI(rT0, rJ, n*n).Br(rT0, "f2body", "stepinit")
+	f.Block("f2body").
+		ShlI(rT1, rJ, 3).
+		Add(rT2, rT1, rB0).
+		Load(f0, rT2, 0).
+		FMovI(f1, 1.5).
+		FMul(f2, f0, f1).
+		Add(rT3, rT1, rB1).
+		Store(f2, rT3, 0).
+		FMovI(f1, -0.5).
+		FMul(f2, f0, f1).
+		Add(rT3, rT1, rB2).
+		Store(f2, rT3, 0).
+		AddI(rJ, rJ, 1).
+		Goto("f2head")
+	f.Block("stepinit").MovI(r14, 0).FMovI(f5, 0.2).Goto("stephead")
+	f.Block("stephead").SltI(rT0, r14, 3).Br(rT0, "jinit", "redinit")
+	f.Block("jinit").MovI(rJ, 1).Goto("jhead")
+	f.Block("jhead").SltI(rT0, rJ, n-1).Br(rT0, "iinit", "steplatch")
+	f.Block("iinit").MovI(rI, 1).Goto("ihead")
+	f.Block("ihead").SltI(rT0, rI, n-1).Br(rT0, "ibody", "jlatch")
+	f.Block("ibody"). // u += c*(v_east - v_west); v += c*(p_north - p_south); p += c*u
+				MulI(rT1, rJ, n).
+				Add(rT1, rT1, rI).
+				ShlI(rT1, rT1, 3).
+				Add(rT2, rT1, rB1).
+				Load(f0, rT2, 8).
+				Load(f1, rT2, -8).
+				FSub(f0, f0, f1).
+				FMul(f0, f0, f5).
+				Add(rT3, rT1, rB0).
+				Load(f1, rT3, 0).
+				FAdd(f1, f1, f0).
+				Store(f1, rT3, 0).
+				Add(rT2, rT1, rB2).
+				Load(f2, rT2, 8*n).
+				Load(f3, rT2, -8*n).
+				FSub(f2, f2, f3).
+				FMul(f2, f2, f5).
+				Add(rT3, rT1, rB1).
+				Load(f3, rT3, 0).
+				FAdd(f3, f3, f2).
+				Store(f3, rT3, 0).
+				Add(rT3, rT1, rB2).
+				Load(f4, rT3, 0).
+				FMul(f1, f1, f5).
+				FAdd(f4, f4, f1).
+				Store(f4, rT3, 0).
+				AddI(rI, rI, 1).
+				Goto("ihead")
+	f.Block("jlatch").AddI(rJ, rJ, 1).Goto("jhead")
+	f.Block("steplatch").AddI(r14, r14, 1).Goto("stephead")
+	reduceGrid(f, n*n)
+	f.End()
+	return b.Build()
+}
+
+// Su2cor models 103.su2cor: complex matrix-vector products — interleaved
+// real/imaginary arrays with an inner dot-product reduction (loop-carried FP
+// dependence inside the task).
+func Su2cor() *ir.Program {
+	b := ir.NewBuilder("su2cor")
+	const n = 20
+	mat := b.Zeros(n * n * 2)
+	vec := b.Zeros(n * 2)
+	res := b.Zeros(n * 2)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(mat)).MovI(rOut, int64(out)).
+		Goto("fillinit")
+	fillGrid(f, n*n*2, 0.01, "fillvec")
+	f.Block("fillvec").MovI(rB1, int64(vec)).MovI(rJ, 0).Goto("fvhead")
+	f.Block("fvhead").SltI(rT0, rJ, n*2).Br(rT0, "fvbody", "mvinit")
+	f.Block("fvbody").
+		CvtIF(f0, rJ).
+		FMovI(f1, 0.03).
+		FMul(f0, f0, f1).
+		FMovI(f1, 1.0).
+		FAdd(f0, f0, f1).
+		ShlI(rT1, rJ, 3).
+		Add(rT1, rT1, rB1).
+		Store(f0, rT1, 0).
+		AddI(rJ, rJ, 1).
+		Goto("fvhead")
+	// res[i] = sum_j mat[i][j] * vec[j] (complex), 3 repetitions.
+	f.Block("mvinit").MovI(rB2, int64(res)).MovI(r14, 0).Goto("rephead")
+	f.Block("rephead").SltI(rT0, r14, 3).Br(rT0, "rowinit", "redinit")
+	f.Block("rowinit").MovI(rI, 0).Goto("rowhead")
+	f.Block("rowhead").SltI(rT0, rI, n).Br(rT0, "dotinit", "replatch")
+	f.Block("dotinit").
+		FMovI(f4, 0). // re acc
+		FMovI(f5, 0). // im acc
+		MovI(rJ, 0).
+		Goto("dothead")
+	f.Block("dothead").SltI(rT0, rJ, n).Br(rT0, "dotbody", "rowstore")
+	f.Block("dotbody").
+		MulI(rT1, rI, n*16).
+		ShlI(rT2, rJ, 4).
+		Add(rT1, rT1, rT2).
+		Add(rT1, rT1, rB0).
+		Load(f0, rT1, 0). // m.re
+		Load(f1, rT1, 8). // m.im
+		ShlI(rT2, rJ, 4).
+		Add(rT2, rT2, rB1).
+		Load(f2, rT2, 0). // v.re
+		Load(f3, rT2, 8). // v.im
+		FMul(f6, f0, f2).
+		FAdd(f4, f4, f6).
+		FMul(f6, f1, f3).
+		FSub(f4, f4, f6).
+		FMul(f6, f0, f3).
+		FAdd(f5, f5, f6).
+		FMul(f6, f1, f2).
+		FAdd(f5, f5, f6).
+		AddI(rJ, rJ, 1).
+		Goto("dothead")
+	f.Block("rowstore").
+		ShlI(rT1, rI, 4).
+		Add(rT1, rT1, rB2).
+		Store(f4, rT1, 0).
+		Store(f5, rT1, 8).
+		AddI(rI, rI, 1).
+		Goto("rowhead")
+	f.Block("replatch").AddI(r14, r14, 1).Goto("rephead")
+	f.Block("redinit").MovI(rJ, 0).FMovI(f0, 0).Mov(rB1, rB2).Goto("redhead")
+	f.Block("redhead").SltI(rT0, rJ, n*2).Br(rT0, "redbody", "redout")
+	f.Block("redbody").
+		ShlI(rT1, rJ, 3).
+		Add(rT1, rT1, rB1).
+		Load(f1, rT1, 0).
+		FAdd(f0, f0, f1).
+		AddI(rJ, rJ, 1).
+		Goto("redhead")
+	f.Block("redout").Store(f0, rOut, 0).Halt()
+	f.End()
+	return b.Build()
+}
+
+// Hydro2d models 104.hydro2d: stencils with boundary-condition branches
+// inside the inner loop — the FP benchmark with small, branchy tasks that
+// the paper's Table 1 singles out.
+func Hydro2d() *ir.Program {
+	b := ir.NewBuilder("hydro2d")
+	const n = 24
+	g := b.Zeros(n * n)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(g)).MovI(rB1, int64(g)).MovI(rOut, int64(out)).
+		Goto("fillinit")
+	fillGrid(f, n*n, 0.25, "sweepinit")
+	f.Block("sweepinit").MovI(r14, 0).FMovI(f5, 0.3).Goto("sweephead")
+	f.Block("sweephead").SltI(rT0, r14, 3).Br(rT0, "jinit", "redinit")
+	f.Block("jinit").MovI(rJ, 0).Goto("jhead")
+	f.Block("jhead").SltI(rT0, rJ, n).Br(rT0, "iinit", "sweeplatch")
+	f.Block("iinit").MovI(rI, 0).Goto("ihead")
+	f.Block("ihead").SltI(rT0, rI, n).Br(rT0, "cellhead", "jlatch")
+	f.Block("cellhead"). // boundary test: first/last row or column?
+				SeqI(rT1, rJ, 0).
+				SeqI(rT2, rJ, n-1).
+				Or(rT1, rT1, rT2).
+				SeqI(rT2, rI, 0).
+				Or(rT1, rT1, rT2).
+				SeqI(rT2, rI, n-1).
+				Or(rT1, rT1, rT2).
+				Br(rT1, "boundary", "interior")
+	f.Block("boundary"). // reflective boundary: damp in place
+				MulI(rT1, rJ, n).
+				Add(rT1, rT1, rI).
+				ShlI(rT1, rT1, 3).
+				Add(rT1, rT1, rB0).
+				Load(f0, rT1, 0).
+				FMovI(f1, 0.5).
+				FMul(f0, f0, f1).
+				Store(f0, rT1, 0).
+				Goto("ilatch")
+	f.Block("interior").
+		MulI(rT1, rJ, n).
+		Add(rT1, rT1, rI).
+		ShlI(rT1, rT1, 3).
+		Add(rT1, rT1, rB0).
+		Load(f0, rT1, -8).
+		Load(f1, rT1, 8).
+		FAdd(f0, f0, f1).
+		FMul(f0, f0, f5).
+		Load(f1, rT1, 0).
+		FAdd(f0, f0, f1).
+		FMovI(f2, 0.625).
+		FMul(f0, f0, f2).
+		Store(f0, rT1, 0).
+		Goto("ilatch")
+	f.Block("ilatch").AddI(rI, rI, 1).Goto("ihead")
+	f.Block("jlatch").AddI(rJ, rJ, 1).Goto("jhead")
+	f.Block("sweeplatch").AddI(r14, r14, 1).Goto("sweephead")
+	reduceGrid(f, n*n)
+	f.End()
+	return b.Build()
+}
+
+// Mgrid models 107.mgrid: a two-level multigrid V-cycle fragment — strided
+// 3-D stencil relaxation plus restriction to a coarser grid.
+func Mgrid() *ir.Program {
+	b := ir.NewBuilder("mgrid")
+	const n = 10 // fine grid n^3
+	const c = 5  // coarse grid c^3
+	fine := b.Zeros(n * n * n)
+	coarse := b.Zeros(c * c * c)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(fine)).MovI(rOut, int64(out)).
+		Goto("fillinit")
+	fillGrid(f, n*n*n, 0.05, "relaxinit")
+	// Relax: 7-point stencil over the interior, 2 sweeps.
+	f.Block("relaxinit").MovI(r14, 0).FMovI(f5, 0.125).Goto("swhead")
+	f.Block("swhead").SltI(rT0, r14, 2).Br(rT0, "kinit", "restrictinit")
+	f.Block("kinit").MovI(r13, 1).Goto("khead")
+	f.Block("khead").SltI(rT0, r13, n-1).Br(rT0, "jinit", "swlatch")
+	f.Block("jinit").MovI(rJ, 1).Goto("jhead")
+	f.Block("jhead").SltI(rT0, rJ, n-1).Br(rT0, "iinit", "klatch")
+	f.Block("iinit").MovI(rI, 1).Goto("ihead")
+	f.Block("ihead").SltI(rT0, rI, n-1).Br(rT0, "ibody", "jlatch")
+	f.Block("ibody").
+		MulI(rT1, r13, n*n).
+		MulI(rT2, rJ, n).
+		Add(rT1, rT1, rT2).
+		Add(rT1, rT1, rI).
+		ShlI(rT1, rT1, 3).
+		Add(rT1, rT1, rB0).
+		Load(f0, rT1, 0).
+		Load(f1, rT1, 8).
+		FAdd(f0, f0, f1).
+		Load(f1, rT1, -8).
+		FAdd(f0, f0, f1).
+		Load(f1, rT1, 8*n).
+		FAdd(f0, f0, f1).
+		Load(f1, rT1, -8*n).
+		FAdd(f0, f0, f1).
+		Load(f1, rT1, 8*n*n).
+		FAdd(f0, f0, f1).
+		Load(f1, rT1, -8*n*n).
+		FAdd(f0, f0, f1).
+		FMul(f0, f0, f5).
+		Store(f0, rT1, 0).
+		AddI(rI, rI, 1).
+		Goto("ihead")
+	f.Block("jlatch").AddI(rJ, rJ, 1).Goto("jhead")
+	f.Block("klatch").AddI(r13, r13, 1).Goto("khead")
+	f.Block("swlatch").AddI(r14, r14, 1).Goto("swhead")
+	// Restrict: coarse[k][j][i] = fine[2k][2j][2i].
+	f.Block("restrictinit").MovI(rB1, int64(coarse)).MovI(r13, 0).Goto("rkhead")
+	f.Block("rkhead").SltI(rT0, r13, c).Br(rT0, "rjinit", "redinit")
+	f.Block("rjinit").MovI(rJ, 0).Goto("rjhead")
+	f.Block("rjhead").SltI(rT0, rJ, c).Br(rT0, "riinit", "rklatch")
+	f.Block("riinit").MovI(rI, 0).Goto("rihead")
+	f.Block("rihead").SltI(rT0, rI, c).Br(rT0, "ribody", "rjlatch")
+	f.Block("ribody").
+		ShlI(rT1, r13, 1).
+		MulI(rT1, rT1, n*n).
+		ShlI(rT2, rJ, 1).
+		MulI(rT2, rT2, n).
+		Add(rT1, rT1, rT2).
+		ShlI(rT2, rI, 1).
+		Add(rT1, rT1, rT2).
+		ShlI(rT1, rT1, 3).
+		Add(rT1, rT1, rB0).
+		Load(f0, rT1, 0).
+		MulI(rT2, r13, c*c).
+		MulI(rT3, rJ, c).
+		Add(rT2, rT2, rT3).
+		Add(rT2, rT2, rI).
+		ShlI(rT2, rT2, 3).
+		Add(rT2, rT2, rB1).
+		Store(f0, rT2, 0).
+		AddI(rI, rI, 1).
+		Goto("rihead")
+	f.Block("rjlatch").AddI(rJ, rJ, 1).Goto("rjhead")
+	f.Block("rklatch").AddI(r13, r13, 1).Goto("rkhead")
+	reduceGrid(f, c*c*c)
+	f.End()
+	return b.Build()
+}

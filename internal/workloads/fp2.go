@@ -1,0 +1,285 @@
+package workloads
+
+import "multiscalar/internal/ir"
+
+// Applu models 110.applu: lower/upper SSOR sweeps — the value written at
+// row i feeds row i+1, a serial loop-carried memory dependence that stresses
+// the ARB and synchronization table.
+func Applu() *ir.Program {
+	b := ir.NewBuilder("applu")
+	const n = 40
+	g := b.Zeros(n * n)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(g)).MovI(rB1, int64(g)).MovI(rOut, int64(out)).
+		Goto("fillinit")
+	fillGrid(f, n*n, 0.1, "lowerinit")
+	// Lower sweep: g[j][i] += 0.4*g[j-1][i] for j = 1..n-1.
+	f.Block("lowerinit").FMovI(f5, 0.4).MovI(rJ, 1).Goto("ljhead")
+	f.Block("ljhead").SltI(rT0, rJ, n).Br(rT0, "liinit", "upperinit")
+	f.Block("liinit").MovI(rI, 0).Goto("lihead")
+	f.Block("lihead").SltI(rT0, rI, n).Br(rT0, "libody", "ljlatch")
+	f.Block("libody").
+		MulI(rT1, rJ, n).
+		Add(rT1, rT1, rI).
+		ShlI(rT1, rT1, 3).
+		Add(rT1, rT1, rB0).
+		Load(f0, rT1, -8*n). // previous row, written by the previous j-task
+		FMul(f0, f0, f5).
+		Load(f1, rT1, 0).
+		FAdd(f1, f1, f0).
+		Store(f1, rT1, 0).
+		AddI(rI, rI, 1).
+		Goto("lihead")
+	f.Block("ljlatch").AddI(rJ, rJ, 1).Goto("ljhead")
+	// Upper sweep: g[j][i] += 0.2*g[j+1][i] for j = n-2..0.
+	f.Block("upperinit").FMovI(f5, 0.2).MovI(rJ, n-2).Goto("ujhead")
+	f.Block("ujhead").SltI(rT0, rJ, 0).Br(rT0, "redinit", "uiinit")
+	f.Block("uiinit").MovI(rI, 0).Goto("uihead")
+	f.Block("uihead").SltI(rT0, rI, n).Br(rT0, "uibody", "ujlatch")
+	f.Block("uibody").
+		MulI(rT1, rJ, n).
+		Add(rT1, rT1, rI).
+		ShlI(rT1, rT1, 3).
+		Add(rT1, rT1, rB0).
+		Load(f0, rT1, 8*n).
+		FMul(f0, f0, f5).
+		Load(f1, rT1, 0).
+		FAdd(f1, f1, f0).
+		Store(f1, rT1, 0).
+		AddI(rI, rI, 1).
+		Goto("uihead")
+	f.Block("ujlatch").AddI(rJ, rJ, -1).Goto("ujhead")
+	reduceGrid(f, n*n)
+	f.End()
+	return b.Build()
+}
+
+// Turb3d models 125.turb3d: FFT-style butterfly passes — log2(n) passes of
+// strided pair updates, with the stride doubling every pass (non-unit,
+// predictable access patterns).
+func Turb3d() *ir.Program {
+	b := ir.NewBuilder("turb3d")
+	const n = 256 // power of two
+	g := b.Zeros(n)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(g)).MovI(rB1, int64(g)).MovI(rOut, int64(out)).
+		Goto("fillinit")
+	fillGrid(f, n, 0.02, "passinit")
+	// for stride = 1; stride < n; stride <<= 1:
+	//   for base = 0; base < n; base += 2*stride:
+	//     for k = 0; k < stride; k++: butterfly(base+k, base+k+stride)
+	f.Block("passinit").MovI(r14, 1).FMovI(f5, 0.7071067811865476).Goto("phead")
+	f.Block("phead").SltI(rT0, r14, n).Br(rT0, "binit", "redinit")
+	f.Block("binit").MovI(r13, 0).Goto("bhead")
+	f.Block("bhead").SltI(rT0, r13, n).Br(rT0, "kinit", "platch")
+	f.Block("kinit").MovI(rI, 0).Goto("khead")
+	f.Block("khead").Slt(rT0, rI, r14).Br(rT0, "kbody", "blatch")
+	f.Block("kbody").
+		Add(rT1, r13, rI).
+		ShlI(rT1, rT1, 3).
+		Add(rT1, rT1, rB0).
+		ShlI(rT2, r14, 3).
+		Add(rT2, rT2, rT1). // partner address
+		Load(f0, rT1, 0).
+		Load(f1, rT2, 0).
+		FAdd(f2, f0, f1).
+		FSub(f3, f0, f1).
+		FMul(f2, f2, f5).
+		FMul(f3, f3, f5).
+		Store(f2, rT1, 0).
+		Store(f3, rT2, 0).
+		AddI(rI, rI, 1).
+		Goto("khead")
+	f.Block("blatch").
+		ShlI(rT1, r14, 1).
+		Add(r13, r13, rT1).
+		Goto("bhead")
+	f.Block("platch").ShlI(r14, r14, 1).Goto("phead")
+	reduceGrid(f, n)
+	f.End()
+	return b.Build()
+}
+
+// Fpppp models 145.fpppp: enormous straight-line floating-point basic
+// blocks (two-electron integrals) called from a thin driver loop — the
+// benchmark whose basic blocks are already large and which responds to the
+// task-size heuristic in the paper.
+func Fpppp() *ir.Program {
+	b := ir.NewBuilder("fpppp")
+	const items = 80
+	// Input integrals are build-time data (fpppp reads its input deck), so
+	// the dynamic profile is dominated by the giant kernel blocks.
+	var deck []float64
+	for i := 0; i < items*8; i++ {
+		deck = append(deck, 0.017*float64(i)+0.31)
+	}
+	src := b.DataF(deck...)
+	out := b.Zeros(1)
+	kernel := b.DeclareFn("kernel")
+
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(src)).MovI(rOut, int64(out)).
+		Goto("drive")
+	f.Block("drive").FMovI(f6, 0).MovI(rI, 0).Goto("head")
+	f.Block("head").SltI(rT0, rI, items).Br(rT0, "callk", "done")
+	f.Block("callk").
+		ShlI(ir.RegArg0, rI, 6). // item base offset: 8 words * 8 bytes
+		Add(ir.RegArg0, ir.RegArg0, rB0).
+		AddI(ir.RegSP, ir.RegSP, -8).
+		Store(rI, ir.RegSP, 0).
+		Call(kernel, "post")
+	f.Block("post").
+		Load(rI, ir.RegSP, 0).
+		AddI(ir.RegSP, ir.RegSP, 8).
+		Load(f0, ir.RegArg0, 0). // kernel writes its result to slot 0
+		FAdd(f6, f6, f0).
+		AddI(rI, rI, 1).
+		Goto("head")
+	f.Block("done").Store(f6, rOut, 0).Halt()
+	f.End()
+
+	// kernel(base): one gigantic straight-line block of dependent and
+	// independent FP operations over the item's 8 inputs.
+	k := b.Func("kernel")
+	kb := k.Block("entry")
+	for i := 0; i < 8; i++ {
+		kb.Load(ir.F(8+i), ir.RegArg0, int64(i*8))
+	}
+	kb.FMovI(f5, 1.0009765625)
+	// ~20 rounds of register-level FP mixing: a long dependence chain
+	// interleaved with independent work, all in one basic block.
+	for r := 0; r < 20; r++ {
+		a := ir.F(8 + (r % 8))
+		bq := ir.F(8 + ((r + 3) % 8))
+		c := ir.F(8 + ((r + 5) % 8))
+		kb.FMul(f0, a, bq).
+			FAdd(f1, bq, c).
+			FSub(f2, f0, f1).
+			FMul(f2, f2, f5).
+			FAdd(a, a, f2).
+			FMul(c, c, f5)
+	}
+	kb.FMovI(f3, 0)
+	for i := 0; i < 8; i++ {
+		kb.FAdd(f3, f3, ir.F(8+i))
+	}
+	kb.Store(f3, ir.RegArg0, 0)
+	kb.Ret()
+	k.End()
+	return b.Build()
+}
+
+// Apsi models 141.apsi: column physics with an inner iterative solver whose
+// trip count is data-dependent — regular outer loops around a
+// convergence-test inner loop.
+func Apsi() *ir.Program {
+	b := ir.NewBuilder("apsi")
+	const cols = 400
+	g := b.Zeros(cols)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(g)).MovI(rB1, int64(g)).MovI(rOut, int64(out)).
+		Goto("fillinit")
+	fillGrid(f, cols, 1.7, "colinit")
+	f.Block("colinit").
+		FMovI(f5, 0.5).
+		FMovI(f4, 0.001). // tolerance
+		MovI(rI, 0).
+		Goto("chead")
+	f.Block("chead").SltI(rT0, rI, cols).Br(rT0, "solve", "redinit")
+	f.Block("solve"). // Newton iteration for sqrt(col value)
+				ShlI(rT1, rI, 3).
+				Add(rT1, rT1, rB0).
+				Load(f0, rT1, 0).
+				FMovI(f1, 1.0).
+				FAdd(f1, f1, f0). // initial guess
+				FMul(f1, f1, f5).
+				MovI(rJ, 0).
+				Goto("nhead")
+	f.Block("nhead").SltI(rT0, rJ, 30).Br(rT0, "nbody", "store")
+	f.Block("nbody").
+		FDiv(f2, f0, f1).
+		FAdd(f2, f2, f1).
+		FMul(f2, f2, f5). // next guess
+		FSub(f3, f2, f1).
+		FAbs(f3, f3).
+		Mov(f1, f2).
+		FSlt(rT0, f3, f4).
+		AddI(rJ, rJ, 1).
+		Br(rT0, "store", "nhead") // data-dependent early exit
+	f.Block("store").
+		ShlI(rT1, rI, 3).
+		Add(rT1, rT1, rB0).
+		Store(f1, rT1, 0).
+		AddI(rI, rI, 1).
+		Goto("chead")
+	reduceGrid(f, cols)
+	f.End()
+	return b.Build()
+}
+
+// Wave5 models 146.wave5: particle-in-cell — particles gather field values
+// at computed cells, update, and scatter charge back, producing
+// compile-time-ambiguous cross-task memory dependences.
+func Wave5() *ir.Program {
+	b := ir.NewBuilder("wave5")
+	const nparticles = 600
+	const ncells = 128
+	field := b.Zeros(ncells)
+	charge := b.Zeros(ncells)
+	pos := b.Zeros(nparticles)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(field)).MovI(rB1, int64(charge)).
+		MovI(rB2, int64(pos)).MovI(rOut, int64(out)).
+		MovI(rLCG, 0x6C078965).
+		Goto("fillinit")
+	// Fill the field (rB0) through the shared helper.
+	fillGrid(f, ncells, 0.04, "pinit")
+	// Scatter particles to pseudo-random cells.
+	f.Block("pinit").MovI(rI, 0).Goto("pfhead")
+	f.Block("pfhead").SltI(rT0, rI, nparticles).Br(rT0, "pfbody", "stepinit")
+	bb := f.Block("pfbody")
+	lcgStep(bb, rLCG, rT1, ncells-1)
+	bb.ShlI(rT2, rI, 3).
+		Add(rT2, rT2, rB2).
+		Store(rT1, rT2, 0).
+		AddI(rI, rI, 1).
+		Goto("pfhead")
+	// Two PIC steps: gather field at cell, move particle, scatter charge.
+	f.Block("stepinit").MovI(r14, 0).FMovI(f5, 0.9).Goto("sthead")
+	f.Block("sthead").SltI(rT0, r14, 2).Br(rT0, "ppinit", "redinit")
+	f.Block("ppinit").MovI(rI, 0).Goto("pphead")
+	f.Block("pphead").SltI(rT0, rI, nparticles).Br(rT0, "ppbody", "stlatch")
+	f.Block("ppbody").
+		ShlI(rT1, rI, 3).
+		Add(rT1, rT1, rB2).
+		Load(r10, rT1, 0). // cell index
+		ShlI(rT2, r10, 3).
+		Add(rT2, rT2, rB0).
+		Load(f0, rT2, 0). // gather field
+		FMul(f0, f0, f5).
+		CvtFI(r11, f0). // displacement
+		Add(r10, r10, r11).
+		AndI(r10, r10, ncells-1). // new cell
+		Store(r10, rT1, 0).
+		ShlI(rT2, r10, 3).
+		Add(rT2, rT2, rB1).
+		Load(f1, rT2, 0). // scatter charge (read-modify-write)
+		FMovI(f2, 1.0).
+		FAdd(f1, f1, f2).
+		Store(f1, rT2, 0).
+		AddI(rI, rI, 1).
+		Goto("pphead")
+	f.Block("stlatch").AddI(r14, r14, 1).Goto("sthead")
+	reduceGrid(f, ncells)
+	f.End()
+	return b.Build()
+}

@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"testing"
+
+	"multiscalar/internal/emu"
+)
+
+// goldens pins every workload's dynamic instruction count and final memory
+// checksum. A change here means the workload's behaviour changed — update
+// deliberately (EXPERIMENTS.md numbers shift with it).
+var goldens = map[string]struct {
+	instrs   uint64
+	checksum uint64
+}{
+	"go":       {15302, 0x5c232c1a83a234d0},
+	"m88ksim":  {125610, 0x348951fc325c0653},
+	"cc":       {78503, 0x8222e9c869c57cb4},
+	"compress": {132011, 0xe56d2e4c4d0dd259},
+	"li":       {40819, 0xa55a5104fe2f08bc},
+	"ijpeg":    {24446, 0x9b068bc9c706d28b},
+	"perl":     {223064, 0xff9b82d1d9f5e895},
+	"vortex":   {141498, 0xdbe9316f02cbd48d},
+	"tomcatv":  {53797, 0x8749fe29f28c72fd},
+	"swim":     {62570, 0xc10da82b55011d86},
+	"su2cor":   {35290, 0xdef334b2fb7fb653},
+	"hydro2d":  {53961, 0x91f366f2037f94d7},
+	"mgrid":    {39658, 0xc7af65db8ee08757},
+	"applu":    {68410, 0x1faa0de1f4211a43},
+	"turb3d":   {24140, 0xd8ee28b76af638e6},
+	"fpppp":    {12250, 0x97b8535ac3ddadda},
+	"apsi":     {42940, 0xb57f5254452c72ea},
+	"wave5":    {34019, 0xc4c75def6fc53132},
+}
+
+func TestWorkloadGoldens(t *testing.T) {
+	for _, w := range All() {
+		want, ok := goldens[w.Name]
+		if !ok {
+			t.Errorf("%s: no golden recorded", w.Name)
+			continue
+		}
+		m := emu.New(w.Build())
+		if err := m.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if m.Count != want.instrs || m.Mem.Checksum() != want.checksum {
+			t.Errorf("%s: {%d, %#x}, golden {%d, %#x}",
+				w.Name, m.Count, m.Mem.Checksum(), want.instrs, want.checksum)
+		}
+	}
+}

@@ -1,0 +1,651 @@
+package workloads
+
+import "multiscalar/internal/ir"
+
+// Scratch registers beyond the shared conventions.
+var (
+	r10 = ir.Reg(10)
+	r11 = ir.Reg(11)
+	r12 = ir.Reg(12)
+	r13 = ir.Reg(13)
+	r14 = ir.Reg(14)
+)
+
+// Go models 099.go: a recursive game-tree search over a synthetic position
+// hash — deeply branchy evaluation with small basic blocks, data-dependent
+// branches, and call-dominated control flow (the hardest case for task
+// prediction, as in the paper).
+func Go() *ir.Program {
+	b := ir.NewBuilder("go")
+	out := b.Zeros(1)
+	search := b.DeclareFn("search")
+	eval := b.DeclareFn("eval")
+
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rOut, int64(out)).MovI(rAcc, 0).
+		MovI(rLCG, 88172645463325252).
+		MovI(rI, 0).MovI(rN, 24).
+		Goto("head")
+	f.Block("head").Slt(rT0, rI, rN).Br(rT0, "body", "exit")
+	f.Block("body"). // pos = lcg value; search(pos, depth=3)
+				Nop().Goto("call")
+	fb := f.Block("call")
+	lcgStep(fb, rLCG, ir.RegArg0, -1)
+	fb.MovI(ir.RegArg0+1, 3).
+		AddI(ir.RegSP, ir.RegSP, -24).
+		Store(rI, ir.RegSP, 0).
+		Store(rN, ir.RegSP, 8).
+		Store(rAcc, ir.RegSP, 16)
+	fb.Call(search, "ret")
+	f.Block("ret").
+		Load(rI, ir.RegSP, 0).
+		Load(rN, ir.RegSP, 8).
+		Load(rAcc, ir.RegSP, 16).
+		AddI(ir.RegSP, ir.RegSP, 24).
+		Add(rAcc, rAcc, ir.RegRV).
+		AddI(rI, rI, 1).
+		Goto("head")
+	f.Block("exit").Store(rAcc, rOut, 0).Halt()
+	f.End()
+
+	// search(pos=arg0, depth=arg1): minimax over 4 pseudo-moves.
+	s := b.Func("search")
+	s.Block("entry").SltI(rT0, ir.RegArg0+1, 1).Br(rT0, "leaf", "init")
+	s.Block("leaf").Nop().Call(eval, "leafret")
+	s.Block("leafret").Ret()
+	s.Block("init"). // best = -1<<40; m = 0
+				MovI(r10, -(1<<40)).MovI(r11, 0).Goto("mhead")
+	s.Block("mhead").SltI(rT0, r11, 4).Br(rT0, "mbody", "done")
+	s.Block("mbody"). // child = pos*6364136223846793005 + m*2685821657736338717
+				MulI(rT1, ir.RegArg0, 6364136223846793005).
+				MulI(rT2, r11, 2685821657736338717).
+				Add(rT1, rT1, rT2).
+				AddI(ir.RegSP, ir.RegSP, -40).
+				Store(ir.RegArg0, ir.RegSP, 0).
+				Store(ir.RegArg0+1, ir.RegSP, 8).
+				Store(r10, ir.RegSP, 16).
+				Store(r11, ir.RegSP, 24).
+				Mov(ir.RegArg0, rT1).
+				AddI(ir.RegArg0+1, ir.RegArg0+1, -1).
+				Call(search, "munwind")
+	s.Block("munwind").
+		Load(ir.RegArg0, ir.RegSP, 0).
+		Load(ir.RegArg0+1, ir.RegSP, 8).
+		Load(r10, ir.RegSP, 16).
+		Load(r11, ir.RegSP, 24).
+		AddI(ir.RegSP, ir.RegSP, 40).
+		Slt(rT0, r10, ir.RegRV).
+		Br(rT0, "better", "mlatch")
+	s.Block("better").Mov(r10, ir.RegRV).Goto("mlatch")
+	s.Block("mlatch").AddI(r11, r11, 1).Goto("mhead")
+	s.Block("done").Sub(ir.RegRV, ir.RegZero, r10).Ret() // negamax flip
+	s.End()
+
+	// eval(pos=arg0): branchy 8-point scan of the position hash.
+	e := b.Func("eval")
+	e.Block("entry").MovI(r12, 0).MovI(r13, 0).Mov(r14, ir.RegArg0).Goto("ehead")
+	e.Block("ehead").SltI(rT0, r13, 8).Br(rT0, "ebody", "edone")
+	e.Block("ebody").
+		MulI(r14, r14, 2862933555777941757).
+		AddI(r14, r14, 3037000493).
+		ShrI(rT1, r14, 60).
+		AndI(rT2, rT1, 1).
+		Br(rT2, "odd", "even")
+	e.Block("odd").Add(r12, r12, rT1).Goto("etail")
+	e.Block("even").Sub(r12, r12, rT1).Goto("etail")
+	e.Block("etail").
+		AndI(rT2, r14, 6).
+		SeqI(rT0, rT2, 0).
+		Br(rT0, "bonus", "elatch")
+	e.Block("bonus").AddI(r12, r12, 5).Goto("elatch")
+	e.Block("elatch").AddI(r13, r13, 1).Goto("ehead")
+	e.Block("edone").AndI(ir.RegRV, r12, 1023).Ret()
+	e.End()
+	return b.Build()
+}
+
+// M88ksim models 124.m88ksim: an instruction-set interpreter — a fetch /
+// decode / execute loop whose decode is a branch tree and whose architected
+// register file lives in memory, giving mid-size tasks with indirect-ish
+// control flow.
+func M88ksim() *ir.Program {
+	b := ir.NewBuilder("m88ksim")
+	const progLen = 64
+	// Synthetic "guest program": opcode in bits 0..2, operands in 3..6, 7..10,
+	// branch displacement in 11..14. Generated here, at build time, with a
+	// fixed LCG so the guest is deterministic.
+	var code []int64
+	state := int64(0x2545F4914F6CDD1D)
+	for i := 0; i < progLen; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		code = append(code, (state>>17)&0x7FFF)
+	}
+	codeBase := b.Data(code...)
+	regs := b.Zeros(16)
+	out := b.Zeros(1)
+
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(codeBase)).MovI(rB1, int64(regs)).MovI(rOut, int64(out)).
+		MovI(rI, 0). // step counter
+		MovI(rJ, 0). // guest pc
+		MovI(rAcc, 0).
+		Goto("head")
+	f.Block("head").SltI(rT0, rI, 4000).Br(rT0, "fetch", "exit")
+	f.Block("fetch"). // insn = code[pc]; fields
+				ShlI(rT1, rJ, 3).
+				Add(rT1, rT1, rB0).
+				Load(r10, rT1, 0). // insn
+				AndI(r11, r10, 7). // opcode
+				ShrI(rT2, r10, 3).
+				AndI(r12, rT2, 15). // ra
+				ShrI(rT2, r10, 7).
+				AndI(r13, rT2, 15). // rb
+				SltI(rT0, r11, 4).
+				Br(rT0, "grp0", "grp1")
+	// Decode tree: opcodes 0-3.
+	f.Block("grp0").SltI(rT0, r11, 2).Br(rT0, "grp00", "grp01")
+	f.Block("grp00").SeqI(rT0, r11, 0).Br(rT0, "opadd", "opsub")
+	f.Block("grp01").SeqI(rT0, r11, 2).Br(rT0, "opmul", "opand")
+	f.Block("grp1").SltI(rT0, r11, 6).Br(rT0, "grp10", "grp11")
+	f.Block("grp10").SeqI(rT0, r11, 4).Br(rT0, "opld", "opst")
+	f.Block("grp11").SeqI(rT0, r11, 6).Br(rT0, "opbr", "opnop")
+
+	loadGuest := func(bb *ir.BlockBuilder, dst, idx ir.Reg) {
+		bb.ShlI(rT3, idx, 3)
+		bb.Add(rT3, rT3, rB1)
+		bb.Load(dst, rT3, 0)
+	}
+	storeGuest := func(bb *ir.BlockBuilder, val, idx ir.Reg) {
+		bb.ShlI(rT3, idx, 3)
+		bb.Add(rT3, rT3, rB1)
+		bb.Store(val, rT3, 0)
+	}
+
+	alu := func(label string, op func(bb *ir.BlockBuilder)) {
+		bb := f.Block(label)
+		loadGuest(bb, rT1, r12)
+		loadGuest(bb, rT2, r13)
+		op(bb)
+		storeGuest(bb, rT1, r12)
+		bb.Add(rAcc, rAcc, rT1)
+		bb.Goto("advance")
+	}
+	alu("opadd", func(bb *ir.BlockBuilder) { bb.Add(rT1, rT1, rT2).AddI(rT1, rT1, 1) })
+	alu("opsub", func(bb *ir.BlockBuilder) { bb.Sub(rT1, rT1, rT2).XorI(rT1, rT1, 0x5A) })
+	alu("opmul", func(bb *ir.BlockBuilder) { bb.Mul(rT1, rT1, rT2).AddI(rT1, rT1, 7).AndI(rT1, rT1, 0xFFFFFF) })
+	alu("opand", func(bb *ir.BlockBuilder) { bb.And(rT1, rT1, rT2).OrI(rT1, rT1, 3) })
+
+	ld := f.Block("opld") // ra = code[rb mod len] (treats guest code as data)
+	ld.AndI(rT1, r13, progLen-1)
+	ld.ShlI(rT1, rT1, 3)
+	ld.Add(rT1, rT1, rB0)
+	ld.Load(rT2, rT1, 0)
+	storeGuest(ld, rT2, r12)
+	ld.Goto("advance")
+
+	st := f.Block("opst") // regs[rb] = ra value
+	loadGuest(st, rT1, r12)
+	storeGuest(st, rT1, r13)
+	st.Add(rAcc, rAcc, rT1)
+	st.Goto("advance")
+
+	br := f.Block("opbr") // taken if regs[ra] odd: pc += disp field
+	loadGuest(br, rT1, r12)
+	br.AndI(rT0, rT1, 1)
+	br.Br(rT0, "taken", "advance")
+	f.Block("taken").
+		ShrI(rT2, r10, 11).
+		AndI(rT2, rT2, 15).
+		Add(rJ, rJ, rT2).
+		AndI(rJ, rJ, progLen-1).
+		Goto("step")
+	f.Block("opnop").Nop().Goto("advance")
+	f.Block("advance").AddI(rJ, rJ, 1).AndI(rJ, rJ, progLen-1).Goto("step")
+	f.Block("step").AddI(rI, rI, 1).Goto("head")
+	f.Block("exit").Store(rAcc, rOut, 0).Halt()
+	f.End()
+	return b.Build()
+}
+
+// CC models 126.gcc: a two-phase tokenizer plus stack-machine evaluator with
+// many small helper functions — high call density with tiny callees, the
+// case the CALL_THRESH inclusion targets.
+func CC() *ir.Program {
+	b := ir.NewBuilder("cc")
+	const srcLen = 2048
+	// Synthetic source: stream of small ints, 0-9 literals and 10-12 "ops".
+	var src []int64
+	seed := uint64(0x853C49E6748FEA9B)
+	state := int64(seed)
+	for i := 0; i < srcLen; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		src = append(src, (state>>40)&15)
+	}
+	srcBase := b.Data(src...)
+	toks := b.Zeros(srcLen)
+	stack := b.Zeros(128)
+	out := b.Zeros(1)
+
+	push := b.DeclareFn("push")
+	pop := b.DeclareFn("pop")
+	classify := b.DeclareFn("classify")
+
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(srcBase)).MovI(rB1, int64(toks)).
+		MovI(rB2, int64(stack)).MovI(rOut, int64(out)).
+		MovI(r14, 0). // value-stack depth, maintained across helpers
+		MovI(rI, 0).MovI(rAcc, 0).
+		Goto("lexhead")
+	// Phase 1: classify every input symbol through a helper call.
+	f.Block("lexhead").SltI(rT0, rI, srcLen).Br(rT0, "lexbody", "evalinit")
+	f.Block("lexbody").
+		ShlI(rT1, rI, 3).
+		Add(rT1, rT1, rB0).
+		Load(ir.RegArg0, rT1, 0).
+		Call(classify, "lexstore")
+	f.Block("lexstore").
+		ShlI(rT1, rI, 3).
+		Add(rT1, rT1, rB1).
+		Store(ir.RegRV, rT1, 0).
+		AddI(rI, rI, 1).
+		Goto("lexhead")
+	// Phase 2: evaluate the token stream on an explicit stack.
+	f.Block("evalinit").MovI(rI, 0).Goto("evalhead")
+	f.Block("evalhead").SltI(rT0, rI, srcLen).Br(rT0, "evalbody", "exit")
+	f.Block("evalbody").
+		ShlI(rT1, rI, 3).
+		Add(rT1, rT1, rB1).
+		Load(r10, rT1, 0).
+		SltI(rT0, r10, 10).
+		Br(rT0, "lit", "op")
+	f.Block("lit").Mov(ir.RegArg0, r10).Call(push, "latch")
+	f.Block("op"). // pop two, combine by op kind, push
+			Nop().Call(pop, "op2")
+	f.Block("op2").Mov(r11, ir.RegRV).Call(pop, "combine")
+	f.Block("combine").
+		ShlI(rT1, rI, 3).
+		Add(rT1, rT1, rB1).
+		Load(r10, rT1, 0). // reload token (helpers may clobber temps)
+		SeqI(rT0, r10, 10).
+		Br(rT0, "cadd", "csel")
+	f.Block("cadd").Add(ir.RegArg0, r11, ir.RegRV).Goto("cpush")
+	f.Block("csel").SeqI(rT0, r10, 11).Br(rT0, "cxor", "cmax")
+	f.Block("cxor").Xor(ir.RegArg0, r11, ir.RegRV).Goto("cpush")
+	f.Block("cmax").
+		Slt(rT0, r11, ir.RegRV).
+		Br(rT0, "cmaxb", "cmaxa")
+	f.Block("cmaxa").Mov(ir.RegArg0, r11).Goto("cpush")
+	f.Block("cmaxb").Mov(ir.RegArg0, ir.RegRV).Goto("cpush")
+	f.Block("cpush").AndI(ir.RegArg0, ir.RegArg0, 0xFFFF).Call(push, "latch")
+	f.Block("latch").AddI(rI, rI, 1).Goto("evalhead")
+	f.Block("exit").Nop().Call(pop, "store")
+	f.Block("store").Store(ir.RegRV, rOut, 0).Halt()
+	f.End()
+
+	// classify(sym): tiny callee — literal -> sym, op code 10-12 by range,
+	// everything else folds to a literal 1.
+	c := b.Func("classify")
+	c.Block("entry").SltI(rT0, ir.RegArg0, 10).Br(rT0, "isLit", "isOp")
+	c.Block("isLit").Mov(ir.RegRV, ir.RegArg0).Ret()
+	c.Block("isOp").SltI(rT0, ir.RegArg0, 13).Br(rT0, "keep", "fold")
+	c.Block("keep").Mov(ir.RegRV, ir.RegArg0).Ret()
+	c.Block("fold").MovI(ir.RegRV, 1).Ret()
+	c.End()
+
+	// push(v): stack[depth++ & 127] = v (depth in r14, stack base in rB2).
+	p := b.Func("push")
+	p.Block("entry").
+		AndI(rT3, r14, 127).
+		ShlI(rT3, rT3, 3).
+		Add(rT3, rT3, rB2).
+		Store(ir.RegArg0, rT3, 0).
+		AddI(r14, r14, 1).
+		Ret()
+	p.End()
+
+	// pop(): returns stack[--depth & 127]; guards empty stack.
+	q := b.Func("pop")
+	q.Block("entry").SltI(rT0, r14, 1).Br(rT0, "empty", "take")
+	q.Block("empty").MovI(ir.RegRV, 1).Ret()
+	q.Block("take").
+		AddI(r14, r14, -1).
+		AndI(rT3, r14, 127).
+		ShlI(rT3, rT3, 3).
+		Add(rT3, rT3, rB2).
+		Load(ir.RegRV, rT3, 0).
+		Ret()
+	q.End()
+	return b.Build()
+}
+
+// Compress models 129.compress: an LZW-style hash loop — a small loop body
+// with a loop-carried "previous code" register dependence and hash-table
+// loads/stores that create ambiguous memory dependences (the workload the
+// paper says responds to the task-size heuristic).
+func Compress() *ir.Program {
+	b := ir.NewBuilder("compress")
+	const nsym = 6000
+	table := b.Zeros(512)
+	out := b.Zeros(2)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(table)).MovI(rOut, int64(out)).
+		MovI(rLCG, 0x5DEECE66D).
+		MovI(rT2, 0). // prev code
+		MovI(rAcc, 0).MovI(rI, 0).
+		Goto("head")
+	f.Block("head").SltI(rT0, rI, nsym).Br(rT0, "body", "exit")
+	bb := f.Block("body")
+	lcgStep(bb, rLCG, rT1, 255) // next symbol
+	bb.ShlI(rT3, rT2, 8).
+		Add(rT3, rT3, rT1). // key = prev<<8 | sym
+		MulI(r10, rT3, 2654435761).
+		ShrI(r10, r10, 16).
+		AndI(r10, r10, 511).
+		ShlI(r10, r10, 3).
+		Add(r10, r10, rB0).
+		Load(r11, r10, 0).
+		Seq(r12, r11, rT3).
+		Br(r12, "hit", "miss")
+	f.Block("hit"). // present: extend the phrase
+			Add(rAcc, rAcc, rT3).
+			Mov(rT2, rT3).
+			AndI(rT2, rT2, 0xFFFF).
+			Goto("latch")
+	f.Block("miss"). // absent: emit code, insert, restart phrase
+				Store(rT3, r10, 0).
+				AddI(rAcc, rAcc, 1).
+				Mov(rT2, rT1).
+				Goto("latch")
+	f.Block("latch").AddI(rI, rI, 1).Goto("head")
+	f.Block("exit").Store(rAcc, rOut, 0).Halt()
+	f.End()
+	return b.Build()
+}
+
+// Li models 130.li: a list interpreter — cons-cell allocation, pointer-chase
+// traversal, and a mark pass, giving load-dependent addresses the compiler
+// cannot disambiguate.
+func Li() *ir.Program {
+	b := ir.NewBuilder("li")
+	const cells = 2048
+	heap := b.Zeros(cells * 2) // (car, cdr) pairs
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(heap)).MovI(rOut, int64(out)).
+		MovI(rLCG, 0x41C64E6D).
+		MovI(r14, 0). // allocation cursor (cell index)
+		MovI(rJ, 0).  // list counter
+		MovI(rAcc, 0).
+		Goto("lists")
+	// Build 48 lists of pseudo-random length 1..32; heads chained into a
+	// directory at the start of the heap region (cells are never reused).
+	f.Block("lists").SltI(rT0, rJ, 48).Br(rT0, "build", "walkinit")
+	bb := f.Block("build")
+	lcgStep(bb, rLCG, rN, 31)
+	bb.AddI(rN, rN, 1).
+		MovI(r10, -1). // tail = nil
+		MovI(rI, 0).
+		Goto("chead")
+	f.Block("chead").Slt(rT0, rI, rN).Br(rT0, "cons", "endlist")
+	cons := f.Block("cons")
+	lcgStep(cons, rLCG, rT1, 1023)
+	cons. // cell = alloc cursor; car = value, cdr = tail
+		AddI(r14, r14, 1).
+		AndI(r11, r14, cells-1).
+		ShlI(r12, r11, 4). // *16 bytes per cell
+		Add(r12, r12, rB0).
+		Store(rT1, r12, 0).
+		Store(r10, r12, 8).
+		Mov(r10, r11). // tail = this cell
+		AddI(rI, rI, 1).
+		Goto("chead")
+	f.Block("endlist"). // remember head in directory slot j
+				ShlI(rT1, rJ, 3).
+				Add(rT1, rT1, rOut). // directory lives right after out... use heap tail
+				Nop().
+				Goto("endlist2")
+	f.Block("endlist2"). // store head into heap cell j's spare: reuse car of cell j? keep simple: chase now
+				Mov(r13, r10).
+				Goto("whead")
+	// Walk the list just built, summing cars (pointer chase).
+	f.Block("whead").SltI(rT0, r13, 0).Br(rT0, "wdone", "wbody")
+	f.Block("wbody").
+		ShlI(rT1, r13, 4).
+		Add(rT1, rT1, rB0).
+		Load(rT2, rT1, 0).
+		Add(rAcc, rAcc, rT2).
+		Load(r13, rT1, 8). // next
+		Goto("whead")
+	f.Block("wdone").AddI(rJ, rJ, 1).Goto("lists")
+	// Mark pass: sweep all cells, tag odd cars.
+	f.Block("walkinit").MovI(rI, 0).Goto("mhead")
+	f.Block("mhead").SltI(rT0, rI, cells).Br(rT0, "mbody", "exit")
+	f.Block("mbody").
+		ShlI(rT1, rI, 4).
+		Add(rT1, rT1, rB0).
+		Load(rT2, rT1, 0).
+		AndI(rT3, rT2, 1).
+		Br(rT3, "mark", "mlatch")
+	f.Block("mark").
+		OrI(rT2, rT2, 4096).
+		Store(rT2, rT1, 0).
+		AddI(rAcc, rAcc, 1).
+		Goto("mlatch")
+	f.Block("mlatch").AddI(rI, rI, 1).Goto("mhead")
+	f.Block("exit").Store(rAcc, rOut, 0).Halt()
+	f.End()
+	return b.Build()
+}
+
+// Ijpeg models 132.ijpeg: blocked integer image transforms — large
+// straight-line loop bodies over 8x8 blocks with regular control flow (the
+// integer benchmark whose loop-level tasks predict well in Table 1).
+func Ijpeg() *ir.Program {
+	b := ir.NewBuilder("ijpeg")
+	const blocks = 24
+	img := b.Zeros(blocks * 64)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(img)).MovI(rOut, int64(out)).
+		MovI(rLCG, 0x2545F4914F6CDD1D).
+		MovI(rAcc, 0).MovI(rJ, 0).
+		Goto("fillhead")
+	// Fill the image deterministically.
+	f.Block("fillhead").SltI(rT0, rJ, blocks*64).Br(rT0, "fill", "xform")
+	bb := f.Block("fill")
+	lcgStep(bb, rLCG, rT1, 255)
+	bb.ShlI(rT2, rJ, 3).
+		Add(rT2, rT2, rB0).
+		Store(rT1, rT2, 0).
+		AddI(rJ, rJ, 1).
+		Goto("fillhead")
+	// Per block: a row butterfly pass over 8 rows (straight-line body).
+	f.Block("xform").MovI(rJ, 0).Goto("bhead")
+	f.Block("bhead").SltI(rT0, rJ, blocks).Br(rT0, "rowinit", "exit")
+	f.Block("rowinit").
+		ShlI(rB1, rJ, 9). // block base: 64 words * 8 bytes
+		Add(rB1, rB1, rB0).
+		MovI(rI, 0).
+		Goto("rhead")
+	f.Block("rhead").SltI(rT0, rI, 8).Br(rT0, "rbody", "blatch")
+	rb := f.Block("rbody")
+	rb.ShlI(rT1, rI, 6). // row base: 8 words * 8 bytes
+				Add(rT1, rT1, rB1)
+	// Butterfly: pairs (0,7) (1,6) (2,5) (3,4), sums into even slots,
+	// differences into odd — one long straight-line block.
+	for k := 0; k < 4; k++ {
+		lo := int64(k * 8)
+		hi := int64((7 - k) * 8)
+		rb.Load(r10, rT1, lo).
+			Load(r11, rT1, hi).
+			Add(r12, r10, r11).
+			Sub(r13, r10, r11).
+			ShrI(r13, r13, 1).
+			Store(r12, rT1, lo).
+			Store(r13, rT1, hi).
+			Add(rAcc, rAcc, r12)
+	}
+	rb.AddI(rI, rI, 1).Goto("rhead")
+	f.Block("blatch").AddI(rJ, rJ, 1).Goto("bhead")
+	f.Block("exit").Store(rAcc, rOut, 0).Halt()
+	f.End()
+	return b.Build()
+}
+
+// Perl models 134.perl: hashing and string-ish inner loops — an
+// open-addressing hash with probe loops and per-word byte scans, mixing
+// unpredictable exits with pointer-dependent stores.
+func Perl() *ir.Program {
+	b := ir.NewBuilder("perl")
+	const nwords = 1500
+	const tblSize = 1024
+	tbl := b.Zeros(tblSize)
+	out := b.Zeros(1)
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(tbl)).MovI(rOut, int64(out)).
+		MovI(rLCG, 0x9E3779B9).
+		MovI(rAcc, 0).MovI(rI, 0).
+		Goto("head")
+	f.Block("head").SltI(rT0, rI, nwords).Br(rT0, "mkword", "exit")
+	bb := f.Block("mkword")
+	lcgStep(bb, rLCG, r10, -1) // the "word": 31 bits
+	bb.MovI(r11, 0).           // hash
+					MovI(rJ, 0).
+					Mov(r12, r10).
+					Goto("bhead")
+	// Byte scan: hash = hash*31 + byte, 4 bytes.
+	f.Block("bhead").SltI(rT0, rJ, 4).Br(rT0, "bbody", "probeinit")
+	f.Block("bbody").
+		AndI(rT1, r12, 255).
+		MulI(r11, r11, 31).
+		Add(r11, r11, rT1).
+		ShrI(r12, r12, 8).
+		AddI(rJ, rJ, 1).
+		Goto("bhead")
+	// Probe loop: find word or first empty slot (0 = empty).
+	f.Block("probeinit").AndI(r13, r11, tblSize-1).MovI(rJ, 0).Goto("phead")
+	f.Block("phead").SltI(rT0, rJ, 16).Br(rT0, "pbody", "latch") // probe cap
+	f.Block("pbody").
+		ShlI(rT1, r13, 3).
+		Add(rT1, rT1, rB0).
+		Load(rT2, rT1, 0).
+		SeqI(rT0, rT2, 0).
+		Br(rT0, "insert", "cmp")
+	f.Block("insert").
+		OrI(r14, r10, 1). // keys are made nonzero
+		Store(r14, rT1, 0).
+		AddI(rAcc, rAcc, 1).
+		Goto("latch")
+	f.Block("cmp").
+		OrI(r14, r10, 1).
+		Seq(rT0, rT2, r14).
+		Br(rT0, "found", "next")
+	f.Block("found").AddI(rAcc, rAcc, 3).Goto("latch")
+	f.Block("next").
+		AddI(r13, r13, 1).
+		AndI(r13, r13, tblSize-1).
+		AddI(rJ, rJ, 1).
+		Goto("phead")
+	f.Block("latch").AddI(rI, rI, 1).Goto("head")
+	f.Block("exit").Store(rAcc, rOut, 0).Halt()
+	f.End()
+	return b.Build()
+}
+
+// Vortex models 147.vortex: an object store — binary-search lookups and
+// field updates through moderately sized helper functions, the call-heavy
+// integer benchmark with larger callees than cc.
+func Vortex() *ir.Program {
+	b := ir.NewBuilder("vortex")
+	const nrec = 256
+	// Records: 4 fields each; field 0 is the sorted key (i*7+3).
+	var recs []int64
+	for i := 0; i < nrec; i++ {
+		recs = append(recs, int64(i*7+3), int64(i), 0, int64(i%13))
+	}
+	base := b.Data(recs...)
+	out := b.Zeros(1)
+	lookup := b.DeclareFn("lookup")
+	update := b.DeclareFn("update")
+
+	f := b.Func("main")
+	f.Block("entry").
+		MovI(rB0, int64(base)).MovI(rOut, int64(out)).
+		MovI(rLCG, vortexSeed()).
+		MovI(rAcc, 0).MovI(rI, 0).
+		Goto("head")
+	f.Block("head").SltI(rT0, rI, 1200).Br(rT0, "txn", "exit")
+	bb := f.Block("txn")
+	lcgStep(bb, rLCG, rT1, nrec-1)
+	bb.MulI(ir.RegArg0, rT1, 7).
+		AddI(ir.RegArg0, ir.RegArg0, 3). // an existing key
+		AddI(ir.RegSP, ir.RegSP, -16).
+		Store(rI, ir.RegSP, 0).
+		Store(rAcc, ir.RegSP, 8).
+		Call(lookup, "found")
+	f.Block("found").
+		Mov(ir.RegArg0, ir.RegRV).
+		Call(update, "post")
+	f.Block("post").
+		Load(rI, ir.RegSP, 0).
+		Load(rAcc, ir.RegSP, 8).
+		AddI(ir.RegSP, ir.RegSP, 16).
+		Add(rAcc, rAcc, ir.RegRV).
+		AddI(rI, rI, 1).
+		Goto("head")
+	f.Block("exit").Store(rAcc, rOut, 0).Halt()
+	f.End()
+
+	// lookup(key): binary search over the sorted keys; returns record index.
+	l := b.Func("lookup")
+	l.Block("entry").
+		MovI(r10, 0).    // lo
+		MovI(r11, nrec). // hi
+		MovI(ir.RegRV, 0).
+		Goto("lhead")
+	l.Block("lhead").Slt(rT0, r10, r11).Br(rT0, "lbody", "ldone")
+	l.Block("lbody").
+		Add(r12, r10, r11).
+		ShrI(r12, r12, 1). // mid
+		ShlI(rT1, r12, 5). // *4 fields *8 bytes
+		Add(rT1, rT1, rB0).
+		Load(rT2, rT1, 0).
+		Slt(rT0, rT2, ir.RegArg0).
+		Br(rT0, "goRight", "goLeftOrHit")
+	l.Block("goRight").AddI(r10, r12, 1).Goto("lhead")
+	l.Block("goLeftOrHit").
+		Seq(rT0, rT2, ir.RegArg0).
+		Br(rT0, "hit", "goLeft")
+	l.Block("hit").Mov(ir.RegRV, r12).Ret()
+	l.Block("goLeft").Mov(r11, r12).Goto("lhead")
+	l.Block("ldone").Mov(ir.RegRV, r10).AndI(ir.RegRV, ir.RegRV, nrec-1).Ret()
+	l.End()
+
+	// update(idx): bump the use counter (field 2) and fold the tag (field 3).
+	u := b.Func("update")
+	u.Block("entry").
+		ShlI(rT1, ir.RegArg0, 5).
+		Add(rT1, rT1, rB0).
+		Load(rT2, rT1, 16).
+		AddI(rT2, rT2, 1).
+		Store(rT2, rT1, 16).
+		Load(rT3, rT1, 24).
+		Xor(ir.RegRV, rT2, rT3).
+		AndI(ir.RegRV, ir.RegRV, 1023).
+		Ret()
+	u.End()
+	return b.Build()
+}
+
+// vortexSeed returns the LCG seed as int64 (the literal exceeds MaxInt64).
+func vortexSeed() int64 {
+	s := uint64(0xDA3E39CB94B95BDB)
+	return int64(s)
+}

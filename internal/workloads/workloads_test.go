@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/emu"
+	"multiscalar/internal/ir"
+)
+
+const budget = 5_000_000
+
+func TestAllWorkloadsBuildAndValidate(t *testing.T) {
+	for _, w := range All() {
+		p := w.Build()
+		if err := ir.Validate(p); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if p.Name != w.Name {
+			t.Errorf("%s: program named %q", w.Name, p.Name)
+		}
+	}
+}
+
+func TestAllWorkloadsTerminate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m := emu.New(w.Build())
+			if err := m.Run(budget); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if m.Count < 5_000 {
+				t.Errorf("%s: only %d dynamic instructions; too small to evaluate", w.Name, m.Count)
+			}
+			if m.Count > 1_000_000 {
+				t.Errorf("%s: %d dynamic instructions; too large for the experiment suite", w.Name, m.Count)
+			}
+			if m.Mem.Checksum() == emu.NewMemory().Checksum() {
+				t.Errorf("%s: left no trace in memory", w.Name)
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		m1 := emu.New(w.Build())
+		m2 := emu.New(w.Build())
+		if err := m1.Run(budget); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Run(budget); err != nil {
+			t.Fatal(err)
+		}
+		if m1.Mem.Checksum() != m2.Mem.Checksum() || m1.Count != m2.Count {
+			t.Errorf("%s: nondeterministic run", w.Name)
+		}
+	}
+}
+
+func TestWorkloadsPartitionUnderAllHeuristics(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, h := range []core.Heuristic{core.BasicBlock, core.ControlFlow, core.DataDependence} {
+				part, err := core.Select(w.Build(), core.Options{Heuristic: h, TaskSize: true})
+				if err != nil {
+					t.Fatalf("%v: %v", h, err)
+				}
+				var instrs int
+				if err := core.WalkTasks(part, budget, func(te core.TaskExec) {
+					instrs += te.DynInstrs
+				}); err != nil {
+					t.Fatalf("%v: WalkTasks: %v", h, err)
+				}
+				m := emu.New(part.Prog)
+				if err := m.Run(budget); err != nil {
+					t.Fatal(err)
+				}
+				if uint64(instrs) != m.Count {
+					t.Errorf("%v: tasks cover %d of %d instructions", h, instrs, m.Count)
+				}
+			}
+		})
+	}
+}
+
+func TestNamesAndByName(t *testing.T) {
+	names := Names()
+	if len(names) != 18 {
+		t.Fatalf("%d workloads, want 18", len(names))
+	}
+	for _, n := range names {
+		w, err := ByName(n)
+		if err != nil || w.Name != n {
+			t.Errorf("ByName(%q) = %v, %v", n, w.Name, err)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName accepted an unknown name")
+	}
+	intCount, fpCount := 0, 0
+	for _, w := range All() {
+		if w.FP {
+			fpCount++
+		} else {
+			intCount++
+		}
+	}
+	if intCount != 8 || fpCount != 10 {
+		t.Errorf("suite split %d int / %d fp, want 8/10", intCount, fpCount)
+	}
+}
+
+func TestSuiteSpansTaskSizes(t *testing.T) {
+	// The suite must span the paper's range: small branchy integer blocks
+	// and large FP loop bodies. Check basic-block task sizes diverge.
+	sizes := map[string]float64{}
+	for _, name := range []string{"go", "fpppp"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := core.Select(w.Build(), core.Options{Heuristic: core.BasicBlock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var instrs, tasks int
+		if err := core.WalkTasks(part, budget, func(te core.TaskExec) {
+			instrs += te.DynInstrs
+			tasks++
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sizes[name] = float64(instrs) / float64(tasks)
+	}
+	if sizes["go"] >= 12 {
+		t.Errorf("go basic blocks average %.1f instrs; expected small branchy blocks", sizes["go"])
+	}
+	if sizes["fpppp"] <= 20 {
+		t.Errorf("fpppp basic blocks average %.1f instrs; expected large blocks", sizes["fpppp"])
+	}
+}

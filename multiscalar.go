@@ -1,0 +1,171 @@
+// Package multiscalar is a from-scratch reproduction of "Task Selection for
+// a Multiscalar Processor" (T. N. Vijaykumar and G. S. Sohi, MICRO-31,
+// 1998): the compiler task-selection heuristics that partition a sequential
+// program into speculative tasks, and the cycle-level Multiscalar machine
+// they were evaluated on.
+//
+// The library is organized as a pipeline:
+//
+//	program  := multiscalar.NewBuilder("name")...Build()   // or ParseAsm
+//	partition, _ := multiscalar.Select(program, multiscalar.Options{
+//		Heuristic: multiscalar.ControlFlow,
+//	})
+//	result, _ := multiscalar.Simulate(partition, multiscalar.DefaultConfig(4))
+//	fmt.Println(result.IPC)
+//
+// Programs are written in a small RISC-like IR with an explicit CFG (package
+// internal/ir), partitioned into tasks by the paper's basic-block,
+// control-flow, and data-dependence heuristics with the task-size heuristic
+// as an option (internal/core), and timed on a simulator with per-PU
+// pipelines, gshare and path-based predictors, a register communication
+// ring, and ARB-based memory dependence speculation (internal/sim).
+//
+// The paper's SPEC95 evaluation is reproduced by the 18 synthetic workloads
+// in Workloads and regenerated end to end by Figure5 and Table1; see
+// EXPERIMENTS.md for paper-vs-measured numbers.
+package multiscalar
+
+import (
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/emu"
+	"multiscalar/internal/experiment"
+	"multiscalar/internal/ir"
+	"multiscalar/internal/sim"
+	"multiscalar/internal/workloads"
+)
+
+// Program construction.
+type (
+	// Program is an executable in the reproduction's IR.
+	Program = ir.Program
+	// Builder constructs programs; see NewBuilder.
+	Builder = ir.Builder
+	// Reg names an architectural register (R(i) integer, F(i) float).
+	Reg = ir.Reg
+)
+
+// NewBuilder returns a builder for a new program.
+func NewBuilder(name string) *Builder { return ir.NewBuilder(name) }
+
+// R returns the i'th integer register; F the i'th floating-point register.
+func R(i int) Reg { return ir.R(i) }
+
+// F returns the i'th floating-point register.
+func F(i int) Reg { return ir.F(i) }
+
+// ParseAsm assembles the textual IR syntax (the same syntax FormatProgram
+// emits) into a program.
+func ParseAsm(name, src string) (*Program, error) { return asm.Parse(name, src) }
+
+// FormatProgram renders a program in assembler syntax.
+func FormatProgram(p *Program) string { return ir.Format(p) }
+
+// Task selection (the paper's contribution).
+type (
+	// Partition is a complete task selection for a program.
+	Partition = core.Partition
+	// Task is one static Multiscalar task.
+	Task = core.Task
+	// Options configures Select.
+	Options = core.Options
+	// Heuristic chooses the selection strategy.
+	Heuristic = core.Heuristic
+	// TaskExec describes one dynamic task instance (see WalkTasks).
+	TaskExec = core.TaskExec
+)
+
+// The task-selection strategies evaluated in the paper.
+const (
+	// BasicBlock makes every basic block a task (the paper's baseline).
+	BasicBlock = core.BasicBlock
+	// ControlFlow grows multi-block tasks bounded by terminal nodes/edges
+	// and the hardware target limit.
+	ControlFlow = core.ControlFlow
+	// DataDependence additionally steers growth along profiled def-use
+	// chains.
+	DataDependence = core.DataDependence
+)
+
+// Select partitions a program into Multiscalar tasks. The input program is
+// never mutated.
+func Select(p *Program, opts Options) (*Partition, error) { return core.Select(p, opts) }
+
+// WalkTasks executes the partitioned program sequentially, invoking visit
+// for every dynamic task instance in program order — the measurement
+// backbone behind Table 1.
+func WalkTasks(part *Partition, limit uint64, visit func(TaskExec)) error {
+	return core.WalkTasks(part, limit, visit)
+}
+
+// Simulation.
+type (
+	// Config describes a simulated Multiscalar machine.
+	Config = sim.Config
+	// Result is the outcome of one simulation.
+	Result = sim.Result
+)
+
+// DefaultConfig returns the paper's §4.2 machine for the given PU count.
+func DefaultConfig(numPUs int) Config { return sim.DefaultConfig(numPUs) }
+
+// Simulate runs the partitioned program on the configured machine and
+// returns cycle counts, IPC, prediction accuracies, and the §2.3 time
+// breakdown. The simulator's final architectural state always equals the
+// sequential emulator's.
+func Simulate(part *Partition, cfg Config) (*Result, error) { return sim.Run(part, cfg) }
+
+// Emulate runs the program sequentially (the architectural reference),
+// returning the executed instruction count and a memory checksum.
+func Emulate(p *Program, limit uint64) (instrs uint64, checksum uint64, err error) {
+	m := emu.New(p)
+	if err := m.Run(limit); err != nil {
+		return 0, 0, err
+	}
+	return m.Count, m.Mem.Checksum(), nil
+}
+
+// Workloads.
+type (
+	// Workload is one of the 18 SPEC95-analog benchmark programs.
+	Workload = workloads.Workload
+)
+
+// Workloads returns the full benchmark suite (8 integer, 10 floating point).
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName returns one benchmark by its SPEC95 name (e.g. "compress").
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// Experiments.
+type (
+	// Runner caches partitions and simulations across experiments.
+	Runner = experiment.Runner
+	// Variant names one bar of Figure 5.
+	Variant = experiment.Variant
+	// Fig5Cell is one bar of Figure 5.
+	Fig5Cell = experiment.Fig5Cell
+	// T1Row is one row of Table 1.
+	T1Row = experiment.T1Row
+	// SimConfig selects one machine point for experiments.
+	SimConfig = experiment.SimConfig
+)
+
+// NewRunner returns an empty experiment runner.
+func NewRunner() *Runner { return experiment.NewRunner() }
+
+// Figure5 regenerates the paper's Figure 5 grid (nil arguments select the
+// paper's full configuration: 4 and 8 PUs, every workload).
+func Figure5(r *Runner, pus []int, names []string) ([]Fig5Cell, error) {
+	return experiment.Figure5(r, pus, names)
+}
+
+// Table1 regenerates the paper's Table 1 on 8 out-of-order PUs.
+func Table1(r *Runner, names []string) ([]T1Row, error) { return experiment.Table1(r, names) }
+
+// FormatFigure5 and FormatTable1 render experiment output in the paper's
+// layout.
+func FormatFigure5(cells []Fig5Cell) string { return experiment.FormatFigure5(cells) }
+
+// FormatTable1 renders Table 1 rows.
+func FormatTable1(rows []T1Row) string { return experiment.FormatTable1(rows) }
