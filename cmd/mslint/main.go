@@ -1,0 +1,175 @@
+// Command mslint runs the static Multiscalar invariant checker: it selects
+// tasks for a benchmark (or an assembly file) and verifies both the program
+// (IR000–IR005) and the resulting partition (PT001–PT009) against the task
+// invariants of the paper. See DESIGN.md §7 for the rule catalog.
+//
+// Usage:
+//
+//	mslint -workload compress -heuristic dd -tasksize
+//	mslint -asm prog.s -heuristic cf
+//	mslint -all
+//
+// Exit status is 0 when no error-severity findings exist, 1 when at least
+// one does, and 2 on usage errors. -min controls which findings print;
+// the exit status always reflects errors regardless of the display filter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/ir"
+	"multiscalar/internal/verify"
+	"multiscalar/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "benchmark name (see -list)")
+		asmFile   = flag.String("asm", "", "assembly file to lint instead of a workload")
+		heuristic = flag.String("heuristic", "cf", "task selection heuristic: bb, cf, or dd")
+		taskSize  = flag.Bool("tasksize", false, "apply the task-size heuristic (unrolling, call inclusion)")
+		targets   = flag.Int("targets", 4, "hardware target limit N")
+		all       = flag.Bool("all", false, "lint every workload under every heuristic, with and without -tasksize")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+		min       = flag.String("min", "warn", "lowest severity to print: info, warn, or error")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Println(w.Name)
+		}
+		return
+	}
+	minSev, err := parseSeverity(*min)
+	if err != nil {
+		usage(err)
+	}
+	if *all {
+		if *workload != "" || *asmFile != "" {
+			usage(fmt.Errorf("-all cannot be combined with -workload or -asm"))
+		}
+		os.Exit(lintAll(minSev, *targets))
+	}
+	prog, err := loadProgram(*workload, *asmFile)
+	if err != nil {
+		usage(err)
+	}
+	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		usage(err)
+	}
+	name := *workload
+	if name == "" {
+		name = *asmFile
+	}
+	errs, fatalErr := lintOne(name, prog, core.Options{Heuristic: h, TaskSize: *taskSize, MaxTargets: *targets}, minSev)
+	if fatalErr != nil {
+		fmt.Fprintln(os.Stderr, "mslint:", fatalErr)
+		os.Exit(1)
+	}
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// lintOne verifies one program/options combination, printing findings at or
+// above minSev and a one-line summary. It returns the error-finding count.
+func lintOne(name string, prog *ir.Program, opts core.Options, minSev verify.Severity) (int, error) {
+	part, err := core.Select(prog, opts)
+	if err != nil {
+		return 0, fmt.Errorf("%s: select: %w", name, err)
+	}
+	fs := verify.Partition(part)
+	shown := fs.MinSeverity(minSev)
+	if len(shown) > 0 {
+		fmt.Print(shown)
+	}
+	ts := ""
+	if opts.TaskSize {
+		ts = " +tasksize"
+	}
+	fmt.Printf("%s [%v%s]: %d tasks, %d errors, %d warnings, %d findings\n",
+		name, opts.Heuristic, ts, len(part.Tasks), fs.Errors(), fs.Warnings(), len(fs))
+	return fs.Errors(), nil
+}
+
+// lintAll sweeps the full benchmark grid — every workload under every
+// heuristic, with and without the task-size heuristic — and returns the
+// process exit code.
+func lintAll(minSev verify.Severity, targets int) int {
+	heuristics := []core.Heuristic{core.BasicBlock, core.ControlFlow, core.DataDependence}
+	totalErrs, configs := 0, 0
+	for _, w := range workloads.All() {
+		for _, h := range heuristics {
+			for _, ts := range []bool{false, true} {
+				opts := core.Options{Heuristic: h, TaskSize: ts, MaxTargets: targets}
+				errs, err := lintOne(w.Name, w.Build(), opts, minSev)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "mslint:", err)
+					return 1
+				}
+				totalErrs += errs
+				configs++
+			}
+		}
+	}
+	fmt.Printf("\n%d configurations linted, %d error findings\n", configs, totalErrs)
+	if totalErrs > 0 {
+		return 1
+	}
+	return 0
+}
+
+func loadProgram(workload, asmFile string) (*ir.Program, error) {
+	switch {
+	case workload != "" && asmFile != "":
+		return nil, fmt.Errorf("use either -workload or -asm, not both")
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Parse(asmFile, string(src))
+	case workload != "":
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		return w.Build(), nil
+	}
+	return nil, fmt.Errorf("one of -workload, -asm, or -all is required (try -list)")
+}
+
+func parseHeuristic(s string) (core.Heuristic, error) {
+	switch s {
+	case "bb":
+		return core.BasicBlock, nil
+	case "cf":
+		return core.ControlFlow, nil
+	case "dd":
+		return core.DataDependence, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q (want bb, cf, or dd)", s)
+}
+
+func parseSeverity(s string) (verify.Severity, error) {
+	switch s {
+	case "info":
+		return verify.SevInfo, nil
+	case "warn":
+		return verify.SevWarn, nil
+	case "error":
+		return verify.SevError, nil
+	}
+	return 0, fmt.Errorf("unknown severity %q (want info, warn, or error)", s)
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "mslint:", err)
+	os.Exit(2)
+}

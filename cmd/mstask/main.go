@@ -16,6 +16,7 @@ import (
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/ir"
+	"multiscalar/internal/verify"
 	"multiscalar/internal/workloads"
 
 	"multiscalar/internal/asm"
@@ -29,6 +30,7 @@ func main() {
 		taskSize  = flag.Bool("tasksize", false, "apply the task-size heuristic (unrolling, call inclusion)")
 		targets   = flag.Int("targets", 4, "hardware target limit N")
 		list      = flag.Bool("list", false, "list available workloads and exit")
+		verifyP   = flag.Bool("verify", false, "run the static invariant checker on the partition (exit 1 on error findings)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,18 @@ func main() {
 		fatal(err)
 	}
 	printPartition(part)
+	if *verifyP {
+		fs := verify.Partition(part)
+		fmt.Println()
+		if len(fs) > 0 {
+			fmt.Print(fs)
+		}
+		fmt.Printf("verify: %d errors, %d warnings, %d findings\n",
+			fs.Errors(), fs.Warnings(), len(fs))
+		if fs.Errors() > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 func loadProgram(workload, asmFile string) (*ir.Program, error) {

@@ -314,6 +314,15 @@ func (g *CFG) IsBackEdge(src, dst ir.BlockID) bool {
 	return g.RPOIdx[src] >= g.RPOIdx[dst]
 }
 
+// IsTerminalEdge reports whether the edge src->dst must terminate any task
+// it leaves: retreating (back) edges plus the loop entry/exit rules of the
+// paper's task-size discussion. This is the shared is_a_terminal_edge test
+// used by both the task selector (internal/core) and the static verifier
+// (internal/verify), so the two can never disagree about task boundaries.
+func (g *CFG) IsTerminalEdge(src, dst ir.BlockID) bool {
+	return g.IsBackEdge(src, dst) || g.IsLoopEntryEdge(src, dst) || g.IsLoopExitEdge(src, dst)
+}
+
 // LoopHeader reports whether b is the header of some natural loop.
 func (g *CFG) LoopHeader(b ir.BlockID) bool {
 	for _, l := range g.Loops {

@@ -207,14 +207,7 @@ func (s *selector) terminalNode(fn ir.FnID, b ir.BlockID) bool {
 // of the task-size discussion: DFS back/cross edges, edges entering a loop,
 // and edges leaving a loop all terminate tasks.
 func (s *selector) terminalEdge(fn ir.FnID, from, to ir.BlockID) bool {
-	g := s.cfgs[fn]
-	if g.IsBackEdge(from, to) {
-		return true
-	}
-	if g.IsLoopEntryEdge(from, to) || g.IsLoopExitEdge(from, to) {
-		return true
-	}
-	return false
+	return s.cfgs[fn].IsTerminalEdge(from, to)
 }
 
 // dynSuccs returns the blocks control can continue to from b while remaining

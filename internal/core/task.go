@@ -140,6 +140,36 @@ func (t *Task) Continues(from, to ir.BlockID) bool {
 	return t.continueEdge[edge{from: from, to: to}]
 }
 
+// AddContinueEdge marks from→to as an edge along which execution stays inside
+// the task instance. Select computes continue edges itself; this mutator
+// exists for tooling and tests (internal/verify's negative fixtures) that
+// build or corrupt partitions by hand.
+func (t *Task) AddContinueEdge(from, to ir.BlockID) {
+	if t.continueEdge == nil {
+		t.continueEdge = make(map[edge]bool)
+	}
+	t.continueEdge[edge{from: from, to: to}] = true
+}
+
+// ContinueEdges returns every continue edge as (from, to) pairs in
+// deterministic order, for analyses that need to walk the intra-task subgraph
+// without probing all block pairs.
+func (t *Task) ContinueEdges() [][2]ir.BlockID {
+	out := make([][2]ir.BlockID, 0, len(t.continueEdge))
+	for e, ok := range t.continueEdge {
+		if ok {
+			out = append(out, [2]ir.BlockID{e.from, e.to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // ForwardsAt reports whether the instruction at (blk, idx) is a forward point
 // (the last definition of its destination register within the task).
 func (t *Task) ForwardsAt(blk ir.BlockID, idx int) bool {

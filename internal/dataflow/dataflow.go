@@ -11,6 +11,7 @@ package dataflow
 
 import (
 	"sort"
+	"strings"
 
 	"multiscalar/internal/cfganal"
 	"multiscalar/internal/ir"
@@ -41,6 +42,20 @@ func (s RegSet) Count() int {
 		n++
 	}
 	return n
+}
+
+// String renders the set as "{r3 r5 f0}" in ascending register order.
+func (s RegSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, r := range s.Regs() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(r.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
 }
 
 // Regs returns the members in ascending order.

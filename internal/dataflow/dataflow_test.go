@@ -57,7 +57,8 @@ func TestBlockUseDef(t *testing.T) {
 	f.Block("entry").
 		MovI(ir.R(3), 1).
 		Add(ir.R(4), ir.R(3), ir.R(4)).
-		Br(ir.R(5), "end", "end")
+		Br(ir.R(5), "end", "alt")
+	f.Block("alt").Goto("end")
 	f.Block("end").Halt()
 	f.End()
 	fa := analyzeMain(t, b.Build())

@@ -195,6 +195,19 @@ func TestValidateCatchesBadTargets(t *testing.T) {
 	}
 }
 
+func TestValidateCatchesDegenerateBranch(t *testing.T) {
+	p := buildLoopProg(t)
+	head := p.Fn(0).Block(1)
+	head.Term.Fall = head.Term.Taken
+	err := Validate(p)
+	if err == nil {
+		t.Fatal("Validate accepted a br whose taken and fall targets coincide")
+	}
+	if !strings.Contains(err.Error(), "degenerate branch") {
+		t.Errorf("diagnostic %q does not name the degenerate branch", err)
+	}
+}
+
 func TestValidateCatchesBadCallee(t *testing.T) {
 	p := buildLoopProg(t)
 	p.Fn(0).Block(0).Term = Terminator{Kind: TermCall, Callee: 42, Fall: 1}

@@ -75,6 +75,9 @@ func validateFn(p *Program, f *Function) error {
 			if err := checkTarget(b, "branch fall", b.Term.Fall); err != nil {
 				return err
 			}
+			if b.Term.Taken == b.Term.Fall {
+				return fmt.Errorf("%w: function %q block %d: degenerate branch (taken and fall are both %d); use goto — a br with equal arms executes as an unconditional jump but inflates control-transfer and task-target counts", ErrInvalid, f.Name, b.ID, b.Term.Taken)
+			}
 		case TermCall:
 			if b.Term.Callee < 0 || int(b.Term.Callee) >= len(p.Fns) {
 				return fmt.Errorf("%w: function %q block %d: callee %d out of range", ErrInvalid, f.Name, b.ID, b.Term.Callee)

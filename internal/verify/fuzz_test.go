@@ -1,0 +1,32 @@
+package verify
+
+import (
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/progtest"
+)
+
+// FuzzVerifyPartition feeds generated programs through the full selection
+// pipeline and asserts the verifier neither panics nor finds error-severity
+// violations in anything Select produces — the same contract the workload
+// oracle checks, over an open-ended program space.
+func FuzzVerifyPartition(f *testing.F) {
+	f.Add(int64(0), byte(0), false)
+	f.Add(int64(1), byte(1), true)
+	f.Add(int64(42), byte(2), true)
+	f.Add(int64(-7), byte(5), false)
+	f.Fuzz(func(t *testing.T, seed int64, heur byte, tasksize bool) {
+		prog := progtest.Generate(seed)
+		h := []core.Heuristic{core.BasicBlock, core.ControlFlow, core.DataDependence}[int(heur)%3]
+		part, err := core.Select(prog, core.Options{Heuristic: h, TaskSize: tasksize})
+		if err != nil {
+			t.Fatalf("Select: %v", err)
+		}
+		fs := Partition(part)
+		if n := fs.Errors(); n != 0 {
+			t.Errorf("seed %d %v/ts=%v: %d error findings:\n%s",
+				seed, h, tasksize, n, fs.MinSeverity(SevError))
+		}
+	})
+}

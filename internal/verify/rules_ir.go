@@ -1,0 +1,216 @@
+package verify
+
+import (
+	"sort"
+	"strings"
+
+	"multiscalar/internal/dataflow"
+	"multiscalar/internal/ir"
+)
+
+// checkProgram runs the IR-layer rules. IR000 gates the rest: the deeper
+// analyses dereference block and function IDs freely and only run on
+// structurally valid programs.
+func (c *checker) checkProgram() {
+	if err := ir.Validate(c.prog); err != nil {
+		c.report(RuleInvalidIR, SevError, ir.NoFn, ir.NoBlock, -1, "%v", err)
+		return
+	}
+	c.valid = true
+	c.analyze()
+	for _, fa := range c.fns {
+		c.checkUnreachable(fa)
+		c.checkUndefUses(fa)
+		c.checkDeadStores(fa)
+	}
+	c.checkRecursion()
+}
+
+// checkUnreachable flags blocks the function entry can never reach (IR001).
+// They cost code size, skew static statistics, and — because the selector
+// skips them — silently hold no task.
+func (c *checker) checkUnreachable(fa *fnAnalysis) {
+	for b := range fa.f.Blocks {
+		if fa.g.DFSNum[b] < 0 {
+			c.report(RuleUnreachable, SevWarn, fa.f.ID, ir.BlockID(b), -1,
+				"block unreachable from function entry")
+		}
+	}
+}
+
+// checkUndefUses flags reads of registers that no path from the function
+// entry ever defines (IR002), and branch conditions with the same property
+// (IR004). The machine reads such registers as zero (or as whatever the
+// caller left there), which is almost always an authoring bug in main but
+// may be a calling convention in helpers — hence the severity split.
+func (c *checker) checkUndefUses(fa *fnAnalysis) {
+	sev := SevInfo
+	if fa.f.ID == c.prog.Main {
+		sev = SevWarn
+	}
+	var scratch [2]ir.Reg
+	for bi, blk := range fa.f.Blocks {
+		b := ir.BlockID(bi)
+		if fa.g.DFSNum[b] < 0 {
+			continue
+		}
+		defined := fa.mayDefIn[b]
+		undef := make(map[ir.Reg]bool)
+		for _, in := range blk.Instrs {
+			for _, r := range in.Uses(scratch[:0]) {
+				if r != ir.RegZero && !defined.Has(r) {
+					undef[r] = true
+				}
+			}
+			if d, ok := in.Def(); ok {
+				defined = defined.Add(d)
+			}
+		}
+		if len(undef) > 0 {
+			c.report(RuleUndefUse, sev, fa.f.ID, b, -1,
+				"registers %s read but never defined on any path from entry", regList(undef))
+		}
+		if blk.Term.Kind == ir.TermBr {
+			if cond := blk.Term.Cond; cond != ir.RegZero && !defined.Has(cond) {
+				c.report(RuleUndefBranch, sev, fa.f.ID, b, -1,
+					"branch condition %s never defined on any path from entry (branch always falls through)", cond)
+			}
+		}
+	}
+}
+
+// checkDeadStores flags definitions no execution can observe (IR003): a
+// register written and then rewritten in the same block with no intervening
+// read, or written in a block's final definition while dead on every block
+// exit. Liveness here is the same conservative solution the selector's
+// dead-register filtering uses (calls and returns keep everything live), so
+// a dead verdict is trustworthy.
+func (c *checker) checkDeadStores(fa *fnAnalysis) {
+	var scratch [2]ir.Reg
+	for bi, blk := range fa.f.Blocks {
+		b := ir.BlockID(bi)
+		if fa.g.DFSNum[b] < 0 {
+			continue
+		}
+		// liveBelow[i]: registers read at or after instruction i+1 within the
+		// block, or live out of the block.
+		live := fa.facts.Blocks[b].LiveOut
+		if blk.Term.Kind == ir.TermBr {
+			live = live.Add(blk.Term.Cond)
+		}
+		lastWrite := make(map[ir.Reg]int) // reg -> instr index of pending write
+		var within, atExit []int
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			in := blk.Instrs[i]
+			if d, ok := in.Def(); ok {
+				if !live.Has(d) {
+					if _, shadowed := lastWrite[d]; shadowed {
+						within = append(within, i)
+					} else {
+						atExit = append(atExit, i)
+					}
+				}
+				lastWrite[d] = i
+				live = live.Minus(dataflow.RegSet(0).Add(d))
+			}
+			for _, r := range in.Uses(scratch[:0]) {
+				live = live.Add(r)
+				delete(lastWrite, r)
+			}
+		}
+		sort.Ints(within)
+		sort.Ints(atExit)
+		for _, i := range within {
+			d, _ := blk.Instrs[i].Def()
+			c.report(RuleDeadStore, SevWarn, fa.f.ID, b, -1,
+				"instr %d: %s is overwritten before any read (dead store to %s)", i, blk.Instrs[i], d)
+		}
+		for _, i := range atExit {
+			d, _ := blk.Instrs[i].Def()
+			c.report(RuleDeadStore, SevInfo, fa.f.ID, b, -1,
+				"instr %d: %s defines %s which is dead on every block exit", i, blk.Instrs[i], d)
+		}
+	}
+}
+
+// checkRecursion reports call-graph cycles and, for recursive functions, the
+// fact that CALL_THRESH inclusion can never treat them as inlineable (IR005).
+// Pure report: the selector and hardware handle recursion via return targets.
+func (c *checker) checkRecursion() {
+	n := len(c.prog.Fns)
+	callees := make([][]ir.FnID, n)
+	for i, f := range c.prog.Fns {
+		seen := make(map[ir.FnID]bool)
+		for _, b := range f.Blocks {
+			if b.Term.Kind == ir.TermCall && !seen[b.Term.Callee] {
+				seen[b.Term.Callee] = true
+				callees[i] = append(callees[i], b.Term.Callee)
+			}
+		}
+		sort.Slice(callees[i], func(a, b int) bool { return callees[i][a] < callees[i][b] })
+	}
+	// Colour DFS from every root: white 0, grey 1, black 2. A grey→grey edge
+	// closes a cycle; report it once, rooted at its smallest function ID.
+	colour := make([]uint8, n)
+	var stack []ir.FnID
+	reported := make(map[ir.FnID]bool)
+	var walk func(f ir.FnID)
+	walk = func(f ir.FnID) {
+		colour[f] = 1
+		stack = append(stack, f)
+		for _, callee := range callees[f] {
+			switch colour[callee] {
+			case 0:
+				walk(callee)
+			case 1:
+				// stack from callee onward is the cycle.
+				start := 0
+				for i, x := range stack {
+					if x == callee {
+						start = i
+						break
+					}
+				}
+				cycle := append([]ir.FnID(nil), stack[start:]...)
+				root := cycle[0]
+				for _, x := range cycle {
+					if x < root {
+						root = x
+					}
+				}
+				if !reported[root] {
+					reported[root] = true
+					names := make([]string, 0, len(cycle)+1)
+					for _, x := range cycle {
+						names = append(names, c.prog.Fns[x].Name)
+					}
+					names = append(names, c.prog.Fns[callee].Name)
+					c.report(RuleRecursiveCall, SevInfo, root, ir.NoBlock, -1,
+						"recursive call cycle %s (depth %d); CALL_THRESH inclusion never applies to these calls",
+						strings.Join(names, "→"), len(cycle))
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		colour[f] = 2
+	}
+	for f := 0; f < n; f++ {
+		if colour[f] == 0 {
+			walk(ir.FnID(f))
+		}
+	}
+}
+
+// regList renders a register set map as "r3, r7, f0" in ascending order.
+func regList(set map[ir.Reg]bool) string {
+	regs := make([]int, 0, len(set))
+	for r := range set {
+		regs = append(regs, int(r))
+	}
+	sort.Ints(regs)
+	parts := make([]string, len(regs))
+	for i, r := range regs {
+		parts[i] = ir.Reg(r).String()
+	}
+	return strings.Join(parts, ", ")
+}

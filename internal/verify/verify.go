@@ -1,0 +1,174 @@
+// Package verify is a rule-based static analyzer for the reproduction: it
+// checks, after the fact, that a program is well-formed Multiscalar input and
+// that a partition produced by internal/core actually has the properties the
+// paper's hardware model relies on — every task a connected, single-entry
+// subgraph whose exits fit the target limit, create masks covering every
+// live register the task may update, and forward points that are sound on
+// every path to a task exit.
+//
+// The analyzer recomputes every property from the program text (via
+// internal/cfganal and internal/dataflow) rather than trusting the
+// selector's internal state, so it doubles as a metamorphic oracle: any test
+// or workload that produces a partition can assert Partition(...) reports no
+// error-severity findings. The cmd/mslint CLI exposes the same checks on the
+// command line.
+package verify
+
+import (
+	"fmt"
+
+	"multiscalar/internal/cfganal"
+	"multiscalar/internal/core"
+	"multiscalar/internal/dataflow"
+	"multiscalar/internal/ir"
+)
+
+// Program runs the IR-layer rules (IR000–IR005) over a program and returns
+// the findings in canonical order.
+func Program(p *ir.Program) Findings {
+	c := newChecker(p, nil)
+	c.checkProgram()
+	c.findings.Sort()
+	return c.findings
+}
+
+// Partition runs the full catalog — the IR-layer rules over part.Prog (the
+// transformed program the tasks were selected on) plus the partition-layer
+// rules (PT001–PT009) — and returns the findings in canonical order.
+func Partition(part *core.Partition) Findings {
+	c := newChecker(part.Prog, part)
+	c.checkProgram()
+	if c.valid {
+		// Partition rules dereference blocks and callees freely; they only
+		// run on structurally valid IR.
+		c.checkPartition()
+	}
+	c.findings.Sort()
+	return c.findings
+}
+
+// checker carries one verification run.
+type checker struct {
+	prog *ir.Program
+	part *core.Partition // nil for Program-only runs
+
+	valid bool // ir.Validate passed; per-function analyses are safe
+	fns   []*fnAnalysis
+
+	// fnWrites[f] is the set of registers function f or any transitive callee
+	// may write (recursion handled by fixpoint) — the same summary the
+	// selector's register-communication analysis uses for included calls.
+	fnWrites []dataflow.RegSet
+
+	findings Findings
+}
+
+// fnAnalysis caches the recomputed CFG and dataflow facts for one function.
+type fnAnalysis struct {
+	f     *ir.Function
+	g     *cfganal.CFG
+	facts *dataflow.Facts
+
+	// mayDefIn[b] is the set of registers that have at least one definition
+	// on some path from the function entry to the entry of block b. Included
+	// for the never-defined rules (IR002/IR004): a use of r with
+	// !mayDefIn[b].Has(r) reads a register no path ever wrote.
+	mayDefIn []dataflow.RegSet
+}
+
+func newChecker(p *ir.Program, part *core.Partition) *checker {
+	return &checker{prog: p, part: part}
+}
+
+func (c *checker) report(rule RuleID, sev Severity, fn ir.FnID, blk ir.BlockID, task int, format string, args ...any) {
+	name := ""
+	if fn != ir.NoFn && int(fn) < len(c.prog.Fns) && c.prog.Fns[fn] != nil {
+		name = c.prog.Fns[fn].Name
+	}
+	c.findings = append(c.findings, Finding{
+		Rule: rule, Sev: sev,
+		Fn: fn, FnName: name, Blk: blk, Task: task,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// analyze builds (once) the per-function CFG/dataflow caches and the write
+// summaries. Must only run on validated programs.
+func (c *checker) analyze() {
+	if c.fns != nil {
+		return
+	}
+	c.fns = make([]*fnAnalysis, len(c.prog.Fns))
+	for i, f := range c.prog.Fns {
+		g := cfganal.Analyze(f)
+		c.fns[i] = &fnAnalysis{f: f, g: g, facts: dataflow.Analyze(g)}
+	}
+	// Write summaries feed the may-define solution (a call defines whatever
+	// its transitive callee may write), so they go first.
+	c.computeFnWrites()
+	for _, fa := range c.fns {
+		fa.computeMayDef(c)
+	}
+}
+
+// computeFnWrites mirrors the selector's function write summaries: own
+// instruction defs plus transitive callee defs, to fixpoint over the call
+// graph.
+func (c *checker) computeFnWrites() {
+	own := make([]dataflow.RegSet, len(c.prog.Fns))
+	for i, f := range c.prog.Fns {
+		var set dataflow.RegSet
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if d, ok := in.Def(); ok {
+					set = set.Add(d)
+				}
+			}
+		}
+		own[i] = set
+	}
+	c.fnWrites = own
+	for changed := true; changed; {
+		changed = false
+		for i, f := range c.prog.Fns {
+			for _, b := range f.Blocks {
+				if b.Term.Kind != ir.TermCall {
+					continue
+				}
+				merged := c.fnWrites[i].Union(c.fnWrites[b.Term.Callee])
+				if merged != c.fnWrites[i] {
+					c.fnWrites[i] = merged
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// computeMayDef solves the forward may-define problem per block: the union
+// over all paths of definitions before the block entry. A call terminator
+// conservatively defines everything its (transitive) callee may write.
+func (fa *fnAnalysis) computeMayDef(c *checker) {
+	n := len(fa.f.Blocks)
+	fa.mayDefIn = make([]dataflow.RegSet, n)
+	mayOut := func(b ir.BlockID) dataflow.RegSet {
+		out := fa.mayDefIn[b].Union(fa.facts.Blocks[b].Def)
+		if blk := fa.f.Block(b); blk.Term.Kind == ir.TermCall {
+			out = out.Union(c.fnWrites[blk.Term.Callee])
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fa.g.RPO {
+			out := mayOut(b)
+			for _, s := range fa.g.Succs[b] {
+				merged := fa.mayDefIn[s].Union(out)
+				if merged != fa.mayDefIn[s] {
+					fa.mayDefIn[s] = merged
+					changed = true
+				}
+			}
+		}
+	}
+}

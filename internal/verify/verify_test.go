@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/progtest"
+	"multiscalar/internal/workloads"
+)
+
+// heuristics and task-size settings swept by the oracle tests — the same
+// grid as the paper's Figure 5 and cmd/mslint -all.
+var sweep = []struct {
+	h  core.Heuristic
+	ts bool
+}{
+	{core.BasicBlock, false},
+	{core.BasicBlock, true},
+	{core.ControlFlow, false},
+	{core.ControlFlow, true},
+	{core.DataDependence, false},
+	{core.DataDependence, true},
+}
+
+// TestWorkloadPartitionsClean is the metamorphic oracle over the benchmark
+// suite: every partition Select produces for every workload must verify with
+// zero error-severity findings. -short checks a representative subset; the
+// full grid runs in CI via `go test` and `mslint -all`.
+func TestWorkloadPartitionsClean(t *testing.T) {
+	names := workloads.Names()
+	if testing.Short() {
+		names = []string{"compress", "go", "li", "tomcatv", "fpppp"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range sweep {
+				part, err := core.Select(w.Build(), core.Options{Heuristic: cfg.h, TaskSize: cfg.ts})
+				if err != nil {
+					t.Fatalf("%v/ts=%v: Select: %v", cfg.h, cfg.ts, err)
+				}
+				fs := Partition(part)
+				if n := fs.Errors(); n != 0 {
+					t.Errorf("%v/ts=%v: %d error findings:\n%s",
+						cfg.h, cfg.ts, n, fs.MinSeverity(SevError))
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadProgramsValid runs the IR-layer rules alone over every
+// workload source program: structurally valid, no error findings.
+func TestWorkloadProgramsValid(t *testing.T) {
+	for _, w := range workloads.All() {
+		fs := Program(w.Build())
+		if n := fs.Errors(); n != 0 {
+			t.Errorf("%s: %d error findings:\n%s", w.Name, n, fs.MinSeverity(SevError))
+		}
+	}
+}
+
+// TestRandomProgramsClean drives the generator behind core's fuzz pipeline
+// through the verifier: partitions of random structured programs never carry
+// error findings either.
+func TestRandomProgramsClean(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		prog := progtest.Generate(int64(seed))
+		for _, cfg := range sweep {
+			part, err := core.Select(prog, core.Options{Heuristic: cfg.h, TaskSize: cfg.ts})
+			if err != nil {
+				t.Fatalf("seed %d %v/ts=%v: Select: %v", seed, cfg.h, cfg.ts, err)
+			}
+			if fs := Partition(part); fs.Errors() != 0 {
+				t.Errorf("seed %d %v/ts=%v:\n%s", seed, cfg.h, cfg.ts, fs.MinSeverity(SevError))
+			}
+		}
+	}
+}
+
+// TestFindingsOrderDeterministic verifies the canonical ordering contract:
+// two runs over the same partition produce byte-identical output.
+func TestFindingsOrderDeterministic(t *testing.T) {
+	w, err := workloads.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := core.Select(w.Build(), core.Options{Heuristic: core.DataDependence, TaskSize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Partition(part).String()
+	b := Partition(part).String()
+	if a != b {
+		t.Errorf("verification output is not deterministic:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+// TestSeverityOrderAndString pins the severity lattice the exit codes and
+// filters rely on.
+func TestSeverityOrderAndString(t *testing.T) {
+	if !(SevInfo < SevWarn && SevWarn < SevError) {
+		t.Fatal("severity order broken")
+	}
+	for sev, want := range map[Severity]string{SevInfo: "info", SevWarn: "warn", SevError: "error"} {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", sev, got, want)
+		}
+	}
+	f := Finding{Rule: RuleCreateMask, Sev: SevError, Fn: 0, FnName: "main", Blk: 3, Task: 7, Msg: "boom"}
+	if got, want := f.String(), "error PT006 task 7 fn main b3: boom"; got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}

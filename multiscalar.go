@@ -32,6 +32,7 @@ import (
 	"multiscalar/internal/experiment"
 	"multiscalar/internal/ir"
 	"multiscalar/internal/sim"
+	"multiscalar/internal/verify"
 	"multiscalar/internal/workloads"
 )
 
@@ -124,6 +125,34 @@ func Emulate(p *Program, limit uint64) (instrs uint64, checksum uint64, err erro
 	}
 	return m.Count, m.Mem.Checksum(), nil
 }
+
+// Verification.
+type (
+	// Finding is one rule violation reported by the static checker.
+	Finding = verify.Finding
+	// Findings is an ordered finding list with severity filters.
+	Findings = verify.Findings
+	// FindingSeverity grades a finding (info, warn, error).
+	FindingSeverity = verify.Severity
+)
+
+// Finding severities. Only SevError indicates a partition the hardware
+// could mis-execute.
+const (
+	SevInfo  = verify.SevInfo
+	SevWarn  = verify.SevWarn
+	SevError = verify.SevError
+)
+
+// Verify statically checks a partition against the paper's task invariants
+// (connectivity, single entry, target limits, create masks, forward points)
+// plus the IR-level rules, returning deterministic findings. A partition
+// produced by Select always verifies with zero error findings; see
+// DESIGN.md §7 for the rule catalog.
+func Verify(part *Partition) Findings { return verify.Partition(part) }
+
+// VerifyProgram runs the IR-layer rules alone over a program.
+func VerifyProgram(p *Program) Findings { return verify.Program(p) }
 
 // Workloads.
 type (

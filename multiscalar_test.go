@@ -118,6 +118,26 @@ func TestPublicWalkTasks(t *testing.T) {
 	_ = instrs
 }
 
+func TestPublicVerify(t *testing.T) {
+	prog := buildVecAdd(t, 32)
+	if fs := multiscalar.VerifyProgram(prog); fs.Errors() != 0 {
+		t.Errorf("VerifyProgram found errors:\n%s", fs.MinSeverity(multiscalar.SevError))
+	}
+	part, err := multiscalar.Select(prog, multiscalar.Options{Heuristic: multiscalar.DataDependence, TaskSize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := multiscalar.Verify(part); fs.Errors() != 0 {
+		t.Errorf("Verify found errors on a Select partition:\n%s", fs.MinSeverity(multiscalar.SevError))
+	}
+	// A seeded defect must surface as an error finding.
+	part.Tasks[0].CreateMask = 0
+	part.Tasks[len(part.Tasks)-1].ID = 999
+	if fs := multiscalar.Verify(part); fs.Errors() == 0 {
+		t.Error("Verify missed a corrupted partition")
+	}
+}
+
 func TestPublicWorkloads(t *testing.T) {
 	if got := len(multiscalar.Workloads()); got != 18 {
 		t.Fatalf("workload count = %d, want 18", got)
