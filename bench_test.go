@@ -133,7 +133,8 @@ func BenchmarkAblationBanks(b *testing.B) {
 // BenchmarkAblationGreedy compares greedy vs first-fit feasible-task growth.
 func BenchmarkAblationGreedy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.AblationGreedy([]string{"go", "ijpeg"}); err != nil {
+		r := experiment.NewRunner()
+		if _, err := experiment.AblationGreedy(r, []string{"go", "ijpeg"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -142,7 +143,8 @@ func BenchmarkAblationGreedy(b *testing.B) {
 // BenchmarkAblationThresh sweeps CALL_THRESH / LOOP_THRESH.
 func BenchmarkAblationThresh(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.AblationThresh([]string{"compress"}, nil); err != nil {
+		r := experiment.NewRunner()
+		if _, err := experiment.AblationThresh(r, []string{"compress"}, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

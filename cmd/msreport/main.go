@@ -1,43 +1,61 @@
 // Command msreport regenerates the paper's evaluation artifacts: Figure 5,
 // Table 1, the §4.3.1 summary claims, and the ablations DESIGN.md lists.
+// The grid runs in parallel across a bounded worker pool; pass -cache-dir
+// to persist simulation results so warm reruns skip simulation entirely.
 //
 // Usage:
 //
 //	msreport -experiment fig5
-//	msreport -experiment table1
+//	msreport -experiment table1 -j 8 -progress
 //	msreport -experiment summary
 //	msreport -experiment ablations -workloads compress,tomcatv
-//	msreport -experiment all
+//	msreport -experiment all -cache-dir ~/.cache/msgrid
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"multiscalar/internal/experiment"
+	"multiscalar/internal/grid"
+	"multiscalar/internal/workloads"
 )
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "fig5, chart, table1, summary, ablations, or all")
-		wls   = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
-		pus   = flag.String("pus", "", "comma-separated PU counts (default: 4,8)")
+		which    = flag.String("experiment", "all", "fig5, chart, table1, summary, ablations, or all")
+		wls      = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
+		pus      = flag.String("pus", "", "comma-separated PU counts (default: 4,8)")
+		workers  = flag.Int("j", 0, "max concurrent partition/simulation jobs (default GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (default: no cache)")
+		noCache  = flag.Bool("no-cache", false, "ignore -cache-dir and recompute everything")
+		progress = flag.Bool("progress", false, "print a progress/ETA line to stderr")
 	)
 	flag.Parse()
 
 	names := splitList(*wls)
-	var puCounts []int
-	for _, s := range splitList(*pus) {
-		var n int
-		if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n <= 0 {
-			fatal(fmt.Errorf("bad PU count %q", s))
-		}
-		puCounts = append(puCounts, n)
+	if err := validateWorkloads(names); err != nil {
+		fatal(err)
+	}
+	puCounts, err := parsePUs(splitList(*pus))
+	if err != nil {
+		fatal(err)
 	}
 
-	r := experiment.NewRunner()
+	dir := *cacheDir
+	if *noCache {
+		dir = ""
+	}
+	eng := grid.New(grid.Options{Workers: *workers, CacheDir: dir})
+	r := experiment.NewRunnerOn(eng)
+	if *progress {
+		defer trackProgress(eng)()
+	}
+
 	needFig5 := *which == "fig5" || *which == "chart" || *which == "summary" || *which == "all"
 	var cells []experiment.Fig5Cell
 	if needFig5 {
@@ -70,6 +88,70 @@ func main() {
 		printAblations(r, names)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *which))
+	}
+}
+
+// parsePUs parses PU counts strictly: "4x" or "8.5" is an error, not 4.
+func parsePUs(fields []string) ([]int, error) {
+	var out []int
+	for _, s := range fields {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad PU count %q (want a positive integer)", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// validateWorkloads rejects unknown -workloads names before any simulation
+// starts, listing the known names.
+func validateWorkloads(names []string) error {
+	for _, n := range names {
+		if _, err := workloads.ByName(n); err != nil {
+			return fmt.Errorf("unknown workload %q (known: %s)",
+				n, strings.Join(workloads.Names(), ", "))
+		}
+	}
+	return nil
+}
+
+// trackProgress prints a live jobs/ETA line to stderr until the returned
+// stop function runs.
+func trackProgress(eng *grid.Engine) (stop func()) {
+	start := time.Now()
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	line := func() string {
+		s := eng.Stats()
+		elapsed := time.Since(start).Round(100 * time.Millisecond)
+		eta := "?"
+		if s.Done > 0 && s.Jobs > s.Done {
+			rem := time.Duration(float64(elapsed) / float64(s.Done) * float64(s.Jobs-s.Done))
+			eta = rem.Round(100 * time.Millisecond).String()
+		} else if s.Jobs == s.Done {
+			eta = "0s"
+		}
+		return fmt.Sprintf("grid: %d/%d jobs (%d sims, %d cached, j=%d) elapsed %s eta %s",
+			s.Done, s.Jobs, s.Sims, s.CacheHits, eng.Workers(), elapsed, eta)
+	}
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				fmt.Fprintf(os.Stderr, "\r%-79s\n", line())
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "\r%-79s", line())
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
 	}
 }
 
@@ -112,7 +194,7 @@ func printAblations(r *experiment.Runner, names []string) {
 	}
 	fmt.Print(experiment.FormatAblation("L1 D-cache banks", banks))
 	fmt.Println()
-	greedy, err := experiment.AblationGreedy(names)
+	greedy, err := experiment.AblationGreedy(r, names)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePUs(t *testing.T) {
+	good, err := parsePUs([]string{"4", "8", "16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) != 3 || good[0] != 4 || good[1] != 8 || good[2] != 16 {
+		t.Errorf("parsePUs = %v", good)
+	}
+	if out, err := parsePUs(nil); err != nil || out != nil {
+		t.Errorf("empty list: %v, %v", out, err)
+	}
+	// Sscanf-style trailing junk must be rejected, not truncated.
+	for _, bad := range []string{"4x", "8.5", "0x4", "", "-2", "0", "four"} {
+		if _, err := parsePUs([]string{bad}); err == nil {
+			t.Errorf("parsePUs(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), bad) {
+			t.Errorf("parsePUs(%q) error does not quote the token: %v", bad, err)
+		}
+	}
+}
+
+func TestValidateWorkloads(t *testing.T) {
+	if err := validateWorkloads([]string{"compress", "tomcatv"}); err != nil {
+		t.Errorf("known workloads rejected: %v", err)
+	}
+	if err := validateWorkloads(nil); err != nil {
+		t.Errorf("empty subset rejected: %v", err)
+	}
+	err := validateWorkloads([]string{"compress", "comprss"})
+	if err == nil {
+		t.Fatal("typo accepted")
+	}
+	for _, want := range []string{`"comprss"`, "known:", "compress", "tomcatv"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/grid"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/workloads"
 )
@@ -27,6 +28,7 @@ func main() {
 		inorder   = flag.Bool("inorder", false, "in-order PUs instead of out-of-order")
 		noSync    = flag.Bool("nosync", false, "disable the memory dependence synchronization table")
 		timeline  = flag.Int("timeline", 0, "print a Gantt chart of the first N task instances")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory shared with msreport (default: no cache)")
 	)
 	flag.Parse()
 
@@ -45,15 +47,16 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown heuristic %q", *heuristic))
 	}
-	part, err := core.Select(w.Build(), core.Options{Heuristic: h, TaskSize: *taskSize})
-	if err != nil {
-		fatal(err)
-	}
 	cfg := sim.DefaultConfig(*pus)
 	cfg.InOrder = *inorder
 	cfg.SyncTable = !*noSync
 	cfg.RecordTimeline = *timeline > 0
-	res, err := sim.Run(part, cfg)
+	eng := grid.New(grid.Options{Workers: 1, CacheDir: *cacheDir})
+	res, err := eng.Run(grid.Job{
+		Workload: w.Name,
+		Select:   core.Options{Heuristic: h, TaskSize: *taskSize},
+		Config:   cfg,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -61,7 +64,7 @@ func main() {
 	if *inorder {
 		style = "in-order"
 	}
-	fmt.Printf("%s / %s tasks / %d %s PUs\n\n", w.Name, part.Heuristic, *pus, style)
+	fmt.Printf("%s / %s tasks / %d %s PUs\n\n", w.Name, h, *pus, style)
 	fmt.Printf("cycles            %12d\n", res.Cycles)
 	fmt.Printf("instructions      %12d\n", res.Instrs)
 	fmt.Printf("IPC               %12.3f\n", res.IPC)

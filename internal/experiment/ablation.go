@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/grid"
 	"multiscalar/internal/sim"
-	"multiscalar/internal/workloads"
 )
 
 // AblationRow is one point of a one-dimensional sweep.
@@ -17,6 +17,24 @@ type AblationRow struct {
 	Extra    string // auxiliary metric (violations, accuracy, ...)
 }
 
+// sweep runs one ablation point per (workload, setting) pair concurrently
+// on the runner's engine, keeping rows in workload-major order.
+func sweep(n int, fn func(i int) (AblationRow, error)) ([]AblationRow, error) {
+	rows := make([]AblationRow, n)
+	err := grid.RunAll(n, func(i int) error {
+		row, err := fn(i)
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
 // AblationTargets sweeps the hardware target limit N (the paper fixes 4):
 // fewer trackable successors truncate feasible tasks; more relax the
 // control-flow heuristic.
@@ -24,46 +42,40 @@ func AblationTargets(r *Runner, names []string, ns []int) ([]AblationRow, error)
 	if len(ns) == 0 {
 		ns = []int{2, 4, 8}
 	}
-	var rows []AblationRow
-	for _, name := range names {
-		for _, n := range ns {
-			res, err := r.Run(name, CF, SimConfig{PUs: 8, Targets: n})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Workload: name,
-				Label:    fmt.Sprintf("N=%d", n),
-				IPC:      res.IPC,
-				Extra:    fmt.Sprintf("taskpred=%.1f%% size=%.1f", 100*res.TaskPredAccuracy, res.AvgTaskSize),
-			})
+	return sweep(len(names)*len(ns), func(i int) (AblationRow, error) {
+		name, n := names[i/len(ns)], ns[i%len(ns)]
+		res, err := r.Run(name, CF, SimConfig{PUs: 8, Targets: n})
+		if err != nil {
+			return AblationRow{}, err
 		}
-	}
-	return rows, nil
+		return AblationRow{
+			Workload: name,
+			Label:    fmt.Sprintf("N=%d", n),
+			IPC:      res.IPC,
+			Extra:    fmt.Sprintf("taskpred=%.1f%% size=%.1f", 100*res.TaskPredAccuracy, res.AvgTaskSize),
+		}, nil
+	})
 }
 
 // AblationSync compares the memory dependence synchronization table on/off.
 func AblationSync(r *Runner, names []string) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, name := range names {
-		for _, noSync := range []bool{false, true} {
-			res, err := r.Run(name, DD, SimConfig{PUs: 8, NoSyncTable: noSync})
-			if err != nil {
-				return nil, err
-			}
-			label := "sync=on"
-			if noSync {
-				label = "sync=off"
-			}
-			rows = append(rows, AblationRow{
-				Workload: name,
-				Label:    label,
-				IPC:      res.IPC,
-				Extra:    fmt.Sprintf("violations=%d restarts=%d syncwaits=%d", res.Violations, res.Restarts, res.SyncWaits),
-			})
+	return sweep(len(names)*2, func(i int) (AblationRow, error) {
+		name, noSync := names[i/2], i%2 == 1
+		res, err := r.Run(name, DD, SimConfig{PUs: 8, NoSyncTable: noSync})
+		if err != nil {
+			return AblationRow{}, err
 		}
-	}
-	return rows, nil
+		label := "sync=on"
+		if noSync {
+			label = "sync=off"
+		}
+		return AblationRow{
+			Workload: name,
+			Label:    label,
+			IPC:      res.IPC,
+			Extra:    fmt.Sprintf("violations=%d restarts=%d syncwaits=%d", res.Violations, res.Restarts, res.SyncWaits),
+		}, nil
+	})
 }
 
 // AblationRing sweeps the register communication ring bandwidth.
@@ -71,21 +83,18 @@ func AblationRing(r *Runner, names []string, bws []int) ([]AblationRow, error) {
 	if len(bws) == 0 {
 		bws = []int{1, 2, 4}
 	}
-	var rows []AblationRow
-	for _, name := range names {
-		for _, bw := range bws {
-			res, err := r.Run(name, DD, SimConfig{PUs: 8, RingBW: bw})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Workload: name,
-				Label:    fmt.Sprintf("ring=%d/cyc", bw),
-				IPC:      res.IPC,
-			})
+	return sweep(len(names)*len(bws), func(i int) (AblationRow, error) {
+		name, bw := names[i/len(bws)], bws[i%len(bws)]
+		res, err := r.Run(name, DD, SimConfig{PUs: 8, RingBW: bw})
+		if err != nil {
+			return AblationRow{}, err
 		}
-	}
-	return rows, nil
+		return AblationRow{
+			Workload: name,
+			Label:    fmt.Sprintf("ring=%d/cyc", bw),
+			IPC:      res.IPC,
+		}, nil
+	})
 }
 
 // AblationBanks sweeps the L1 D-cache bank count (the paper interleaves one
@@ -94,96 +103,78 @@ func AblationBanks(r *Runner, names []string, banks []int) ([]AblationRow, error
 	if len(banks) == 0 {
 		banks = []int{1, 4, 8}
 	}
-	var rows []AblationRow
-	for _, name := range names {
-		for _, nb := range banks {
-			res, err := r.Run(name, CF, SimConfig{PUs: 8, L1DBanks: nb})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Workload: name,
-				Label:    fmt.Sprintf("banks=%d", nb),
-				IPC:      res.IPC,
-			})
+	return sweep(len(names)*len(banks), func(i int) (AblationRow, error) {
+		name, nb := names[i/len(banks)], banks[i%len(banks)]
+		res, err := r.Run(name, CF, SimConfig{PUs: 8, L1DBanks: nb})
+		if err != nil {
+			return AblationRow{}, err
 		}
-	}
-	return rows, nil
+		return AblationRow{
+			Workload: name,
+			Label:    fmt.Sprintf("banks=%d", nb),
+			IPC:      res.IPC,
+		}, nil
+	})
 }
 
 // AblationGreedy compares the paper's greedy feasible-task search (which
 // explores past the target limit hunting for reconverging control flow)
-// against a first-fit baseline that stops at the limit.
-func AblationGreedy(names []string) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, name := range names {
-		w, err := workloads.ByName(name)
+// against a first-fit baseline that stops at the limit. The non-standard
+// selection options go straight to the grid engine, which keys partitions
+// on the full option set.
+func AblationGreedy(r *Runner, names []string) ([]AblationRow, error) {
+	return sweep(len(names)*2, func(i int) (AblationRow, error) {
+		name, noGreedy := names[i/2], i%2 == 1
+		res, err := r.Engine().Run(grid.Job{
+			Workload: name,
+			Select:   core.Options{Heuristic: core.ControlFlow, NoGreedy: noGreedy},
+			Config:   sim.DefaultConfig(8),
+		})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		for _, noGreedy := range []bool{false, true} {
-			part, err := core.Select(w.Build(), core.Options{
-				Heuristic: core.ControlFlow,
-				NoGreedy:  noGreedy,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(part, sim.DefaultConfig(8))
-			if err != nil {
-				return nil, err
-			}
-			label := "greedy"
-			if noGreedy {
-				label = "first-fit"
-			}
-			rows = append(rows, AblationRow{
-				Workload: name,
-				Label:    label,
-				IPC:      res.IPC,
-				Extra:    fmt.Sprintf("size=%.1f", res.AvgTaskSize),
-			})
+		label := "greedy"
+		if noGreedy {
+			label = "first-fit"
 		}
-	}
-	return rows, nil
+		return AblationRow{
+			Workload: name,
+			Label:    label,
+			IPC:      res.IPC,
+			Extra:    fmt.Sprintf("size=%.1f", res.AvgTaskSize),
+		}, nil
+	})
 }
 
 // AblationThresh sweeps the task-size heuristic's CALL_THRESH and
-// LOOP_THRESH around the paper's value of 30. Partitions are built directly
-// (the runner's cache is keyed on the standard options).
-func AblationThresh(names []string, threshes []int) ([]AblationRow, error) {
+// LOOP_THRESH around the paper's value of 30 (again as direct grid jobs
+// with non-standard selection options).
+func AblationThresh(r *Runner, names []string, threshes []int) ([]AblationRow, error) {
 	if len(threshes) == 0 {
 		threshes = []int{10, 30, 90}
 	}
-	var rows []AblationRow
-	for _, name := range names {
-		w, err := workloads.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		for _, th := range threshes {
-			part, err := core.Select(w.Build(), core.Options{
+	return sweep(len(names)*len(threshes), func(i int) (AblationRow, error) {
+		name, th := names[i/len(threshes)], threshes[i%len(threshes)]
+		res, err := r.Engine().Run(grid.Job{
+			Workload: name,
+			Select: core.Options{
 				Heuristic:  core.DataDependence,
 				TaskSize:   true,
 				CallThresh: th,
 				LoopThresh: th,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(part, sim.DefaultConfig(8))
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Workload: name,
-				Label:    fmt.Sprintf("thresh=%d", th),
-				IPC:      res.IPC,
-				Extra:    fmt.Sprintf("size=%.1f", res.AvgTaskSize),
-			})
+			},
+			Config: sim.DefaultConfig(8),
+		})
+		if err != nil {
+			return AblationRow{}, err
 		}
-	}
-	return rows, nil
+		return AblationRow{
+			Workload: name,
+			Label:    fmt.Sprintf("thresh=%d", th),
+			IPC:      res.IPC,
+			Extra:    fmt.Sprintf("size=%.1f", res.AvgTaskSize),
+		}, nil
+	})
 }
 
 // FormatAblation renders ablation rows grouped by workload.

@@ -7,11 +7,10 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/grid"
 	"multiscalar/internal/sim"
-	"multiscalar/internal/workloads"
 )
 
 // Variant names one bar of Figure 5.
@@ -61,58 +60,31 @@ func (v Variant) options() core.Options {
 	panic("experiment: bad variant")
 }
 
-// Runner caches partitions and simulation results across experiments so that
-// Figure 5, Table 1, and the ablations share work.
+// Runner executes experiment points on a grid.Engine, so Figure 5, Table 1,
+// and the ablations share partitions and simulations, run in parallel
+// across the engine's worker pool, and (when the engine has a cache
+// directory) skip simulations already on disk.
 type Runner struct {
-	mu    sync.Mutex
-	parts map[partKey]*core.Partition
-	sims  map[simKey]*sim.Result
+	eng *grid.Engine
 }
 
-type partKey struct {
-	workload string
-	variant  Variant
-	targets  int
-}
+// NewRunner returns a runner on a fresh default engine (GOMAXPROCS workers,
+// no disk cache).
+func NewRunner() *Runner { return NewRunnerOn(grid.New(grid.Options{})) }
 
-type simKey struct {
-	partKey
-	pus     int
-	inOrder bool
-	ring    int
-	sync    bool
-	banks   int
-}
+// NewRunnerOn returns a runner on an existing engine, sharing its memo,
+// worker pool, and cache with any other user of the engine.
+func NewRunnerOn(e *grid.Engine) *Runner { return &Runner{eng: e} }
 
-// NewRunner returns an empty runner.
-func NewRunner() *Runner {
-	return &Runner{
-		parts: make(map[partKey]*core.Partition),
-		sims:  make(map[simKey]*sim.Result),
-	}
-}
+// Engine exposes the underlying grid engine (for stats and direct jobs).
+func (r *Runner) Engine() *grid.Engine { return r.eng }
 
 // Partition returns (building and caching on demand) the partition for one
 // workload and variant with the given hardware target limit (0 = paper's 4).
 func (r *Runner) Partition(name string, v Variant, targets int) (*core.Partition, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	key := partKey{workload: name, variant: v, targets: targets}
-	if p, ok := r.parts[key]; ok {
-		return p, nil
-	}
-	w, err := workloads.ByName(name)
-	if err != nil {
-		return nil, err
-	}
 	opts := v.options()
 	opts.MaxTargets = targets
-	p, err := core.Select(w.Build(), opts)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: partition %s/%v: %w", name, v, err)
-	}
-	r.parts[key] = p
-	return p, nil
+	return r.eng.Partition(name, opts)
 }
 
 // SimConfig selects one machine point.
@@ -129,12 +101,12 @@ type SimConfig struct {
 	L1DBanks int
 }
 
-// Run simulates one workload/variant on one machine point, caching results.
-func (r *Runner) Run(name string, v Variant, mc SimConfig) (*sim.Result, error) {
-	part, err := r.Partition(name, v, mc.Targets)
-	if err != nil {
-		return nil, err
-	}
+// job resolves one workload/variant/machine point to a fully-specified grid
+// job (the engine hashes the job verbatim, so all defaults are applied
+// here).
+func (mc SimConfig) job(name string, v Variant) grid.Job {
+	opts := v.options()
+	opts.MaxTargets = mc.Targets
 	cfg := sim.DefaultConfig(mc.PUs)
 	cfg.InOrder = mc.InOrder
 	if mc.Targets != 0 {
@@ -147,23 +119,15 @@ func (r *Runner) Run(name string, v Variant, mc SimConfig) (*sim.Result, error) 
 	if mc.L1DBanks != 0 {
 		cfg.L1DBanks = mc.L1DBanks
 	}
-	key := simKey{
-		partKey: partKey{workload: name, variant: v, targets: mc.Targets},
-		pus:     mc.PUs, inOrder: mc.InOrder, ring: cfg.RingBW, sync: cfg.SyncTable,
-		banks: cfg.L1DBanks,
-	}
-	r.mu.Lock()
-	if res, ok := r.sims[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
-	res, err := sim.Run(part, cfg)
+	return grid.Job{Workload: name, Select: opts, Config: cfg}
+}
+
+// Run simulates one workload/variant on one machine point, caching results.
+// Safe for concurrent use; identical concurrent calls simulate once.
+func (r *Runner) Run(name string, v Variant, mc SimConfig) (*sim.Result, error) {
+	res, err := r.eng.Run(mc.job(name, v))
 	if err != nil {
-		return nil, fmt.Errorf("experiment: sim %s/%v/%dPU: %w", name, v, mc.PUs, err)
+		return nil, fmt.Errorf("experiment: %s/%v: %w", name, v, err)
 	}
-	r.mu.Lock()
-	r.sims[key] = res
-	r.mu.Unlock()
 	return res, nil
 }

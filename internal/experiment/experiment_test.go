@@ -159,7 +159,7 @@ func TestAblations(t *testing.T) {
 	if len(ring) != 2 {
 		t.Fatalf("ring rows = %d", len(ring))
 	}
-	th, err := AblationThresh([]string{"compress"}, []int{10, 30})
+	th, err := AblationThresh(r, []string{"compress"}, []int{10, 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestAblationBanks(t *testing.T) {
 }
 
 func TestAblationGreedy(t *testing.T) {
-	rows, err := AblationGreedy([]string{"go"})
+	rows, err := AblationGreedy(NewRunner(), []string{"go"})
 	if err != nil {
 		t.Fatal(err)
 	}

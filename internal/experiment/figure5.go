@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"multiscalar/internal/grid"
 	"multiscalar/internal/workloads"
 )
 
@@ -22,7 +23,9 @@ type Fig5Cell struct {
 
 // Figure5 runs the full Figure 5 grid: every workload × {BB, CF, DD, TS} ×
 // the given PU counts × {out-of-order, in-order}. Cells are ordered by
-// suite, workload, PU count, pipeline, then variant.
+// suite, workload, PU count, pipeline, then variant. All cells execute
+// concurrently on the runner's engine; the cell order (and therefore any
+// formatted output) is independent of completion order.
 func Figure5(r *Runner, pus []int, names []string) ([]Fig5Cell, error) {
 	if len(pus) == 0 {
 		pus = []int{4, 8}
@@ -39,17 +42,25 @@ func Figure5(r *Runner, pus []int, names []string) ([]Fig5Cell, error) {
 		for _, n := range pus {
 			for _, inorder := range []bool{false, true} {
 				for _, v := range Variants() {
-					res, err := r.Run(name, v, SimConfig{PUs: n, InOrder: inorder})
-					if err != nil {
-						return nil, err
-					}
 					cells = append(cells, Fig5Cell{
 						Workload: name, FP: w.FP, Variant: v,
-						PUs: n, InOrder: inorder, IPC: res.IPC,
+						PUs: n, InOrder: inorder,
 					})
 				}
 			}
 		}
+	}
+	err := grid.RunAll(len(cells), func(i int) error {
+		c := &cells[i]
+		res, err := r.Run(c.Workload, c.Variant, SimConfig{PUs: c.PUs, InOrder: c.InOrder})
+		if err != nil {
+			return err
+		}
+		c.IPC = res.IPC
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }

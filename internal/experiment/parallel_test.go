@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"testing"
+
+	"multiscalar/internal/grid"
+)
+
+// parallelNames is a small cross-suite subset (integer + FP, including a
+// task-size responder) so the determinism tests stay fast.
+var parallelNames = []string{"compress", "ijpeg", "tomcatv"}
+
+// TestParallelByteIdentical is the golden determinism check: a grid run
+// across many workers must format byte-for-byte like a serial (one-worker)
+// run, because collection order is decoupled from completion order.
+func TestParallelByteIdentical(t *testing.T) {
+	serial := NewRunnerOn(grid.New(grid.Options{Workers: 1}))
+	par := NewRunnerOn(grid.New(grid.Options{Workers: 8}))
+
+	sc, err := Figure5(serial, []int{4}, parallelNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Figure5(par, []int{4}, parallelNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := FormatFigure5(sc), FormatFigure5(pc); s != p {
+		t.Errorf("Figure 5 output differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+	if s, p := FormatSummary(Summarize(sc)), FormatSummary(Summarize(pc)); s != p {
+		t.Errorf("summary differs:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+
+	sr, err := Table1(serial, parallelNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Table1(par, parallelNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := FormatTable1(sr), FormatTable1(pr); s != p {
+		t.Errorf("Table 1 output differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+
+	sa, err := AblationSync(serial, []string{"wave5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := AblationSync(par, []string{"wave5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := FormatAblation("sync", sa), FormatAblation("sync", pa); s != p {
+		t.Errorf("ablation differs:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestWarmCacheSkipsSimulation asserts the headline cache property: a
+// second runner on the same cache directory regenerates identical output
+// with zero sim.Run calls.
+func TestWarmCacheSkipsSimulation(t *testing.T) {
+	dir := t.TempDir()
+	cold := NewRunnerOn(grid.New(grid.Options{CacheDir: dir}))
+	cc, err := Figure5(cold, []int{4}, []string{"ijpeg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Engine().Stats(); s.Sims == 0 {
+		t.Fatalf("cold run simulated nothing: %+v", s)
+	}
+
+	warm := NewRunnerOn(grid.New(grid.Options{CacheDir: dir}))
+	wc, err := Figure5(warm, []int{4}, []string{"ijpeg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := warm.Engine().Stats()
+	if s.Sims != 0 || s.Partitions != 0 {
+		t.Errorf("warm run did not skip simulation: %+v", s)
+	}
+	if s.CacheHits != int64(len(wc)) {
+		t.Errorf("cache hits = %d, want %d", s.CacheHits, len(wc))
+	}
+	if c, w := FormatFigure5(cc), FormatFigure5(wc); c != w {
+		t.Errorf("warm output differs from cold:\n--- cold ---\n%s--- warm ---\n%s", c, w)
+	}
+}
+
+// TestRunnerEngineShared checks that two runners on one engine share its
+// memo (the cross-experiment work sharing msreport relies on).
+func TestRunnerEngineShared(t *testing.T) {
+	eng := grid.New(grid.Options{})
+	a, b := NewRunnerOn(eng), NewRunnerOn(eng)
+	ra, err := a.Run("fpppp", CF, SimConfig{PUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run("fpppp", CF, SimConfig{PUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Error("runners on one engine recomputed the same job")
+	}
+	if s := eng.Stats(); s.Sims != 1 {
+		t.Errorf("sims = %d, want 1", s.Sims)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"multiscalar/internal/grid"
 	"multiscalar/internal/workloads"
 )
 
@@ -47,17 +48,19 @@ func brMisp(taskMisp, ctPerTask float64) float64 {
 
 // Table1 measures the paper's Table 1 on 8 out-of-order PUs (the paper's
 // window-span configuration). The compress and fpppp rows use the task-size
-// augmented variants, as the paper does.
+// augmented variants, as the paper does. Rows execute concurrently on the
+// runner's engine and land in workload order.
 func Table1(r *Runner, names []string) ([]T1Row, error) {
 	if len(names) == 0 {
 		names = workloads.Names()
 	}
 	mc := SimConfig{PUs: 8}
-	var rows []T1Row
-	for _, name := range names {
+	rows := make([]T1Row, len(names))
+	err := grid.RunAll(len(names), func(i int) error {
+		name := names[i]
 		w, err := workloads.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// "Since only 129.compress and 145.fpppp respond to the task size
 		// heuristic, both control flow tasks and data dependence tasks are
@@ -68,17 +71,17 @@ func Table1(r *Runner, names []string) ([]T1Row, error) {
 		}
 		bb, err := r.Run(name, BB, mc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cf, err := r.Run(name, cfVariant, mc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dd, err := r.Run(name, ddVariant, mc)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := T1Row{
+		rows[i] = T1Row{
 			Workload:   name,
 			FP:         w.FP,
 			BBDynInst:  bb.AvgTaskSize,
@@ -94,7 +97,10 @@ func Table1(r *Runner, names []string) ([]T1Row, error) {
 			DDBrMisp:   brMisp(1-dd.TaskPredAccuracy, dd.AvgCTInstrs),
 			DDWinSpan:  dd.WindowSpan,
 		}
-		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,78 @@
+package grid
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/sim"
+)
+
+// benchJobs is a fixed sub-grid: six representative workloads × the four
+// Figure 5 selection variants on the paper's 8-PU machine (24 simulations,
+// 18 partitions).
+func benchJobs() []Job {
+	variants := []core.Options{
+		{Heuristic: core.BasicBlock},
+		{Heuristic: core.ControlFlow},
+		{Heuristic: core.DataDependence},
+		{Heuristic: core.DataDependence, TaskSize: true},
+	}
+	var jobs []Job
+	for _, name := range []string{"go", "compress", "ijpeg", "tomcatv", "swim", "fpppp"} {
+		for _, opts := range variants {
+			jobs = append(jobs, Job{Workload: name, Select: opts, Config: sim.DefaultConfig(8)})
+		}
+	}
+	return jobs
+}
+
+func runJobs(b *testing.B, e *Engine, jobs []Job) {
+	b.Helper()
+	err := RunAll(len(jobs), func(i int) error {
+		_, err := e.Run(jobs[i])
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGridParallel runs the sub-grid cold on a fresh engine per
+// iteration, once serially (j=1) and once across all cores: the wall-clock
+// ratio of the two sub-benchmarks is the engine's parallel speedup (≈ the
+// core count, as the jobs are independent and CPU-bound).
+func BenchmarkGridParallel(b *testing.B) {
+	jobs := benchJobs()
+	pool := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pool = append(pool, n)
+	}
+	for _, workers := range pool {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := New(Options{Workers: workers})
+				runJobs(b, e, jobs)
+			}
+			b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkGridWarmCache measures a fully warm disk cache: every job is
+// served from content-addressed artifacts with zero simulations.
+func BenchmarkGridWarmCache(b *testing.B) {
+	jobs := benchJobs()
+	dir := b.TempDir()
+	runJobs(b, New(Options{CacheDir: dir}), jobs) // populate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(Options{CacheDir: dir})
+		runJobs(b, e, jobs)
+		if s := e.Stats(); s.Sims != 0 {
+			b.Fatalf("warm run simulated %d jobs", s.Sims)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

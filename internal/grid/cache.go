@@ -1,0 +1,73 @@
+package grid
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"multiscalar/internal/sim"
+)
+
+// diskCache is a content-addressed store of simulation results: one JSON
+// artifact per key under dir. The cache is strictly best-effort — any read,
+// decode, or version mismatch is treated as a miss and the entry is
+// recomputed and overwritten; store failures are ignored (the result is
+// still returned to the caller).
+type diskCache struct {
+	dir string
+}
+
+// artifact is the on-disk format. Workload and Config are stored alongside
+// the result for human inspection; correctness rests on the key alone.
+type artifact struct {
+	Schema   int
+	Workload string
+	Config   sim.Config
+	Result   *sim.Result
+}
+
+func (c *diskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+func (c *diskCache) load(key string) (*sim.Result, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil || a.Schema != SchemaVersion || a.Result == nil {
+		return nil, false
+	}
+	return a.Result, true
+}
+
+func (c *diskCache) store(key string, job Job, res *sim.Result) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	blob, err := json.Marshal(artifact{
+		Schema:   SchemaVersion,
+		Workload: job.Workload,
+		Config:   job.Config,
+		Result:   res,
+	})
+	if err != nil {
+		return
+	}
+	// Write-then-rename keeps concurrent readers (and a crashed writer)
+	// from ever observing a torn artifact.
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

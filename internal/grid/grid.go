@@ -1,0 +1,220 @@
+// Package grid executes the experiment grid: every (workload, selection
+// options, machine point) triple is an independent job with an explicit
+// partition→simulation dependency. Jobs are scheduled across a bounded
+// worker pool, concurrent requests for the same key coalesce into a single
+// computation (single-flight), completed computations are memoized in
+// memory for the life of the engine, and simulation results may additionally
+// be backed by a content-addressed on-disk cache so warm reruns skip
+// simulation entirely.
+//
+// The engine is safe for concurrent use: callers fan out one goroutine per
+// job and block in Run; only actual core.Select / sim.Run work occupies a
+// worker slot, so an arbitrary number of pending jobs costs no parallelism.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/sim"
+	"multiscalar/internal/workloads"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent core.Select / sim.Run computations
+	// (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir enables the content-addressed on-disk result cache
+	// ("" = disabled). The directory is created on first store.
+	CacheDir string
+}
+
+// Job names one simulation: a workload partitioned under Select and timed
+// on the machine Config. Config must be fully resolved (what sim.Run will
+// actually see) — it is hashed verbatim into the cache key.
+type Job struct {
+	Workload string
+	Select   core.Options
+	Config   sim.Config
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Jobs and Done count unique simulation jobs entered and finished
+	// (cache hits included); Jobs-Done is the in-flight backlog.
+	Jobs, Done int64
+	// Partitions and Sims count actual core.Select and sim.Run executions.
+	Partitions, Sims int64
+	// CacheHits and CacheMisses count disk-cache probes.
+	CacheHits, CacheMisses int64
+	// Deduped counts calls that coalesced into an already-running
+	// computation instead of starting their own.
+	Deduped int64
+}
+
+// Engine schedules grid jobs. Create one with New; the zero value is not
+// usable.
+type Engine struct {
+	sem   chan struct{}
+	cache *diskCache
+
+	mu    sync.Mutex
+	parts map[string]*call[*core.Partition]
+	sims  map[string]*call[*sim.Result]
+
+	jobs, done, nParts, nSims      atomic.Int64
+	cacheHits, cacheMisses, dedups atomic.Int64
+}
+
+// runSim indirects sim.Run so tests can observe scheduling.
+var runSim = sim.Run
+
+// New returns an engine with the given worker bound and cache directory.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		sem:   make(chan struct{}, workers),
+		parts: make(map[string]*call[*core.Partition]),
+		sims:  make(map[string]*call[*sim.Result]),
+	}
+	if opts.CacheDir != "" {
+		e.cache = &diskCache{dir: opts.CacheDir}
+	}
+	return e
+}
+
+// Workers reports the worker-pool bound.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Jobs: e.jobs.Load(), Done: e.done.Load(),
+		Partitions: e.nParts.Load(), Sims: e.nSims.Load(),
+		CacheHits: e.cacheHits.Load(), CacheMisses: e.cacheMisses.Load(),
+		Deduped: e.dedups.Load(),
+	}
+}
+
+// call is one single-flight computation. Completed calls stay in the
+// engine's maps as the in-memory memo.
+type call[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// flight returns the memoized or in-flight result for key, or makes the
+// caller the leader that computes it via fn. Waiters hold no worker slot.
+func flight[T any](e *Engine, m map[string]*call[T], key string, fn func() (T, error)) (T, error) {
+	e.mu.Lock()
+	if c, ok := m[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-c.done:
+		default:
+			e.dedups.Add(1)
+			<-c.done
+		}
+		return c.val, c.err
+	}
+	c := &call[T]{done: make(chan struct{})}
+	m[key] = c
+	e.mu.Unlock()
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+func (e *Engine) acquire() { e.sem <- struct{}{} }
+func (e *Engine) release() { <-e.sem }
+
+// Partition returns the task selection for one workload under opts,
+// computing it at most once per engine.
+func (e *Engine) Partition(workload string, opts core.Options) (*core.Partition, error) {
+	if workload == "" {
+		return nil, errors.New("grid: empty workload name")
+	}
+	return flight(e, e.parts, PartitionKey(workload, opts), func() (*core.Partition, error) {
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		e.acquire()
+		defer e.release()
+		e.nParts.Add(1)
+		p, err := core.Select(w.Build(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("grid: partition %s: %w", workload, err)
+		}
+		return p, nil
+	})
+}
+
+// Run executes one job: a warm disk cache satisfies it without touching the
+// partition; otherwise the partition dependency resolves first (shared with
+// every other job on the same selection) and the simulation runs in a
+// worker slot. Safe for concurrent use; identical concurrent jobs run once.
+func (e *Engine) Run(job Job) (*sim.Result, error) {
+	if job.Workload == "" {
+		return nil, errors.New("grid: empty workload name")
+	}
+	key := Key(job)
+	return flight(e, e.sims, key, func() (*sim.Result, error) {
+		e.jobs.Add(1)
+		defer e.done.Add(1)
+		if e.cache != nil {
+			if res, ok := e.cache.load(key); ok {
+				e.cacheHits.Add(1)
+				return res, nil
+			}
+			e.cacheMisses.Add(1)
+		}
+		part, err := e.Partition(job.Workload, job.Select)
+		if err != nil {
+			return nil, err
+		}
+		e.acquire()
+		e.nSims.Add(1)
+		res, err := runSim(part, job.Config)
+		e.release()
+		if err != nil {
+			return nil, fmt.Errorf("grid: sim %s/%dPU: %w", job.Workload, job.Config.NumPUs, err)
+		}
+		if e.cache != nil {
+			e.cache.store(key, job, res)
+		}
+		return res, nil
+	})
+}
+
+// RunAll executes fn(i) for every i in [0, n) concurrently and returns the
+// lowest-index error, if any. It is the fan-out helper the experiment layer
+// uses: results land in caller-indexed slots, so collection order — and any
+// output derived from it — is deterministic regardless of completion order.
+func RunAll(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

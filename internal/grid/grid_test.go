@@ -1,0 +1,310 @@
+package grid
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/sim"
+)
+
+// fastJob is a small, quick grid point used throughout the tests.
+func fastJob() Job {
+	return Job{
+		Workload: "fpppp",
+		Select:   core.Options{Heuristic: core.ControlFlow},
+		Config:   sim.DefaultConfig(4),
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	e := New(Options{})
+	r1, err := e.Run(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("repeated identical jobs did not share one result")
+	}
+	s := e.Stats()
+	if s.Sims != 1 || s.Partitions != 1 {
+		t.Errorf("sims=%d partitions=%d, want 1/1", s.Sims, s.Partitions)
+	}
+	if s.Jobs != 1 || s.Done != 1 {
+		t.Errorf("jobs=%d done=%d, want 1/1", s.Jobs, s.Done)
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	e := New(Options{Workers: 4})
+	const callers = 16
+	results := make([]*sim.Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Run(fastJob())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+	if s := e.Stats(); s.Sims != 1 {
+		t.Errorf("%d concurrent identical jobs ran %d sims, want 1", callers, s.Sims)
+	}
+}
+
+func TestWorkerBound(t *testing.T) {
+	const bound = 2
+	saved := runSim
+	defer func() { runSim = saved }()
+	var cur, peak, calls atomic.Int64
+	runSim = func(part *core.Partition, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		cur.Add(-1)
+		return &sim.Result{IPC: 1}, nil
+	}
+	e := New(Options{Workers: bound})
+	job := fastJob()
+	const jobs = 6
+	err := RunAll(jobs, func(i int) error {
+		j := job
+		j.Config.RingBW = i + 1 // distinct machine points
+		_, err := e.Run(j)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != jobs {
+		t.Errorf("stubbed sim ran %d times, want %d", calls.Load(), jobs)
+	}
+	if p := peak.Load(); p > bound {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, bound)
+	}
+}
+
+// TestParallelWallClock pins the engine's point: independent jobs overlap.
+// With sim.Run stubbed to a fixed sleep, eight jobs through an 8-worker
+// pool must finish in a fraction of the serial time (sleeps overlap even on
+// one core, so this holds on any machine).
+func TestParallelWallClock(t *testing.T) {
+	saved := runSim
+	defer func() { runSim = saved }()
+	const simTime = 50 * time.Millisecond
+	runSim = func(part *core.Partition, cfg sim.Config) (*sim.Result, error) {
+		time.Sleep(simTime)
+		return &sim.Result{IPC: 1}, nil
+	}
+	const jobs = 8
+	run := func(workers int) time.Duration {
+		e := New(Options{Workers: workers})
+		// Warm the shared partition so only stubbed sim time is measured.
+		if _, err := e.Partition(fastJob().Workload, fastJob().Select); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		err := RunAll(jobs, func(i int) error {
+			j := fastJob()
+			j.Config.RingBW = i + 1
+			_, err := e.Run(j)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial, parallel := run(1), run(jobs)
+	if parallel > serial/2 {
+		t.Errorf("parallel run %v not ≥2× faster than serial %v", parallel, serial)
+	}
+}
+
+func TestKeysDistinguishJobs(t *testing.T) {
+	base := fastJob()
+	seen := map[string]string{}
+	add := func(desc string, j Job) {
+		k := Key(j)
+		if prev, ok := seen[k]; ok {
+			t.Errorf("%s collides with %s", desc, prev)
+		}
+		seen[k] = desc
+	}
+	add("base", base)
+	j := base
+	j.Workload = "go"
+	add("other workload", j)
+	j = base
+	j.Select.TaskSize = true
+	add("task size on", j)
+	j = base
+	j.Config.NumPUs = 8
+	add("8 PUs", j)
+	j = base
+	j.Config.InOrder = true
+	add("in-order", j)
+	if Key(base) != Key(fastJob()) {
+		t.Error("identical jobs hash differently")
+	}
+	if PartitionKey("go", core.Options{}) == PartitionKey("cc", core.Options{}) {
+		t.Error("partition keys ignore the workload")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cold := New(Options{CacheDir: dir})
+	want, err := cold.Run(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Sims != 1 || s.CacheMisses != 1 || s.CacheHits != 0 {
+		t.Errorf("cold stats: %+v", s)
+	}
+
+	warm := New(Options{CacheDir: dir})
+	got, err := warm.Run(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Sims != 0 || s.Partitions != 0 || s.CacheHits != 1 {
+		t.Errorf("warm run did not skip simulation: %+v", s)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("cached result differs:\n cold %+v\n warm %+v", want, got)
+	}
+}
+
+// corruptArtifacts rewrites every artifact in dir with the given bytes.
+func corruptArtifacts(t *testing.T, dir string, data []byte) int {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no artifacts to corrupt in %s (err=%v)", dir, err)
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(files)
+}
+
+func TestCacheCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := New(Options{CacheDir: dir}).Run(fastJob()); err != nil {
+		t.Fatal(err)
+	}
+	corruptArtifacts(t, dir, []byte("{not json"))
+
+	e := New(Options{CacheDir: dir})
+	if _, err := e.Run(fastJob()); err != nil {
+		t.Fatalf("corrupt cache entry surfaced as an error: %v", err)
+	}
+	if s := e.Stats(); s.Sims != 1 || s.CacheHits != 0 {
+		t.Errorf("corrupt entry was not recomputed: %+v", s)
+	}
+
+	// The recompute must have healed the artifact.
+	healed := New(Options{CacheDir: dir})
+	if _, err := healed.Run(fastJob()); err != nil {
+		t.Fatal(err)
+	}
+	if s := healed.Stats(); s.CacheHits != 1 || s.Sims != 0 {
+		t.Errorf("artifact not rewritten after corruption: %+v", s)
+	}
+}
+
+func TestCacheStaleSchemaRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := New(Options{CacheDir: dir}).Run(fastJob()); err != nil {
+		t.Fatal(err)
+	}
+	// A valid artifact from a different (older/newer) schema must miss.
+	corruptArtifacts(t, dir, []byte(`{"Schema": 999999, "Result": {"IPC": 42}}`))
+
+	e := New(Options{CacheDir: dir})
+	res, err := e.Run(fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC == 42 {
+		t.Error("stale-schema artifact was served")
+	}
+	if s := e.Stats(); s.Sims != 1 {
+		t.Errorf("stale-schema entry was not recomputed: %+v", s)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Run(Job{Workload: "nope", Config: sim.DefaultConfig(4)}); err == nil {
+		t.Error("unknown workload did not error")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error does not name the workload: %v", err)
+	}
+	if _, err := e.Run(Job{}); err == nil {
+		t.Error("empty workload did not error")
+	}
+	if _, err := e.Partition("", core.Options{}); err == nil {
+		t.Error("empty partition workload did not error")
+	}
+}
+
+func TestRunAllFirstErrorByIndex(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := RunAll(4, func(i int) error {
+		switch i {
+		case 1:
+			time.Sleep(10 * time.Millisecond)
+			return errA
+		case 3:
+			return errB // finishes first, but index 1 wins
+		}
+		return nil
+	})
+	if err != errA {
+		t.Errorf("err = %v, want the lowest-index error %v", err, errA)
+	}
+	if err := RunAll(0, func(int) error { return nil }); err != nil {
+		t.Errorf("empty RunAll: %v", err)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if w := New(Options{}).Workers(); w < 1 {
+		t.Errorf("default workers = %d", w)
+	}
+	if w := New(Options{Workers: 3}).Workers(); w != 3 {
+		t.Errorf("workers = %d, want 3", w)
+	}
+}

@@ -1,0 +1,48 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"multiscalar/internal/core"
+)
+
+// SchemaVersion stamps every cache key and on-disk artifact. Bump it
+// whenever core.Options, sim.Config, sim.Result, or the simulation's
+// semantics change: old artifacts stop matching and are transparently
+// recomputed rather than served stale.
+const SchemaVersion = 1
+
+// keyOf hashes a canonical JSON encoding of its payload. Both option
+// structs contain only exported scalar fields, so encoding/json emits them
+// in declaration order and the digest is stable across processes.
+func keyOf(payload any) string {
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		// Options and Config are plain data; marshalling cannot fail
+		// without a programming error in this package.
+		panic("grid: key derivation: " + err.Error())
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// Key returns the content address of a job's simulation result.
+func Key(job Job) string {
+	return keyOf(struct {
+		Schema int
+		Kind   string
+		Job    Job
+	}{SchemaVersion, "sim", job})
+}
+
+// PartitionKey returns the content address of a task selection.
+func PartitionKey(workload string, opts core.Options) string {
+	return keyOf(struct {
+		Schema   int
+		Kind     string
+		Workload string
+		Select   core.Options
+	}{SchemaVersion, "part", workload, opts})
+}

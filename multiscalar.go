@@ -22,7 +22,11 @@
 //
 // The paper's SPEC95 evaluation is reproduced by the 18 synthetic workloads
 // in Workloads and regenerated end to end by Figure5 and Table1; see
-// EXPERIMENTS.md for paper-vs-measured numbers.
+// EXPERIMENTS.md for paper-vs-measured numbers. Experiment grids execute on
+// a parallel, cache-backed engine (internal/grid, exported as Grid): jobs
+// are deduplicated single-flight, scheduled across a bounded worker pool,
+// and optionally persisted to a content-addressed on-disk cache so warm
+// reruns skip simulation entirely.
 package multiscalar
 
 import (
@@ -30,6 +34,7 @@ import (
 	"multiscalar/internal/core"
 	"multiscalar/internal/emu"
 	"multiscalar/internal/experiment"
+	"multiscalar/internal/grid"
 	"multiscalar/internal/ir"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/verify"
@@ -166,6 +171,24 @@ func Workloads() []Workload { return workloads.All() }
 // WorkloadByName returns one benchmark by its SPEC95 name (e.g. "compress").
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
 
+// Grid execution: the parallel, cache-backed engine behind the experiment
+// harness.
+type (
+	// Grid schedules partition and simulation jobs across a bounded worker
+	// pool with single-flight deduplication and an optional on-disk cache.
+	Grid = grid.Engine
+	// GridOptions configures NewGrid (worker bound, cache directory).
+	GridOptions = grid.Options
+	// GridJob names one simulation: workload × selection options × machine.
+	GridJob = grid.Job
+	// GridStats snapshots engine counters (jobs, sims, cache hits, dedups).
+	GridStats = grid.Stats
+)
+
+// NewGrid returns a grid engine. Workers defaults to GOMAXPROCS; an empty
+// CacheDir disables the on-disk result cache.
+func NewGrid(opts GridOptions) *Grid { return grid.New(opts) }
+
 // Experiments.
 type (
 	// Runner caches partitions and simulations across experiments.
@@ -180,8 +203,12 @@ type (
 	SimConfig = experiment.SimConfig
 )
 
-// NewRunner returns an empty experiment runner.
+// NewRunner returns an experiment runner on a fresh default grid engine.
 func NewRunner() *Runner { return experiment.NewRunner() }
+
+// NewRunnerOn returns an experiment runner sharing an existing grid engine
+// (and therefore its worker pool, memo, and cache).
+func NewRunnerOn(g *Grid) *Runner { return experiment.NewRunnerOn(g) }
 
 // Figure5 regenerates the paper's Figure 5 grid (nil arguments select the
 // paper's full configuration: 4 and 8 PUs, every workload).

@@ -179,3 +179,47 @@ func TestPublicExperimentsSubset(t *testing.T) {
 		t.Errorf("unexpected Table 1 output:\n%s", tbl)
 	}
 }
+
+func TestPublicGrid(t *testing.T) {
+	dir := t.TempDir()
+	g := multiscalar.NewGrid(multiscalar.GridOptions{Workers: 2, CacheDir: dir})
+	r := multiscalar.NewRunnerOn(g)
+	cells, err := multiscalar.Figure5(r, []int{4}, []string{"fpppp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	if s := g.Stats(); s.Sims == 0 || s.Jobs != s.Done {
+		t.Errorf("grid stats after a run: %+v", s)
+	}
+	// Direct job against the same engine hits the memo.
+	w, err := multiscalar.WorkloadByName("fpppp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Stats().Sims
+	res, err := g.Run(multiscalar.GridJob{
+		Workload: w.Name,
+		Select:   multiscalar.Options{Heuristic: multiscalar.ControlFlow},
+		Config:   multiscalar.DefaultConfig(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Error("nonpositive IPC from grid job")
+	}
+	if after := g.Stats().Sims; after != before {
+		t.Errorf("memoized job re-simulated (%d -> %d)", before, after)
+	}
+
+	warm := multiscalar.NewGrid(multiscalar.GridOptions{CacheDir: dir})
+	if _, err := multiscalar.Figure5(multiscalar.NewRunnerOn(warm), []int{4}, []string{"fpppp"}); err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Sims != 0 {
+		t.Errorf("warm grid simulated %d jobs, want 0", s.Sims)
+	}
+}
