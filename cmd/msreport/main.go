@@ -10,32 +10,69 @@
 //	msreport -experiment summary
 //	msreport -experiment ablations -workloads compress,tomcatv
 //	msreport -experiment all -cache-dir ~/.cache/msgrid
+//	msreport -experiment all -metrics-out metrics.json -cpuprofile cpu.pprof
+//
+// -metrics-out captures the grid engine's metrics (job/sim/cache counters,
+// queue-wait and exec wall-time histograms, worker occupancy) as a
+// deterministic JSON snapshot; -cpuprofile/-memprofile write standard pprof
+// profiles of the whole report run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"multiscalar/internal/experiment"
 	"multiscalar/internal/grid"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/workloads"
 )
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "fig5, chart, table1, summary, ablations, or all")
-		wls      = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
-		pus      = flag.String("pus", "", "comma-separated PU counts (default: 4,8)")
-		workers  = flag.Int("j", 0, "max concurrent partition/simulation jobs (default GOMAXPROCS)")
-		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (default: no cache)")
-		noCache  = flag.Bool("no-cache", false, "ignore -cache-dir and recompute everything")
-		progress = flag.Bool("progress", false, "print a progress/ETA line to stderr")
+		which      = flag.String("experiment", "all", "fig5, chart, table1, summary, ablations, or all")
+		wls        = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
+		pus        = flag.String("pus", "", "comma-separated PU counts (default: 4,8)")
+		workers    = flag.Int("j", 0, "max concurrent partition/simulation jobs (default GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (default: no cache)")
+		noCache    = flag.Bool("no-cache", false, "ignore -cache-dir and recompute everything")
+		progress   = flag.Bool("progress", false, "print a progress/ETA line to stderr")
+		metricsOut = flag.String("metrics-out", "", "write the grid metrics snapshot as JSON to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	names := splitList(*wls)
 	if err := validateWorkloads(names); err != nil {
@@ -50,10 +87,25 @@ func main() {
 	if *noCache {
 		dir = ""
 	}
-	eng := grid.New(grid.Options{Workers: *workers, CacheDir: dir})
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	eng := grid.New(grid.Options{Workers: *workers, CacheDir: dir, Metrics: reg})
 	r := experiment.NewRunnerOn(eng)
 	if *progress {
 		defer trackProgress(eng)()
+	}
+	if *metricsOut != "" {
+		defer func() {
+			blob, err := reg.Snapshot().JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*metricsOut, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	needFig5 := *which == "fig5" || *which == "chart" || *which == "summary" || *which == "all"
@@ -116,12 +168,39 @@ func validateWorkloads(names []string) error {
 	return nil
 }
 
+// termWidth returns the terminal column count from $COLUMNS (exported by
+// most interactive shells), or 0 when unknown.
+func termWidth() int {
+	if s := os.Getenv("COLUMNS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// fitStatus prepares an in-place status line: truncated to width-1 columns
+// when the width is known (so it never wraps and \r can return over it) and
+// padded with spaces to cover prev printed characters, clearing leftovers
+// from a longer previous line.
+func fitStatus(s string, prev, width int) string {
+	if width > 0 && len(s) > width-1 {
+		s = s[:width-1]
+	}
+	if len(s) < prev {
+		s += strings.Repeat(" ", prev-len(s))
+	}
+	return s
+}
+
 // trackProgress prints a live jobs/ETA line to stderr until the returned
-// stop function runs.
+// stop function runs, then a final summary (jobs run / cache hits / wall
+// time) from the grid metrics.
 func trackProgress(eng *grid.Engine) (stop func()) {
 	start := time.Now()
 	quit := make(chan struct{})
 	done := make(chan struct{})
+	width := termWidth()
 	line := func() string {
 		s := eng.Stats()
 		elapsed := time.Since(start).Round(100 * time.Millisecond)
@@ -139,13 +218,20 @@ func trackProgress(eng *grid.Engine) (stop func()) {
 		defer close(done)
 		tick := time.NewTicker(200 * time.Millisecond)
 		defer tick.Stop()
+		prev := 0
 		for {
 			select {
 			case <-quit:
-				fmt.Fprintf(os.Stderr, "\r%-79s\n", line())
+				// Clear the status line, then leave a one-line summary.
+				fmt.Fprintf(os.Stderr, "\r%s\r", fitStatus("", prev, width))
+				s := eng.Stats()
+				fmt.Fprintf(os.Stderr, "grid: %d jobs run (%d simulated, %d cache hits) in %s\n",
+					s.Done, s.Sims, s.CacheHits, time.Since(start).Round(10*time.Millisecond))
 				return
 			case <-tick.C:
-				fmt.Fprintf(os.Stderr, "\r%-79s", line())
+				out := fitStatus(line(), prev, width)
+				fmt.Fprintf(os.Stderr, "\r%s", out)
+				prev = len(strings.TrimRight(out, " "))
 			}
 		}
 	}()

@@ -26,6 +26,41 @@ func TestParsePUs(t *testing.T) {
 	}
 }
 
+func TestFitStatus(t *testing.T) {
+	// Pads to cover the previous (longer) line.
+	if got := fitStatus("short", 10, 0); got != "short     " {
+		t.Errorf("fitStatus pad = %q", got)
+	}
+	// Truncates to width-1 so the line never wraps.
+	if got := fitStatus("0123456789", 0, 8); got != "0123456" {
+		t.Errorf("fitStatus truncate = %q", got)
+	}
+	// Truncation and padding compose: a narrow terminal with a long
+	// previous line still clears exactly the previous width.
+	if got := fitStatus("0123456789", 12, 8); got != "0123456     " {
+		t.Errorf("fitStatus truncate+pad = %q", got)
+	}
+	// No-op when the line already fits and nothing needs clearing.
+	if got := fitStatus("ok", 2, 80); got != "ok" {
+		t.Errorf("fitStatus noop = %q", got)
+	}
+}
+
+func TestTermWidth(t *testing.T) {
+	t.Setenv("COLUMNS", "120")
+	if got := termWidth(); got != 120 {
+		t.Errorf("termWidth = %d, want 120", got)
+	}
+	t.Setenv("COLUMNS", "bogus")
+	if got := termWidth(); got != 0 {
+		t.Errorf("termWidth(bogus) = %d, want 0", got)
+	}
+	t.Setenv("COLUMNS", "")
+	if got := termWidth(); got != 0 {
+		t.Errorf("termWidth(unset) = %d, want 0", got)
+	}
+}
+
 func TestValidateWorkloads(t *testing.T) {
 	if err := validateWorkloads([]string{"compress", "tomcatv"}); err != nil {
 		t.Errorf("known workloads rejected: %v", err)

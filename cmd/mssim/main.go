@@ -6,31 +6,58 @@
 //
 //	mssim -workload tomcatv -heuristic cf -pus 8
 //	mssim -workload compress -heuristic dd -tasksize -pus 4 -inorder
+//	mssim -workload compress -pus 4 -trace-out trace.json -metrics
+//
+// -trace-out writes a Chrome trace-event / Perfetto JSON file (open it at
+// ui.perfetto.dev): one track per PU with a slice per dynamic task and
+// instant markers for squashes, restarts, ARB overflows, mispredictions,
+// sync waits, and register ring traffic. -metrics prints the simulator and
+// grid metrics snapshot after the run. Observed runs always simulate — the
+// result cache is not consulted (a cache hit would have no events to trace).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/grid"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/workloads"
 )
 
 func main() {
 	var (
-		workload  = flag.String("workload", "compress", "benchmark name")
-		heuristic = flag.String("heuristic", "cf", "task selection heuristic: bb, cf, or dd")
-		taskSize  = flag.Bool("tasksize", false, "apply the task-size heuristic")
-		pus       = flag.Int("pus", 4, "number of processing units")
-		inorder   = flag.Bool("inorder", false, "in-order PUs instead of out-of-order")
-		noSync    = flag.Bool("nosync", false, "disable the memory dependence synchronization table")
-		timeline  = flag.Int("timeline", 0, "print a Gantt chart of the first N task instances")
-		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory shared with msreport (default: no cache)")
+		workload   = flag.String("workload", "compress", "benchmark name")
+		heuristic  = flag.String("heuristic", "cf", "task selection heuristic: bb, cf, or dd")
+		taskSize   = flag.Bool("tasksize", false, "apply the task-size heuristic")
+		pus        = flag.Int("pus", 4, "number of processing units")
+		inorder    = flag.Bool("inorder", false, "in-order PUs instead of out-of-order")
+		noSync     = flag.Bool("nosync", false, "disable the memory dependence synchronization table")
+		timeline   = flag.Int("timeline", 0, "print a Gantt chart of the first N task instances")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory shared with msreport (default: no cache)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file (forces a live simulation)")
+		metrics    = flag.Bool("metrics", false, "print the metrics snapshot after the run (forces a live simulation)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	w, err := workloads.ByName(*workload)
 	if err != nil {
@@ -51,15 +78,41 @@ func main() {
 	cfg.InOrder = *inorder
 	cfg.SyncTable = !*noSync
 	cfg.RecordTimeline = *timeline > 0
-	eng := grid.New(grid.Options{Workers: 1, CacheDir: *cacheDir})
-	res, err := eng.Run(grid.Job{
-		Workload: w.Name,
-		Select:   core.Options{Heuristic: h, TaskSize: *taskSize},
-		Config:   cfg,
-	})
-	if err != nil {
-		fatal(err)
+	sel := core.Options{Heuristic: h, TaskSize: *taskSize}
+
+	observed := *traceOut != "" || *metrics
+	var reg *obs.Registry
+	if observed {
+		reg = obs.NewRegistry()
 	}
+	eng := grid.New(grid.Options{Workers: 1, CacheDir: *cacheDir, Metrics: reg})
+
+	var res *sim.Result
+	var col *obs.Collector
+	if observed {
+		// Tracing needs the event stream of a live run, so skip the result
+		// cache and drive the simulator directly (the partition still goes
+		// through the engine and its memo).
+		part, err := eng.Partition(w.Name, sel)
+		if err != nil {
+			fatal(err)
+		}
+		ob := sim.Observer{Metrics: reg}
+		if *traceOut != "" {
+			col = &obs.Collector{}
+			ob.Tracer = col
+		}
+		res, err = sim.RunObserved(part, cfg, ob)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err = eng.Run(grid.Job{Workload: w.Name, Select: sel, Config: cfg})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	style := "out-of-order"
 	if *inorder {
 		style = "in-order"
@@ -91,6 +144,40 @@ func main() {
 		fmt.Printf("\nPU occupancy %.1f%%; first %d task instances:\n",
 			100*res.Timeline.Utilization(*pus), *timeline)
 		fmt.Print(sim.FormatTimeline(res.Timeline, *timeline))
+	}
+
+	if col != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, col.Events, *pus); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace: %d events -> %s (open in ui.perfetto.dev)\n",
+			len(col.Events), *traceOut)
+	}
+	if *metrics {
+		fmt.Printf("\nmetrics:\n%s", reg.Snapshot().Text())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

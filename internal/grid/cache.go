@@ -43,6 +43,15 @@ func (c *diskCache) load(key string) (*sim.Result, bool) {
 }
 
 func (c *diskCache) store(key string, job Job, res *sim.Result) {
+	if res.Timeline != nil {
+		// Artifacts are shared by consumers that never asked for per-task
+		// records; persisting a timeline would bloat every warm read.
+		// (Engine.Run already bypasses the cache for timeline jobs; this
+		// guards direct callers.)
+		cp := *res
+		cp.Timeline = nil
+		res = &cp
+	}
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return
 	}

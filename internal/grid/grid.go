@@ -18,8 +18,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/workloads"
 )
@@ -32,6 +34,12 @@ type Options struct {
 	// CacheDir enables the content-addressed on-disk result cache
 	// ("" = disabled). The directory is created on first store.
 	CacheDir string
+	// Metrics, when non-nil, receives the engine's per-job metrics: job and
+	// simulation counters, cache hit/miss counters, queue-wait and
+	// execution wall-time histograms, and worker occupancy over time (see
+	// newEngMetrics for the catalog). Nil keeps the engine metric-free with
+	// no timing calls on the hot path.
+	Metrics *obs.Registry
 }
 
 // Job names one simulation: a workload partitioned under Select and timed
@@ -62,6 +70,7 @@ type Stats struct {
 type Engine struct {
 	sem   chan struct{}
 	cache *diskCache
+	m     *engMetrics // nil unless Options.Metrics was set
 
 	mu    sync.Mutex
 	parts map[string]*call[*core.Partition]
@@ -69,6 +78,40 @@ type Engine struct {
 
 	jobs, done, nParts, nSims      atomic.Int64
 	cacheHits, cacheMisses, dedups atomic.Int64
+}
+
+// engMetrics holds the engine's registry handles, resolved once at New so
+// job execution never touches the registry map. The catalog is documented in
+// DESIGN.md §9.
+type engMetrics struct {
+	jobs, parts, sims    *obs.Counter
+	cacheHits, cacheMiss *obs.Counter
+	dedups               *obs.Counter
+	queueWait, execWall  *obs.Histogram
+	busy                 *obs.Gauge
+	occupancy            *obs.Histogram
+}
+
+func newEngMetrics(r *obs.Registry) *engMetrics {
+	if r == nil {
+		return nil
+	}
+	return &engMetrics{
+		jobs:      r.Counter("grid_jobs_total", "jobs", "unique simulation jobs entered"),
+		parts:     r.Counter("grid_partitions_total", "partitions", "core.Select executions"),
+		sims:      r.Counter("grid_sims_total", "sims", "sim.Run executions"),
+		cacheHits: r.Counter("grid_cache_hits_total", "probes", "disk-cache probes that hit"),
+		cacheMiss: r.Counter("grid_cache_misses_total", "probes", "disk-cache probes that missed"),
+		dedups:    r.Counter("grid_dedup_total", "calls", "calls coalesced into a running computation"),
+		queueWait: r.Histogram("grid_queue_wait_us", "us",
+			"time a ready job waited for a worker slot", obs.ExpBuckets(1, 4, 14)),
+		execWall: r.Histogram("grid_exec_wall_us", "us",
+			"wall time of one core.Select or sim.Run execution", obs.ExpBuckets(1, 4, 14)),
+		busy: r.Gauge("grid_workers_busy", "workers",
+			"worker slots in use right now"),
+		occupancy: r.Histogram("grid_worker_occupancy", "workers",
+			"busy workers sampled at each slot acquisition", obs.LinearBuckets(1, 1, 64)),
+	}
 }
 
 // runSim indirects sim.Run so tests can observe scheduling.
@@ -82,6 +125,7 @@ func New(opts Options) *Engine {
 	}
 	e := &Engine{
 		sem:   make(chan struct{}, workers),
+		m:     newEngMetrics(opts.Metrics),
 		parts: make(map[string]*call[*core.Partition]),
 		sims:  make(map[string]*call[*sim.Result]),
 	}
@@ -122,6 +166,9 @@ func flight[T any](e *Engine, m map[string]*call[T], key string, fn func() (T, e
 		case <-c.done:
 		default:
 			e.dedups.Add(1)
+			if e.m != nil {
+				e.m.dedups.Inc()
+			}
 			<-c.done
 		}
 		return c.val, c.err
@@ -137,6 +184,43 @@ func flight[T any](e *Engine, m map[string]*call[T], key string, fn func() (T, e
 func (e *Engine) acquire() { e.sem <- struct{}{} }
 func (e *Engine) release() { <-e.sem }
 
+// acquireObserved is acquire plus queue-wait and occupancy accounting; it
+// falls through to the bare channel send when metrics are off, so the
+// unobserved hot path never calls time.Now.
+func (e *Engine) acquireObserved() {
+	if e.m == nil {
+		e.acquire()
+		return
+	}
+	t0 := time.Now()
+	e.acquire()
+	e.m.queueWait.Observe(time.Since(t0).Microseconds())
+	busy := int64(len(e.sem))
+	e.m.busy.Set(busy)
+	e.m.occupancy.Observe(busy)
+}
+
+func (e *Engine) releaseObserved() {
+	e.release()
+	if e.m != nil {
+		e.m.busy.Set(int64(len(e.sem)))
+	}
+}
+
+// timed runs fn inside a worker slot, recording exec wall time when metrics
+// are attached.
+func timed[T any](e *Engine, fn func() (T, error)) (T, error) {
+	e.acquireObserved()
+	defer e.releaseObserved()
+	if e.m == nil {
+		return fn()
+	}
+	t0 := time.Now()
+	v, err := fn()
+	e.m.execWall.Observe(time.Since(t0).Microseconds())
+	return v, err
+}
+
 // Partition returns the task selection for one workload under opts,
 // computing it at most once per engine.
 func (e *Engine) Partition(workload string, opts core.Options) (*core.Partition, error) {
@@ -148,10 +232,13 @@ func (e *Engine) Partition(workload string, opts core.Options) (*core.Partition,
 		if err != nil {
 			return nil, err
 		}
-		e.acquire()
-		defer e.release()
-		e.nParts.Add(1)
-		p, err := core.Select(w.Build(), opts)
+		p, err := timed(e, func() (*core.Partition, error) {
+			e.nParts.Add(1)
+			if e.m != nil {
+				e.m.parts.Inc()
+			}
+			return core.Select(w.Build(), opts)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("grid: partition %s: %w", workload, err)
 		}
@@ -163,6 +250,10 @@ func (e *Engine) Partition(workload string, opts core.Options) (*core.Partition,
 // partition; otherwise the partition dependency resolves first (shared with
 // every other job on the same selection) and the simulation runs in a
 // worker slot. Safe for concurrent use; identical concurrent jobs run once.
+//
+// Timeline-recording jobs (Config.RecordTimeline) bypass the disk cache in
+// both directions: their per-task records would bloat artifacts read by
+// every non-timeline consumer, so they always simulate and never persist.
 func (e *Engine) Run(job Job) (*sim.Result, error) {
 	if job.Workload == "" {
 		return nil, errors.New("grid: empty workload name")
@@ -171,26 +262,42 @@ func (e *Engine) Run(job Job) (*sim.Result, error) {
 	return flight(e, e.sims, key, func() (*sim.Result, error) {
 		e.jobs.Add(1)
 		defer e.done.Add(1)
-		if e.cache != nil {
-			if res, ok := e.cache.load(key); ok {
+		if e.m != nil {
+			e.m.jobs.Inc()
+		}
+		cache := e.cache
+		if job.Config.RecordTimeline {
+			cache = nil
+		}
+		if cache != nil {
+			if res, ok := cache.load(key); ok {
 				e.cacheHits.Add(1)
+				if e.m != nil {
+					e.m.cacheHits.Inc()
+				}
 				return res, nil
 			}
 			e.cacheMisses.Add(1)
+			if e.m != nil {
+				e.m.cacheMiss.Inc()
+			}
 		}
 		part, err := e.Partition(job.Workload, job.Select)
 		if err != nil {
 			return nil, err
 		}
-		e.acquire()
-		e.nSims.Add(1)
-		res, err := runSim(part, job.Config)
-		e.release()
+		res, err := timed(e, func() (*sim.Result, error) {
+			e.nSims.Add(1)
+			if e.m != nil {
+				e.m.sims.Inc()
+			}
+			return runSim(part, job.Config)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("grid: sim %s/%dPU: %w", job.Workload, job.Config.NumPUs, err)
 		}
-		if e.cache != nil {
-			e.cache.store(key, job, res)
+		if cache != nil {
+			cache.store(key, job, res)
 		}
 		return res, nil
 	})

@@ -12,7 +12,11 @@ import (
 // whenever core.Options, sim.Config, sim.Result, or the simulation's
 // semantics change: old artifacts stop matching and are transparently
 // recomputed rather than served stale.
-const SchemaVersion = 1
+//
+// v2: artifacts no longer carry Result.Timeline (timeline-recording jobs
+// bypass the cache entirely and stores strip the field), so v1 artifacts —
+// which could embed per-task records — are invalidated.
+const SchemaVersion = 2
 
 // keyOf hashes a canonical JSON encoding of its payload. Both option
 // structs contain only exported scalar fields, so encoding/json emits them

@@ -1,0 +1,167 @@
+package grid
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/obs"
+	"multiscalar/internal/sim"
+)
+
+func testJob(pus int) Job {
+	return Job{
+		Workload: "compress",
+		Select:   core.Options{Heuristic: core.ControlFlow},
+		Config:   sim.DefaultConfig(pus),
+	}
+}
+
+// TestEngineMetrics runs a small job mix and checks the registry agrees with
+// the engine's own Stats counters.
+func TestEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Options{Workers: 2, CacheDir: t.TempDir(), Metrics: reg})
+	jobs := []Job{testJob(2), testJob(4), testJob(2)} // one duplicate memoizes
+	if err := RunAll(len(jobs), func(i int) error {
+		_, err := e.Run(jobs[i])
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := e.Stats()
+	snap := reg.Snapshot()
+	byName := make(map[string]obs.MetricSnapshot)
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	counterChecks := []struct {
+		name string
+		want int64
+	}{
+		{"grid_jobs_total", s.Jobs},
+		{"grid_partitions_total", s.Partitions},
+		{"grid_sims_total", s.Sims},
+		{"grid_cache_hits_total", s.CacheHits},
+		{"grid_cache_misses_total", s.CacheMisses},
+	}
+	for _, c := range counterChecks {
+		m, ok := byName[c.name]
+		if !ok || m.Value == nil {
+			t.Errorf("%s missing from snapshot", c.name)
+			continue
+		}
+		if *m.Value != c.want {
+			t.Errorf("%s = %d, want %d (Stats)", c.name, *m.Value, c.want)
+		}
+	}
+	// Every worker-slot acquisition contributes one queue-wait and one
+	// occupancy sample; every slot-held execution contributes one wall-time
+	// sample.
+	wantSlots := s.Partitions + s.Sims
+	if got := byName["grid_queue_wait_us"].Count; got != wantSlots {
+		t.Errorf("grid_queue_wait_us count %d, want %d", got, wantSlots)
+	}
+	if got := byName["grid_exec_wall_us"].Count; got != wantSlots {
+		t.Errorf("grid_exec_wall_us count %d, want %d", got, wantSlots)
+	}
+	occ := byName["grid_worker_occupancy"]
+	if occ.Count != wantSlots {
+		t.Errorf("grid_worker_occupancy count %d, want %d", occ.Count, wantSlots)
+	}
+	if occ.Max > int64(e.Workers()) {
+		t.Errorf("observed occupancy %d exceeds worker bound %d", occ.Max, e.Workers())
+	}
+	if _, ok := byName["grid_workers_busy"]; !ok {
+		t.Error("grid_workers_busy gauge missing")
+	}
+}
+
+// TestMetricsOffByDefault: an engine without a registry must register and
+// record nothing (the guarded-instrumentation contract the benchmarks rely
+// on).
+func TestMetricsOffByDefault(t *testing.T) {
+	e := New(Options{Workers: 1})
+	if e.m != nil {
+		t.Fatal("engine created metrics without a registry")
+	}
+	if _, err := e.Run(testJob(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimelineJobsBypassCache: timeline-recording runs must not read or
+// write shared artifacts — they always simulate and the cache directory
+// stays free of timeline payloads.
+func TestTimelineJobsBypassCache(t *testing.T) {
+	dir := t.TempDir()
+
+	job := testJob(2)
+	job.Config.RecordTimeline = true
+
+	e := New(Options{Workers: 1, CacheDir: dir})
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("timeline job returned no timeline")
+	}
+	if s := e.Stats(); s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Errorf("timeline job probed the cache: hits=%d misses=%d", s.CacheHits, s.CacheMisses)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("timeline job persisted %d artifacts, want 0", len(entries))
+	}
+
+	// A fresh engine on the same directory re-simulates and still delivers
+	// the timeline (nothing stale to serve).
+	e2 := New(Options{Workers: 1, CacheDir: dir})
+	res2, err := e2.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e2.Stats(); s.Sims != 1 {
+		t.Errorf("second timeline run simulated %d times, want 1", s.Sims)
+	}
+	if len(res2.Timeline) != len(res.Timeline) {
+		t.Errorf("second run timeline has %d records, first had %d",
+			len(res2.Timeline), len(res.Timeline))
+	}
+}
+
+// TestCacheStoreStripsTimeline guards direct diskCache users: a result
+// carrying a timeline is persisted without it, and the caller's copy is
+// untouched.
+func TestCacheStoreStripsTimeline(t *testing.T) {
+	dir := t.TempDir()
+	c := &diskCache{dir: dir}
+	job := testJob(2)
+	res := &sim.Result{
+		Cycles:   123,
+		Timeline: sim.Timeline{{Seq: 0, Retire: 123}},
+	}
+	c.store("k", job, res)
+	if len(res.Timeline) != 1 {
+		t.Fatal("store mutated the caller's result")
+	}
+	loaded, ok := c.load("k")
+	if !ok {
+		t.Fatal("stored artifact did not load")
+	}
+	if loaded.Timeline != nil {
+		t.Error("artifact retained the timeline")
+	}
+	if loaded.Cycles != 123 {
+		t.Errorf("artifact cycles = %d, want 123", loaded.Cycles)
+	}
+	if fis, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(fis) != 1 {
+		t.Errorf("expected exactly one artifact, got %v", fis)
+	}
+}

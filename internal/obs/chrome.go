@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// "traceEvents" array), which ui.perfetto.dev and chrome://tracing both
+// ingest. Timestamps are in microseconds; the exporter maps one simulated
+// cycle to one microsecond so cycle numbers read directly off the ruler.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// taskSpan accumulates the lifetime edges of one dynamic task until its
+// retire event closes it.
+type taskSpan struct {
+	task, pu                int
+	assign, start, complete int64
+}
+
+// WriteChromeTrace exports an event stream as Chrome trace-event JSON: one
+// thread ("track") per PU, one complete ("X") slice per dynamic task
+// spanning assign→retire, and instant events for squashes, restarts, ARB
+// overflows, mispredictions, sync waits, and register ring traffic. Open the
+// output in ui.perfetto.dev. The stream need not be cycle-sorted; slices are
+// emitted in retire order and instants in emission order.
+func WriteChromeTrace(w io.Writer, events []Event, numPUs int) error {
+	if numPUs <= 0 {
+		return fmt.Errorf("obs: WriteChromeTrace wants a positive PU count, got %d", numPUs)
+	}
+	out := make([]chromeEvent, 0, len(events)+2*numPUs+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "multiscalar"},
+	})
+	for pu := 0; pu < numPUs; pu++ {
+		out = append(out,
+			chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: pu,
+				Args: map[string]any{"name": fmt.Sprintf("PU %d", pu)},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: pu,
+				Args: map[string]any{"sort_index": pu},
+			})
+	}
+
+	open := make(map[int]*taskSpan)
+	for _, e := range events {
+		switch e.Kind {
+		case EvTaskAssign:
+			open[e.Seq] = &taskSpan{task: e.Task, pu: e.PU, assign: e.Cycle}
+		case EvTaskStart:
+			if sp := open[e.Seq]; sp != nil {
+				sp.start = e.Cycle
+			}
+		case EvTaskComplete:
+			if sp := open[e.Seq]; sp != nil {
+				sp.complete = e.Cycle
+			}
+		case EvTaskRetire:
+			sp := open[e.Seq]
+			if sp == nil {
+				// A retire without an assign (truncated stream): render a
+				// zero-length slice at the retire cycle so nothing is lost.
+				sp = &taskSpan{task: e.Task, pu: e.PU, assign: e.Cycle,
+					start: e.Cycle, complete: e.Cycle}
+			}
+			delete(open, e.Seq)
+			dur := e.Cycle - sp.assign
+			if dur < 1 {
+				dur = 1
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("task %d", sp.task),
+				Ph:   "X", Ts: sp.assign, Dur: dur, Pid: 0, Tid: sp.pu,
+				Args: map[string]any{
+					"seq":      e.Seq,
+					"instrs":   e.Arg,
+					"start":    sp.start,
+					"complete": sp.complete,
+					"retire":   e.Cycle,
+				},
+			})
+		case EvSquash, EvRestart, EvARBOverflow, EvMispredict, EvSyncWait,
+			EvRegForward, EvRegRelease:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(),
+				Ph:   "i", Ts: e.Cycle, Pid: 0, Tid: e.PU, Scope: "t",
+				Args: map[string]any{"seq": e.Seq, "task": e.Task, "arg": e.Arg},
+			})
+		}
+	}
+	// Tasks still open (stream ended mid-flight) are closed at their last
+	// known edge so the trace remains self-consistent.
+	var dangling []*taskSpan
+	for _, sp := range open {
+		dangling = append(dangling, sp)
+	}
+	sort.Slice(dangling, func(i, j int) bool { return dangling[i].assign < dangling[j].assign })
+	for _, sp := range dangling {
+		end := sp.complete
+		if sp.start > end {
+			end = sp.start
+		}
+		dur := end - sp.assign
+		if dur < 1 {
+			dur = 1
+		}
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("task %d (open)", sp.task),
+			Ph:   "X", Ts: sp.assign, Dur: dur, Pid: 0, Tid: sp.pu,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"})
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses exporter output back into the generic trace shape.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) chromeTrace {
+	t.Helper()
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return tr
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := []Event{
+		{Kind: EvTaskAssign, Cycle: 0, PU: 0, Seq: 0, Task: 3},
+		{Kind: EvTaskStart, Cycle: 2, PU: 0, Seq: 0, Task: 3},
+		{Kind: EvSquash, Cycle: 5, PU: 1, Seq: 1, Task: 4},
+		{Kind: EvRestart, Cycle: 6, PU: 1, Seq: 1, Task: 4},
+		{Kind: EvTaskComplete, Cycle: 8, PU: 0, Seq: 0, Task: 3},
+		{Kind: EvTaskRetire, Cycle: 10, PU: 0, Seq: 0, Task: 3, Arg: 17},
+		{Kind: EvTaskAssign, Cycle: 1, PU: 1, Seq: 1, Task: 4},
+		{Kind: EvTaskRetire, Cycle: 12, PU: 1, Seq: 1, Task: 4, Arg: 9},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, &buf)
+	if tr.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+
+	var slices, squashes, threadNames int
+	for _, e := range tr.TraceEvents {
+		switch {
+		case e.Ph == "X":
+			slices++
+			if e.Dur <= 0 {
+				t.Errorf("slice %q has dur %d", e.Name, e.Dur)
+			}
+		case e.Ph == "i" && e.Name == "squash":
+			squashes++
+			if e.Ts != 5 || e.Tid != 1 {
+				t.Errorf("squash instant at ts=%d tid=%d, want 5/1", e.Ts, e.Tid)
+			}
+		case e.Ph == "M" && e.Name == "thread_name":
+			threadNames++
+		}
+	}
+	if slices != 2 {
+		t.Errorf("%d task slices, want 2", slices)
+	}
+	if squashes != 1 {
+		t.Errorf("%d squash instants, want 1", squashes)
+	}
+	if threadNames != 2 {
+		t.Errorf("%d thread_name records, want 2 (one per PU)", threadNames)
+	}
+	if !strings.Contains(buf.String(), `"PU 1"`) {
+		t.Error("PU 1 track not named")
+	}
+}
+
+func TestWriteChromeTraceDangling(t *testing.T) {
+	// A stream whose last task never retired still exports every slice.
+	events := []Event{
+		{Kind: EvTaskAssign, Cycle: 0, PU: 0, Seq: 0, Task: 1},
+		{Kind: EvTaskStart, Cycle: 3, PU: 0, Seq: 0, Task: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, &buf)
+	found := false
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" && strings.Contains(e.Name, "(open)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dangling task not exported")
+	}
+}
+
+func TestWriteChromeTraceBadPUs(t *testing.T) {
+	if err := WriteChromeTrace(&bytes.Buffer{}, nil, 0); err == nil {
+		t.Error("zero PU count accepted")
+	}
+}

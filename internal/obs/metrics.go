@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. Get-or-create accessors take the registry
+// lock once per metric lifetime; the update paths (Counter.Add, Gauge.Set,
+// Histogram.Observe) are atomic and lock-free, so hot loops can hold a
+// metric pointer and update it from any goroutine.
+type Registry struct {
+	mu sync.Mutex
+	cs map[string]*Counter
+	gs map[string]*Gauge
+	hs map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		cs: make(map[string]*Counter),
+		gs: make(map[string]*Gauge),
+		hs: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name, unit, help string
+	v                atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct {
+	name, unit, help string
+	v                atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bound distribution. Bounds are inclusive upper edges
+// in ascending order; one implicit overflow bucket catches everything above
+// the last bound. Observe is atomic per field (bucket, count, sum, min, max)
+// — a concurrent snapshot may be torn across fields by a few in-flight
+// observations, which is acceptable for reporting.
+type Histogram struct {
+	name, unit, help string
+	bounds           []int64
+	buckets          []atomic.Int64 // len(bounds)+1
+	count, sum       atomic.Int64
+	min, max         atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.min.Load()
+		if v >= m || h.min.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// ExpBuckets returns n ascending bounds starting at start and multiplying by
+// factor: the standard shape for cycle and microsecond distributions.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	if start <= 0 || factor < 2 || n <= 0 {
+		panic("obs: ExpBuckets wants start > 0, factor >= 2, n > 0")
+	}
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n ascending bounds start, start+step, ...
+func LinearBuckets(start, step int64, n int) []int64 {
+	if step <= 0 || n <= 0 {
+		panic("obs: LinearBuckets wants step > 0, n > 0")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)*step
+	}
+	return out
+}
+
+// Counter returns the named counter, creating it on first use. Reusing a
+// name with a different metric type panics (a programming error).
+func (r *Registry) Counter(name, unit, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.cs[name]; ok {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c := &Counter{name: name, unit: unit, help: help}
+	r.cs[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, unit, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gs[name]; ok {
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g := &Gauge{name: name, unit: unit, help: help}
+	r.gs[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given bucket bounds (ascending). Bounds are fixed at creation; later calls
+// ignore the bounds argument.
+func (r *Registry) Histogram(name, unit, help string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hs[name]; ok {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		name: name, unit: unit, help: help,
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	r.hs[name] = h
+	return h
+}
+
+func (r *Registry) checkFree(name, typ string) {
+	if _, ok := r.cs[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a counter, wanted %s", name, typ))
+	}
+	if _, ok := r.gs[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge, wanted %s", name, typ))
+	}
+	if _, ok := r.hs[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram, wanted %s", name, typ))
+	}
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations at
+// or below Le (the overflow bucket has Le = math.MaxInt64).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// MetricSnapshot is the frozen state of one metric.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "counter", "gauge", or "histogram"
+	Unit string `json:"unit,omitempty"`
+	Help string `json:"help,omitempty"`
+
+	// Value is set for counters and gauges.
+	Value *int64 `json:"value,omitempty"`
+
+	// Count/Sum/Min/Max/Buckets are set for histograms (Min/Max are zero
+	// when Count is zero).
+	Count   int64    `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Min     int64    `json:"min,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, sorted by
+// name — the same registry contents always render the same bytes.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot freezes the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []MetricSnapshot
+	for _, c := range r.cs {
+		v := c.v.Load()
+		out = append(out, MetricSnapshot{
+			Name: c.name, Type: "counter", Unit: c.unit, Help: c.help, Value: &v,
+		})
+	}
+	for _, g := range r.gs {
+		v := g.v.Load()
+		out = append(out, MetricSnapshot{
+			Name: g.name, Type: "gauge", Unit: g.unit, Help: g.help, Value: &v,
+		})
+	}
+	for _, h := range r.hs {
+		ms := MetricSnapshot{
+			Name: h.name, Type: "histogram", Unit: h.unit, Help: h.help,
+			Count: h.count.Load(), Sum: h.sum.Load(),
+		}
+		if ms.Count > 0 {
+			ms.Min, ms.Max = h.min.Load(), h.max.Load()
+		}
+		for i := range h.buckets {
+			le := int64(math.MaxInt64)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			ms.Buckets = append(ms.Buckets, Bucket{Le: le, Count: h.buckets[i].Load()})
+		}
+		out = append(out, ms)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return Snapshot{Metrics: out}
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot as an aligned, human-readable table. Histograms
+// print count/sum/min/max/mean plus non-empty buckets.
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	for _, m := range s.Metrics {
+		unit := ""
+		if m.Unit != "" {
+			unit = " " + m.Unit
+		}
+		switch m.Type {
+		case "counter", "gauge":
+			fmt.Fprintf(&sb, "%-9s %-34s %12d%s\n", m.Type, m.Name, *m.Value, unit)
+		case "histogram":
+			mean := 0.0
+			if m.Count > 0 {
+				mean = float64(m.Sum) / float64(m.Count)
+			}
+			fmt.Fprintf(&sb, "%-9s %-34s count=%d sum=%d min=%d max=%d mean=%.1f%s\n",
+				m.Type, m.Name, m.Count, m.Sum, m.Min, m.Max, mean, unit)
+			for _, b := range m.Buckets {
+				if b.Count == 0 {
+					continue
+				}
+				if b.Le == math.MaxInt64 {
+					fmt.Fprintf(&sb, "%44s  le +inf %12d\n", "", b.Count)
+				} else {
+					fmt.Fprintf(&sb, "%44s  le %-5d%12d\n", "", b.Le, b.Count)
+				}
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs", "jobs entered")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("jobs_total", "", ""); again != c {
+		t.Error("second Counter call did not return the same metric")
+	}
+	g := r.Gauge("workers_busy", "workers", "")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wait", "cycles", "", []int64{1, 10, 100})
+	for _, v := range []int64{0, 1, 2, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 || h.Sum() != 1124 {
+		t.Errorf("count=%d sum=%d, want 7/1124", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 {
+		t.Fatalf("snapshot has %d metrics", len(snap.Metrics))
+	}
+	m := snap.Metrics[0]
+	if m.Min != 0 || m.Max != 1000 {
+		t.Errorf("min/max = %d/%d, want 0/1000", m.Min, m.Max)
+	}
+	wantCounts := []int64{2, 2, 2, 1} // <=1, <=10, <=100, overflow
+	if len(m.Buckets) != 4 {
+		t.Fatalf("%d buckets, want 4", len(m.Buckets))
+	}
+	for i, b := range m.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if m.Buckets[3].Le != math.MaxInt64 {
+		t.Errorf("overflow bucket le = %d", m.Buckets[3].Le)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", "", ExpBuckets(1, 2, 12))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(i % 512))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var bucketSum int64
+	for _, b := range r.Snapshot().Metrics[0].Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != workers*per {
+		t.Errorf("bucket total = %d, want %d", bucketSum, workers*per)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		// Register in scrambled order; snapshots sort by name.
+		r.Gauge("m_busy", "workers", "").Set(2)
+		r.Counter("a_total", "jobs", "").Add(7)
+		r.Histogram("z_wait", "us", "", []int64{10, 100}).Observe(42)
+		return r.Snapshot()
+	}
+	j1, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("identical registries produced different JSON")
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(j1, &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	names := []string{"a_total", "m_busy", "z_wait"}
+	for i, m := range decoded.Metrics {
+		if m.Name != names[i] {
+			t.Errorf("metric %d = %q, want %q (sorted)", i, m.Name, names[i])
+		}
+	}
+	text := build().Text()
+	for _, want := range []string{"a_total", "m_busy", "z_wait", "count=1", "mean=42.0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("reusing a counter name as a histogram did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "", "")
+	r.Histogram("x", "", "", []int64{1})
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 5)
+	want := []int64{1, 2, 4, 8, 16}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(0, 10, 3)
+	want = []int64{0, 10, 20}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+}

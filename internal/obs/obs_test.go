@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	seen := make(map[string]Kind)
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "unknown" || s == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if numKinds.String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.Emit(Event{Kind: EvSquash, Cycle: 10, Seq: 1})
+	c.Emit(Event{Kind: EvSquash, Cycle: 12, Seq: 1})
+	c.Emit(Event{Kind: EvTaskRetire, Cycle: 20, Seq: 1})
+	if got := c.Count(EvSquash); got != 2 {
+		t.Errorf("Count(EvSquash) = %d, want 2", got)
+	}
+	if got := c.Count(EvTaskRetire); got != 1 {
+		t.Errorf("Count(EvTaskRetire) = %d, want 1", got)
+	}
+	if got := c.Count(EvMispredict); got != 0 {
+		t.Errorf("Count(EvMispredict) = %d, want 0", got)
+	}
+	if len(c.Events) != 3 {
+		t.Errorf("recorded %d events, want 3", len(c.Events))
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"multiscalar/internal/core"
+	"multiscalar/internal/obs"
+)
+
+// Observer attaches optional observability sinks to one run. Both fields may
+// be nil independently; a zero Observer makes RunObserved identical to Run.
+//
+// The instrumentation contract is zero overhead and zero perturbation: every
+// emission site in the timing model is guarded by a nil check, no timing
+// decision reads observer state, and a run with an observer attached
+// produces a Result byte-identical to an unobserved run (asserted by
+// TestRunObservedMatchesRun).
+type Observer struct {
+	// Tracer receives cycle-stamped events (task lifetime edges per PU,
+	// squash/restart, ARB overflow, mispredictions, sync waits, register
+	// ring traffic). See obs.Kind for the taxonomy.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the simulator's cycle-accounting
+	// histograms (see newSimMetrics for the catalog).
+	Metrics *obs.Registry
+}
+
+// simMetrics holds the simulator's histogram handles, resolved once per run
+// so the hot loop never touches the registry map.
+type simMetrics struct {
+	tasks       *obs.Counter
+	squashes    *obs.Counter
+	taskInstrs  *obs.Histogram
+	interWait   *obs.Histogram
+	forwardLead *obs.Histogram
+	restartDep  *obs.Histogram
+}
+
+// newSimMetrics registers the simulator's metrics catalog. Units are cycles
+// unless stated; the catalog is documented in DESIGN.md §9.
+func newSimMetrics(r *obs.Registry) *simMetrics {
+	if r == nil {
+		return nil
+	}
+	return &simMetrics{
+		tasks: r.Counter("sim_tasks_total", "tasks",
+			"dynamic task instances retired"),
+		squashes: r.Counter("sim_squashes_total", "squashes",
+			"memory dependence squash/restart pairs"),
+		taskInstrs: r.Histogram("sim_task_instrs", "instrs",
+			"dynamic instructions per task instance (Table 1 '#dyn inst')",
+			obs.ExpBuckets(1, 2, 16)),
+		interWait: r.Histogram("sim_inter_task_wait_cycles", "cycles",
+			"per-task cycles stalled on values forwarded from earlier tasks",
+			obs.ExpBuckets(1, 2, 20)),
+		forwardLead: r.Histogram("sim_forward_lead_cycles", "cycles",
+			"task completion minus register forward/release send time (ring "+
+				"backpressure can push a send past completion, giving negatives)",
+			obs.ExpBuckets(1, 2, 16)),
+		restartDep: r.Histogram("sim_restart_depth", "restarts",
+			"memory dependence restarts per task instance",
+			obs.LinearBuckets(0, 1, 9)),
+	}
+}
+
+// RunObserved simulates the partitioned program with optional tracing and
+// metrics attached. Run(part, cfg) is RunObserved(part, cfg, Observer{}).
+func RunObserved(part *core.Partition, cfg Config, o Observer) (*Result, error) {
+	return runWith(part, cfg, o.Tracer, newSimMetrics(o.Metrics))
+}

@@ -6,6 +6,7 @@ import (
 	"multiscalar/internal/core"
 	"multiscalar/internal/ir"
 	"multiscalar/internal/mem"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/predict"
 )
 
@@ -142,11 +143,22 @@ type simulator struct {
 	regFwd     [ir.NumRegs]forwardRec
 	banks      *bankSched
 
+	// Observability sinks (both nil on unobserved runs; every use is
+	// guarded so tracing costs nothing when detached and never perturbs
+	// timing when attached).
+	tracer obs.Tracer
+	met    *simMetrics
+
 	res Result
 }
 
 // Run simulates the partitioned program on the configured machine.
 func Run(part *core.Partition, cfg Config) (*Result, error) {
+	return runWith(part, cfg, nil, nil)
+}
+
+// runWith is the shared body behind Run and RunObserved.
+func runWith(part *core.Partition, cfg Config, tracer obs.Tracer, met *simMetrics) (*Result, error) {
 	if cfg.NumPUs <= 0 {
 		return nil, fmt.Errorf("sim: NumPUs must be positive, got %d", cfg.NumPUs)
 	}
@@ -154,15 +166,17 @@ func Run(part *core.Partition, cfg Config) (*Result, error) {
 		cfg.Mem.NumPUs = cfg.NumPUs
 	}
 	s := &simulator{
-		cfg:  cfg,
-		part: part,
-		m:    newMachine(part.Prog),
-		hier: mem.NewHierarchy(cfg.Mem),
-		arb:  mem.NewARB(cfg.ARBEntries),
-		sync: mem.NewSyncTable(256),
-		tp:   predict.NewPathPredictor(cfg.HistoryBits, cfg.MaxTargets),
-		gsh:  predict.NewGshare(cfg.HistoryBits),
-		ras:  predict.NewRAS(cfg.RASDepth),
+		cfg:    cfg,
+		part:   part,
+		tracer: tracer,
+		met:    met,
+		m:      newMachine(part.Prog),
+		hier:   mem.NewHierarchy(cfg.Mem),
+		arb:    mem.NewARB(cfg.ARBEntries),
+		sync:   mem.NewSyncTable(256),
+		tp:     predict.NewPathPredictor(cfg.HistoryBits, cfg.MaxTargets),
+		gsh:    predict.NewGshare(cfg.HistoryBits),
+		ras:    predict.NewRAS(cfg.RASDepth),
 	}
 	s.puFree = make([]int64, cfg.NumPUs)
 	if cfg.L1DBanks == 0 {
@@ -201,6 +215,13 @@ func (s *simulator) run() error {
 		// Task descriptor fetch through the task cache.
 		start := assign + int64(s.hier.TaskFetch(entryAddr)-1)
 
+		pu := seq % s.cfg.NumPUs
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{Kind: obs.EvTaskAssign, Cycle: assign, PU: pu, Seq: seq, Task: cur.ID})
+			s.tracer.Emit(obs.Event{Kind: obs.EvTaskStart, Cycle: start, PU: pu, Seq: seq, Task: cur.ID})
+		}
+		interWaitBefore := s.res.Breakdown.InterTaskWait
+
 		complete, restarts := s.timeTask(tr, seq, start)
 
 		retire := complete
@@ -213,7 +234,17 @@ func (s *simulator) run() error {
 		s.res.Breakdown.StartOverhead += int64(s.cfg.TaskStartOverhead)
 		lastRetir = retire
 		s.lastRetire = retire
-		s.puFree[seq%s.cfg.NumPUs] = retire
+		s.puFree[pu] = retire
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{Kind: obs.EvTaskComplete, Cycle: complete, PU: pu, Seq: seq, Task: cur.ID})
+			s.tracer.Emit(obs.Event{Kind: obs.EvTaskRetire, Cycle: retire, PU: pu, Seq: seq, Task: cur.ID, Arg: int64(len(tr.ops))})
+		}
+		if s.met != nil {
+			s.met.tasks.Inc()
+			s.met.taskInstrs.Observe(int64(len(tr.ops)))
+			s.met.restartDep.Observe(int64(restarts))
+			s.met.interWait.Observe(s.res.Breakdown.InterTaskWait - interWaitBefore)
+		}
 		s.arb.Retire(seq - 2*s.cfg.NumPUs) // state older than any in-flight window
 		if seq%64 == 0 {
 			// No future access can be scheduled before the current assign
@@ -272,6 +303,9 @@ func (s *simulator) run() error {
 		}
 		if !correct {
 			s.res.CtrlMispredicts++
+			if s.tracer != nil {
+				s.tracer.Emit(obs.Event{Kind: obs.EvMispredict, Cycle: complete, PU: pu, Seq: seq, Task: cur.ID})
+			}
 			if s.cfg.RecordTimeline {
 				s.res.Timeline[len(s.res.Timeline)-1].Mispredicted = true
 			}
@@ -329,6 +363,14 @@ func (s *simulator) timeTask(tr *taskTrace, seq int, start int64) (int64, int) {
 		complete, viol := s.timeAttempt(tr, seq, start)
 		if viol == nil {
 			return complete, restarts
+		}
+		if s.tracer != nil {
+			pu := seq % s.cfg.NumPUs
+			s.tracer.Emit(obs.Event{Kind: obs.EvSquash, Cycle: viol.time, PU: pu, Seq: seq, Task: tr.task.ID, Arg: int64(restarts)})
+			s.tracer.Emit(obs.Event{Kind: obs.EvRestart, Cycle: viol.time + 1, PU: pu, Seq: seq, Task: tr.task.ID, Arg: int64(restarts)})
+		}
+		if s.met != nil {
+			s.met.squashes.Inc()
 		}
 		restarts++
 		s.arb.NoteViolation()
@@ -493,6 +535,9 @@ func (s *simulator) timeAttempt(tr *taskTrace, seq int, start int64) (int64, *vi
 
 		if op.isLoad || op.isStore {
 			if s.arb.WouldOverflow(seq, op.addr) {
+				if s.tracer != nil {
+					s.tracer.Emit(obs.Event{Kind: obs.EvARBOverflow, Cycle: issue, PU: seq % cfg.NumPUs, Seq: seq, Task: task.ID, Arg: int64(op.addr)})
+				}
 				// Stall the access until the task is non-speculative.
 				if s.lastRetire+1 > issue {
 					issue = s.lastRetire + 1
@@ -505,6 +550,9 @@ func (s *simulator) timeAttempt(tr *taskTrace, seq int, start int64) (int64, *vi
 					// Predicted dependence confirmed and still in flight:
 					// wait for the store instead of speculating.
 					s.res.SyncWaits++
+					if s.tracer != nil {
+						s.tracer.Emit(obs.Event{Kind: obs.EvSyncWait, Cycle: sc, PU: seq % cfg.NumPUs, Seq: seq, Task: task.ID, Arg: int64(op.pc)})
+					}
 					issue = sc
 				case !ok:
 					// No earlier store to this word at all: the prediction
@@ -580,14 +628,44 @@ func (s *simulator) timeAttempt(tr *taskTrace, seq int, start int64) (int64, *vi
 	}
 
 	// Release every created register not already forwarded, then publish the
-	// forward times for downstream tasks.
+	// forward times for downstream tasks. Only this success path is observed:
+	// a violating attempt returns before reaching it, so forward/release
+	// events are never emitted for squashed work.
+	var released map[ir.Reg]bool
+	if s.tracer != nil || s.met != nil {
+		released = make(map[ir.Reg]bool)
+	}
 	for _, r := range task.CreateMask.Regs() {
 		if _, ok := fwdTime[r]; !ok {
 			fwdTime[r] = sendOnRing(complete)
+			if released != nil {
+				released[r] = true
+			}
 		}
 	}
 	for r, t := range fwdTime {
 		s.regFwd[r] = forwardRec{task: seq, time: t}
+	}
+	if released != nil {
+		// Emit in ascending register order (fwdTime is a map) so observed
+		// streams are deterministic.
+		pu := seq % cfg.NumPUs
+		for r := 0; r < ir.NumRegs; r++ {
+			t, ok := fwdTime[ir.Reg(r)]
+			if !ok {
+				continue
+			}
+			kind := obs.EvRegForward
+			if released[ir.Reg(r)] {
+				kind = obs.EvRegRelease
+			}
+			if s.tracer != nil {
+				s.tracer.Emit(obs.Event{Kind: kind, Cycle: t, PU: pu, Seq: seq, Task: task.ID, Arg: int64(r)})
+			}
+			if s.met != nil && kind == obs.EvRegForward {
+				s.met.forwardLead.Observe(complete - t)
+			}
+		}
 	}
 	return complete, nil
 }

@@ -77,7 +77,10 @@ func FormatTimeline(tl Timeline, max int) string {
 }
 
 // Utilization computes the fraction of PU-cycles spent holding live tasks
-// (start to retire) over the whole run — a coarse occupancy figure.
+// (start to retire) over the recorded span — a coarse occupancy figure. The
+// span runs from the first assignment to the last retire, so a timeline that
+// begins late in a run (or a truncated slice of one) is measured against its
+// own extent, not against cycle 0.
 func (tl Timeline) Utilization(numPUs int) float64 {
 	if len(tl) == 0 {
 		return 0
@@ -87,7 +90,7 @@ func (tl Timeline) Utilization(numPUs int) float64 {
 	for _, rec := range tl {
 		busy += rec.Retire - rec.Start
 	}
-	total = end * int64(numPUs)
+	total = (end - tl[0].Assign) * int64(numPUs)
 	if total <= 0 {
 		return 0
 	}

@@ -88,6 +88,38 @@ func TestFormatTimeline(t *testing.T) {
 	}
 }
 
+// TestFormatTimelineEdges covers the degenerate shapes FormatTimeline must
+// not choke on: a single record (span collapses to one cycle), max larger
+// than the record count, and max <= 0 meaning "all".
+func TestFormatTimelineEdges(t *testing.T) {
+	one := Timeline{{Seq: 0, TaskID: 3, PU: 1, Assign: 10, Start: 10, Complete: 10, Retire: 10, Instrs: 1}}
+	out := FormatTimeline(one, 1)
+	if got := strings.Count(out, "\n"); got != 2 { // header + 1 row
+		t.Errorf("single zero-span record: rows = %d, want 2:\n%s", got, out)
+	}
+	// All three phases collapse onto one column; the retire mark wins.
+	if !strings.Contains(out, "|-") {
+		t.Errorf("zero-span record drew no activity:\n%s", out)
+	}
+
+	two := Timeline{
+		{Seq: 0, PU: 0, Assign: 0, Start: 1, Complete: 5, Retire: 6, Instrs: 4},
+		{Seq: 1, PU: 1, Assign: 2, Start: 3, Complete: 8, Retire: 9, Instrs: 5},
+	}
+	// max beyond the record count clamps to all records rather than slicing
+	// out of range.
+	if a, b := FormatTimeline(two, 100), FormatTimeline(two, 2); a != b {
+		t.Errorf("max > len differs from max == len:\n%s\nvs\n%s", a, b)
+	}
+	// max <= 0 means all records.
+	if a, b := FormatTimeline(two, 0), FormatTimeline(two, 2); a != b {
+		t.Errorf("max = 0 differs from max == len:\n%s\nvs\n%s", a, b)
+	}
+	if got := strings.Count(FormatTimeline(two, -1), "\n"); got != 3 {
+		t.Errorf("max = -1 rows = %d, want 3", got)
+	}
+}
+
 func TestUtilizationRange(t *testing.T) {
 	part := partition(t, vecSum(t, 80), core.ControlFlow)
 	cfg := DefaultConfig(4)
@@ -99,6 +131,40 @@ func TestUtilizationRange(t *testing.T) {
 	}
 	if Timeline(nil).Utilization(4) != 0 {
 		t.Error("empty utilization not zero")
+	}
+}
+
+// TestUtilizationEdges pins the occupancy denominator to the recorded span
+// (first assign to last retire), not to cycle 0.
+func TestUtilizationEdges(t *testing.T) {
+	// A timeline that starts late in the run: one PU busy from 1000 to 1100
+	// after a 1000-cycle lead-in it never saw. Occupancy over its own span is
+	// 100%; measuring from cycle 0 would report ~9%.
+	late := Timeline{{Seq: 0, PU: 0, Assign: 1000, Start: 1000, Complete: 1090, Retire: 1100}}
+	if u := late.Utilization(1); u != 1.0 {
+		t.Errorf("late-start utilization = %v, want 1.0 (span is 100 cycles, all busy)", u)
+	}
+	// Two PUs, one fully busy and one idle over the same span: 50%.
+	half := Timeline{
+		{Seq: 0, PU: 0, Assign: 100, Start: 100, Complete: 190, Retire: 200},
+	}
+	if u := half.Utilization(2); u != 0.5 {
+		t.Errorf("half utilization = %v, want 0.5", u)
+	}
+	// A single instantaneous record has zero span; report 0 rather than
+	// dividing by zero.
+	point := Timeline{{Seq: 0, PU: 0, Assign: 42, Start: 42, Complete: 42, Retire: 42}}
+	if u := point.Utilization(4); u != 0 {
+		t.Errorf("zero-span utilization = %v, want 0", u)
+	}
+	// busy can exceed the span when assign-to-start overhead overlaps (clamp
+	// guards against >1 from rounding or overlapping records).
+	over := Timeline{
+		{Seq: 0, PU: 0, Assign: 0, Start: 0, Complete: 10, Retire: 10},
+		{Seq: 1, PU: 0, Assign: 0, Start: 0, Complete: 10, Retire: 10},
+	}
+	if u := over.Utilization(1); u != 1 {
+		t.Errorf("overlapping records utilization = %v, want clamp to 1", u)
 	}
 }
 

@@ -27,15 +27,25 @@
 // are deduplicated single-flight, scheduled across a bounded worker pool,
 // and optionally persisted to a content-addressed on-disk cache so warm
 // reruns skip simulation entirely.
+//
+// Observability lives in internal/obs (exported here as Tracer, Metrics, and
+// friends): SimulateObserved streams cycle-stamped events to a Tracer and
+// populates a Metrics registry without perturbing the simulated machine — an
+// observed run returns a Result identical to Simulate's — and
+// WriteChromeTrace exports collected events as a Chrome trace-event /
+// Perfetto JSON file. See DESIGN.md §9.
 package multiscalar
 
 import (
+	"io"
+
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
 	"multiscalar/internal/emu"
 	"multiscalar/internal/experiment"
 	"multiscalar/internal/grid"
 	"multiscalar/internal/ir"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/verify"
 	"multiscalar/internal/workloads"
@@ -120,6 +130,50 @@ func DefaultConfig(numPUs int) Config { return sim.DefaultConfig(numPUs) }
 // breakdown. The simulator's final architectural state always equals the
 // sequential emulator's.
 func Simulate(part *Partition, cfg Config) (*Result, error) { return sim.Run(part, cfg) }
+
+// Observability: cycle-level tracing and metrics (see DESIGN.md §9).
+type (
+	// Tracer receives cycle-stamped simulator events. Implementations must
+	// be fast; Emit is called from the simulator's hot path. A nil Tracer
+	// means no events and no overhead.
+	Tracer = obs.Tracer
+	// TraceEvent is one cycle-stamped simulator event.
+	TraceEvent = obs.Event
+	// TraceEventKind discriminates TraceEvent (task lifecycle, squash,
+	// restart, ARB overflow, misprediction, sync wait, register traffic).
+	TraceEventKind = obs.Kind
+	// TraceCollector is the canonical in-memory Tracer.
+	TraceCollector = obs.Collector
+	// Metrics is a registry of named counters, gauges, and histograms with
+	// deterministic text and JSON snapshots.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time, deterministically ordered view of
+	// a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// Observer bundles the optional Tracer and Metrics for an observed
+	// simulation; the zero value observes nothing.
+	Observer = sim.Observer
+)
+
+// NewMetrics returns an empty metrics registry. Pass it to SimulateObserved
+// (via Observer) or to a grid engine (GridOptions.Metrics) and read it back
+// with Snapshot.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// SimulateObserved is Simulate plus observability: events stream to
+// o.Tracer and simulator histograms populate o.Metrics as the run executes.
+// Observation never changes timing — the returned Result is identical to
+// Simulate's for the same inputs.
+func SimulateObserved(part *Partition, cfg Config, o Observer) (*Result, error) {
+	return sim.RunObserved(part, cfg, o)
+}
+
+// WriteChromeTrace writes collected events as Chrome trace-event / Perfetto
+// JSON (one track per PU, a slice per dynamic task, instant markers for
+// squashes and other point events). Open the output at ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, numPUs int) error {
+	return obs.WriteChromeTrace(w, events, numPUs)
+}
 
 // Emulate runs the program sequentially (the architectural reference),
 // returning the executed instruction count and a memory checksum.

@@ -1,6 +1,9 @@
 package multiscalar_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -221,5 +224,61 @@ func TestPublicGrid(t *testing.T) {
 	}
 	if s := warm.Stats(); s.Sims != 0 {
 		t.Errorf("warm grid simulated %d jobs, want 0", s.Sims)
+	}
+}
+
+// TestPublicObservability exercises the exported tracing/metrics surface:
+// an observed simulation matches the plain one bit for bit, events collect,
+// the Chrome trace exports as valid JSON, and the metrics snapshot is
+// deterministic.
+func TestPublicObservability(t *testing.T) {
+	prog := buildVecAdd(t, 64)
+	part, err := multiscalar.Select(prog, multiscalar.Options{Heuristic: multiscalar.ControlFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := multiscalar.DefaultConfig(4)
+	plain, err := multiscalar.Simulate(part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := &multiscalar.TraceCollector{}
+	reg := multiscalar.NewMetrics()
+	observed, err := multiscalar.SimulateObserved(part, cfg, multiscalar.Observer{Tracer: col, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Error("observed simulation diverged from plain Simulate")
+	}
+	if len(col.Events) == 0 {
+		t.Fatal("collector saw no events")
+	}
+
+	var buf bytes.Buffer
+	if err := multiscalar.WriteChromeTrace(&buf, col.Events, 4); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+
+	snap := reg.Snapshot()
+	if len(snap.Metrics) == 0 {
+		t.Fatal("metrics snapshot is empty")
+	}
+	blob, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "sim_tasks_total") {
+		t.Errorf("snapshot missing sim_tasks_total:\n%s", blob)
 	}
 }
