@@ -19,13 +19,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"multiscalar/internal/experiment"
@@ -43,6 +47,7 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (default: no cache)")
 		noCache    = flag.Bool("no-cache", false, "ignore -cache-dir and recompute everything")
 		progress   = flag.Bool("progress", false, "print a progress/ETA line to stderr")
+		timeout    = flag.Duration("timeout", 0, "overall deadline for the run; queued jobs cancel cleanly when it expires (0 = none)")
 		metricsOut = flag.String("metrics-out", "", "write the grid metrics snapshot as JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -91,8 +96,20 @@ func main() {
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
+	// SIGINT/SIGTERM (and -timeout, if set) cancel the run's context: jobs
+	// still queued for a worker return immediately, simulations already
+	// executing finish, and the command exits with a clean diagnostic
+	// instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	eng := grid.New(grid.Options{Workers: *workers, CacheDir: dir, Metrics: reg})
-	r := experiment.NewRunnerOn(eng)
+	r := experiment.NewRunnerOn(eng).WithContext(ctx)
 	if *progress {
 		defer trackProgress(eng)()
 	}
@@ -114,7 +131,7 @@ func main() {
 		var err error
 		cells, err = experiment.Figure5(r, puCounts, names)
 		if err != nil {
-			fatal(err)
+			fatalRun(ctx, err)
 		}
 	}
 	switch *which {
@@ -128,16 +145,16 @@ func main() {
 	case "summary":
 		fmt.Print(experiment.FormatSummary(experiment.Summarize(cells)))
 	case "table1":
-		printTable1(r, names)
+		printTable1(ctx, r, names)
 	case "ablations":
-		printAblations(r, names)
+		printAblations(ctx, r, names)
 	case "all":
 		fmt.Print(experiment.FormatFigure5(cells))
 		fmt.Print(experiment.FormatSummary(experiment.Summarize(cells)))
 		fmt.Println()
-		printTable1(r, names)
+		printTable1(ctx, r, names)
 		fmt.Println()
-		printAblations(r, names)
+		printAblations(ctx, r, names)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *which))
 	}
@@ -241,15 +258,15 @@ func trackProgress(eng *grid.Engine) (stop func()) {
 	}
 }
 
-func printTable1(r *experiment.Runner, names []string) {
+func printTable1(ctx context.Context, r *experiment.Runner, names []string) {
 	rows, err := experiment.Table1(r, names)
 	if err != nil {
-		fatal(err)
+		fatalRun(ctx, err)
 	}
 	fmt.Print(experiment.FormatTable1(rows))
 }
 
-func printAblations(r *experiment.Runner, names []string) {
+func printAblations(ctx context.Context, r *experiment.Runner, names []string) {
 	if len(names) == 0 {
 		// Defaults chosen for sensitivity: perl/vortex expose the target
 		// limit, wave5 exercises the ARB and synchronization table, compress
@@ -258,31 +275,31 @@ func printAblations(r *experiment.Runner, names []string) {
 	}
 	targets, err := experiment.AblationTargets(r, names, nil)
 	if err != nil {
-		fatal(err)
+		fatalRun(ctx, err)
 	}
 	fmt.Print(experiment.FormatAblation("hardware target limit N", targets))
 	fmt.Println()
 	syncRows, err := experiment.AblationSync(r, names)
 	if err != nil {
-		fatal(err)
+		fatalRun(ctx, err)
 	}
 	fmt.Print(experiment.FormatAblation("memory dependence synchronization", syncRows))
 	fmt.Println()
 	ring, err := experiment.AblationRing(r, names, nil)
 	if err != nil {
-		fatal(err)
+		fatalRun(ctx, err)
 	}
 	fmt.Print(experiment.FormatAblation("register ring bandwidth", ring))
 	fmt.Println()
 	banks, err := experiment.AblationBanks(r, names, nil)
 	if err != nil {
-		fatal(err)
+		fatalRun(ctx, err)
 	}
 	fmt.Print(experiment.FormatAblation("L1 D-cache banks", banks))
 	fmt.Println()
 	greedy, err := experiment.AblationGreedy(r, names)
 	if err != nil {
-		fatal(err)
+		fatalRun(ctx, err)
 	}
 	fmt.Print(experiment.FormatAblation("greedy vs first-fit task growth", greedy))
 }
@@ -303,4 +320,15 @@ func splitList(s string) []string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "msreport:", err)
 	os.Exit(1)
+}
+
+// fatalRun reports a failed experiment run. When the run's context ended
+// (signal or -timeout), the joined per-job cancellation errors collapse to
+// one diagnostic line instead of a page of context.Canceled repeats.
+func fatalRun(ctx context.Context, err error) {
+	if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		fmt.Fprintf(os.Stderr, "msreport: run interrupted (%v)\n", ctx.Err())
+		os.Exit(1)
+	}
+	fatal(err)
 }

@@ -12,16 +12,21 @@
 // ui.perfetto.dev): one track per PU with a slice per dynamic task and
 // instant markers for squashes, restarts, ARB overflows, mispredictions,
 // sync waits, and register ring traffic. -metrics prints the simulator and
-// grid metrics snapshot after the run. Observed runs always simulate — the
+// grid metrics snapshot after the run in Prometheus text format (the same
+// exposition mssrv's /metrics serves). Observed runs always simulate — the
 // result cache is not consulted (a cache hit would have no events to trace).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/grid"
@@ -39,6 +44,7 @@ func main() {
 		inorder    = flag.Bool("inorder", false, "in-order PUs instead of out-of-order")
 		noSync     = flag.Bool("nosync", false, "disable the memory dependence synchronization table")
 		timeline   = flag.Int("timeline", 0, "print a Gantt chart of the first N task instances")
+		timeout    = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory shared with msreport (default: no cache)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file (forces a live simulation)")
 		metrics    = flag.Bool("metrics", false, "print the metrics snapshot after the run (forces a live simulation)")
@@ -80,6 +86,17 @@ func main() {
 	cfg.RecordTimeline = *timeline > 0
 	sel := core.Options{Heuristic: h, TaskSize: *taskSize}
 
+	// SIGINT/SIGTERM (and -timeout, if set) cancel the run's context: a job
+	// still queued in the engine returns immediately and the command exits
+	// with a clean diagnostic instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	observed := *traceOut != "" || *metrics
 	var reg *obs.Registry
 	if observed {
@@ -93,9 +110,9 @@ func main() {
 		// Tracing needs the event stream of a live run, so skip the result
 		// cache and drive the simulator directly (the partition still goes
 		// through the engine and its memo).
-		part, err := eng.Partition(w.Name, sel)
+		part, err := eng.PartitionCtx(ctx, w.Name, sel)
 		if err != nil {
-			fatal(err)
+			fatalRun(ctx, err)
 		}
 		ob := sim.Observer{Metrics: reg}
 		if *traceOut != "" {
@@ -107,9 +124,9 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		res, err = eng.Run(grid.Job{Workload: w.Name, Select: sel, Config: cfg})
+		res, err = eng.RunCtx(ctx, grid.Job{Workload: w.Name, Select: sel, Config: cfg})
 		if err != nil {
-			fatal(err)
+			fatalRun(ctx, err)
 		}
 	}
 
@@ -162,7 +179,12 @@ func main() {
 			len(col.Events), *traceOut)
 	}
 	if *metrics {
-		fmt.Printf("\nmetrics:\n%s", reg.Snapshot().Text())
+		// Prometheus text exposition — the same format mssrv's /metrics
+		// serves, so one set of parsing/alerting rules covers both.
+		fmt.Printf("\nmetrics:\n")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *memprofile != "" {
@@ -184,4 +206,14 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mssim:", err)
 	os.Exit(1)
+}
+
+// fatalRun collapses a context-ended run (signal or -timeout) to a single
+// "interrupted" diagnostic; any other error goes through fatal unchanged.
+func fatalRun(ctx context.Context, err error) {
+	if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		fmt.Fprintf(os.Stderr, "mssim: run interrupted (%v)\n", ctx.Err())
+		os.Exit(1)
+	}
+	fatal(err)
 }

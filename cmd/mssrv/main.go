@@ -1,0 +1,110 @@
+// Command mssrv serves the Multiscalar pipeline over HTTP: task selection
+// (POST /v1/partition), simulation (POST /v1/simulate), and the paper's
+// experiment grids with SSE progress (POST /v1/experiment), plus /healthz
+// and a Prometheus /metrics scrape. All requests share one grid engine, so
+// identical concurrent requests coalesce into a single simulation and (with
+// -cache-dir) warm results are served from disk without touching a worker.
+//
+// Usage:
+//
+//	mssrv -addr :8080 -j 8 -cache-dir ~/.cache/msgrid
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/simulate \
+//	  -d '{"workload":"compress","select":{"heuristic":"cf"},"machine":{"pus":4}}'
+//
+// On SIGINT/SIGTERM the server drains gracefully: the listener closes,
+// in-flight requests finish (bounded by -drain-timeout), the final metrics
+// snapshot is flushed, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multiscalar/internal/grid"
+	"multiscalar/internal/obs"
+	"multiscalar/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("j", 0, "max concurrent partition/simulation jobs (default GOMAXPROCS)")
+		cacheDir     = flag.String("cache-dir", "", "content-addressed result cache directory shared with msreport/mssim (default: no cache)")
+		maxInflight  = flag.Int("max-inflight", 0, "admitted /v1 requests before shedding with 429 (default 4x workers)")
+		reqTimeout   = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline propagated into the engine")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		metricsOut   = flag.String("metrics-out", "", "write the final metrics snapshot (Prometheus text format) to this file on exit (default: stderr)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mssrv ", log.LstdFlags)
+	reg := obs.NewRegistry()
+	eng := grid.New(grid.Options{Workers: *workers, CacheDir: *cacheDir, Metrics: reg})
+	srv := serve.New(serve.Config{
+		Engine:         eng,
+		Metrics:        reg,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		Logger:         logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	logger.Printf("level=info msg=listening addr=%s workers=%d cache=%q", ln.Addr(), eng.Workers(), *cacheDir)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+
+	logger.Printf("level=info msg=draining timeout=%s", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("level=warn msg=drain_incomplete err=%v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+
+	// Flush the final metrics snapshot so a scrape-less deployment still
+	// keeps the run's counters.
+	out := os.Stderr
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := reg.WritePrometheus(out); err != nil {
+		fatal(err)
+	}
+	s := eng.Stats()
+	logger.Printf("level=info msg=exit jobs=%d sims=%d cache_hits=%d deduped=%d", s.Done, s.Sims, s.CacheHits, s.Deduped)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mssrv:", err)
+	os.Exit(1)
+}

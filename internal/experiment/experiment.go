@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"multiscalar/internal/core"
@@ -66,6 +67,7 @@ func (v Variant) options() core.Options {
 // directory) skip simulations already on disk.
 type Runner struct {
 	eng *grid.Engine
+	ctx context.Context // nil = context.Background()
 }
 
 // NewRunner returns a runner on a fresh default engine (GOMAXPROCS workers,
@@ -76,6 +78,20 @@ func NewRunner() *Runner { return NewRunnerOn(grid.New(grid.Options{})) }
 // worker pool, and cache with any other user of the engine.
 func NewRunnerOn(e *grid.Engine) *Runner { return &Runner{eng: e} }
 
+// WithContext returns a runner whose experiment points ride the engine's
+// context-aware path: when ctx ends, queued jobs cancel cleanly and every
+// pending experiment call returns ctx's error. The receiver is unchanged.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	return &Runner{eng: r.eng, ctx: ctx}
+}
+
+func (r *Runner) context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
 // Engine exposes the underlying grid engine (for stats and direct jobs).
 func (r *Runner) Engine() *grid.Engine { return r.eng }
 
@@ -84,7 +100,7 @@ func (r *Runner) Engine() *grid.Engine { return r.eng }
 func (r *Runner) Partition(name string, v Variant, targets int) (*core.Partition, error) {
 	opts := v.options()
 	opts.MaxTargets = targets
-	return r.eng.Partition(name, opts)
+	return r.eng.PartitionCtx(r.context(), name, opts)
 }
 
 // SimConfig selects one machine point.
@@ -125,7 +141,7 @@ func (mc SimConfig) job(name string, v Variant) grid.Job {
 // Run simulates one workload/variant on one machine point, caching results.
 // Safe for concurrent use; identical concurrent calls simulate once.
 func (r *Runner) Run(name string, v Variant, mc SimConfig) (*sim.Result, error) {
-	res, err := r.eng.Run(mc.job(name, v))
+	res, err := r.eng.RunCtx(r.context(), mc.job(name, v))
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %s/%v: %w", name, v, err)
 	}

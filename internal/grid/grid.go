@@ -13,6 +13,7 @@
 package grid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -117,6 +118,19 @@ func newEngMetrics(r *obs.Registry) *engMetrics {
 // runSim indirects sim.Run so tests can observe scheduling.
 var runSim = sim.Run
 
+// SetSimForTesting replaces the function every engine runs for a simulation
+// and returns a restore func. It exists so tests outside this package
+// (notably internal/serve) can gate and count simulations; never call it
+// from non-test code, and never concurrently with live engines.
+func SetSimForTesting(fn func(*core.Partition, sim.Config) (*sim.Result, error)) (restore func()) {
+	old := runSim
+	if fn == nil {
+		fn = sim.Run
+	}
+	runSim = fn
+	return func() { runSim = old }
+}
+
 // New returns an engine with the given worker bound and cache directory.
 func New(opts Options) *Engine {
 	workers := opts.Workers
@@ -156,48 +170,96 @@ type call[T any] struct {
 	err  error
 }
 
-// flight returns the memoized or in-flight result for key, or makes the
-// caller the leader that computes it via fn. Waiters hold no worker slot.
-func flight[T any](e *Engine, m map[string]*call[T], key string, fn func() (T, error)) (T, error) {
-	e.mu.Lock()
-	if c, ok := m[key]; ok {
-		e.mu.Unlock()
-		select {
-		case <-c.done:
-		default:
-			e.dedups.Add(1)
-			if e.m != nil {
-				e.m.dedups.Inc()
-			}
-			<-c.done
-		}
-		return c.val, c.err
-	}
-	c := &call[T]{done: make(chan struct{})}
-	m[key] = c
-	e.mu.Unlock()
-	c.val, c.err = fn()
-	close(c.done)
-	return c.val, c.err
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error — the class of failures that describe the caller rather
+// than the computation, and therefore must never be memoized.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (e *Engine) acquire() { e.sem <- struct{}{} }
+// flight returns the memoized or in-flight result for key, or makes the
+// caller the leader that computes it via fn. Waiters hold no worker slot and
+// abandon the wait (leaving the leader running) when their ctx ends. A
+// leader that fails with its own context error is evicted from the memo
+// before waiters wake, so one canceled client never poisons the key: the
+// first waiter whose context is still live retries as the new leader.
+func flight[T any](ctx context.Context, e *Engine, m map[string]*call[T], key string, fn func() (T, error)) (T, error) {
+	var zero T
+	for {
+		e.mu.Lock()
+		if c, ok := m[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-c.done:
+			default:
+				e.dedups.Add(1)
+				if e.m != nil {
+					e.m.dedups.Inc()
+				}
+				select {
+				case <-c.done:
+				case <-ctx.Done():
+					return zero, ctx.Err()
+				}
+			}
+			if isCtxErr(c.err) {
+				if err := ctx.Err(); err != nil {
+					return zero, err
+				}
+				continue
+			}
+			return c.val, c.err
+		}
+		c := &call[T]{done: make(chan struct{})}
+		m[key] = c
+		e.mu.Unlock()
+		c.val, c.err = fn()
+		if isCtxErr(c.err) {
+			e.mu.Lock()
+			if cur, ok := m[key]; ok && cur == c {
+				delete(m, key)
+			}
+			e.mu.Unlock()
+		}
+		close(c.done)
+		return c.val, c.err
+	}
+}
+
+// acquire takes a worker slot, or gives up when ctx ends first — this is
+// what lets a queued job cancel cleanly without ever running.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func (e *Engine) release() { <-e.sem }
 
 // acquireObserved is acquire plus queue-wait and occupancy accounting; it
 // falls through to the bare channel send when metrics are off, so the
 // unobserved hot path never calls time.Now.
-func (e *Engine) acquireObserved() {
+func (e *Engine) acquireObserved(ctx context.Context) error {
 	if e.m == nil {
-		e.acquire()
-		return
+		return e.acquire(ctx)
 	}
 	t0 := time.Now()
-	e.acquire()
+	if err := e.acquire(ctx); err != nil {
+		return err
+	}
 	e.m.queueWait.Observe(time.Since(t0).Microseconds())
 	busy := int64(len(e.sem))
 	e.m.busy.Set(busy)
 	e.m.occupancy.Observe(busy)
+	return nil
 }
 
 func (e *Engine) releaseObserved() {
@@ -208,9 +270,13 @@ func (e *Engine) releaseObserved() {
 }
 
 // timed runs fn inside a worker slot, recording exec wall time when metrics
-// are attached.
-func timed[T any](e *Engine, fn func() (T, error)) (T, error) {
-	e.acquireObserved()
+// are attached. Cancellation is only honored while waiting for the slot:
+// once fn starts it runs to completion (sim.Run is not preemptible).
+func timed[T any](ctx context.Context, e *Engine, fn func() (T, error)) (T, error) {
+	var zero T
+	if err := e.acquireObserved(ctx); err != nil {
+		return zero, err
+	}
 	defer e.releaseObserved()
 	if e.m == nil {
 		return fn()
@@ -224,15 +290,22 @@ func timed[T any](e *Engine, fn func() (T, error)) (T, error) {
 // Partition returns the task selection for one workload under opts,
 // computing it at most once per engine.
 func (e *Engine) Partition(workload string, opts core.Options) (*core.Partition, error) {
+	return e.PartitionCtx(context.Background(), workload, opts)
+}
+
+// PartitionCtx is Partition with a caller deadline: a job still queued for a
+// worker slot when ctx ends returns ctx.Err() without ever partitioning, and
+// a canceled computation is not memoized.
+func (e *Engine) PartitionCtx(ctx context.Context, workload string, opts core.Options) (*core.Partition, error) {
 	if workload == "" {
 		return nil, errors.New("grid: empty workload name")
 	}
-	return flight(e, e.parts, PartitionKey(workload, opts), func() (*core.Partition, error) {
+	return flight(ctx, e, e.parts, PartitionKey(workload, opts), func() (*core.Partition, error) {
 		w, err := workloads.ByName(workload)
 		if err != nil {
 			return nil, err
 		}
-		p, err := timed(e, func() (*core.Partition, error) {
+		p, err := timed(ctx, e, func() (*core.Partition, error) {
 			e.nParts.Add(1)
 			if e.m != nil {
 				e.m.parts.Inc()
@@ -240,6 +313,9 @@ func (e *Engine) Partition(workload string, opts core.Options) (*core.Partition,
 			return core.Select(w.Build(), opts)
 		})
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("grid: partition %s: %w", workload, err)
 		}
 		return p, nil
@@ -255,11 +331,21 @@ func (e *Engine) Partition(workload string, opts core.Options) (*core.Partition,
 // both directions: their per-task records would bloat artifacts read by
 // every non-timeline consumer, so they always simulate and never persist.
 func (e *Engine) Run(job Job) (*sim.Result, error) {
+	return e.RunCtx(context.Background(), job)
+}
+
+// RunCtx is Run with a caller deadline. Cancellation is honored at the two
+// wait points — the single-flight wait and the worker-slot queue — so a
+// canceled job that never reached a worker costs nothing; a simulation
+// already executing runs to completion (its result is still memoized for the
+// next caller). Context errors are never memoized: the next request for the
+// same key simply recomputes.
+func (e *Engine) RunCtx(ctx context.Context, job Job) (*sim.Result, error) {
 	if job.Workload == "" {
 		return nil, errors.New("grid: empty workload name")
 	}
 	key := Key(job)
-	return flight(e, e.sims, key, func() (*sim.Result, error) {
+	return flight(ctx, e, e.sims, key, func() (*sim.Result, error) {
 		e.jobs.Add(1)
 		defer e.done.Add(1)
 		if e.m != nil {
@@ -282,11 +368,11 @@ func (e *Engine) Run(job Job) (*sim.Result, error) {
 				e.m.cacheMiss.Inc()
 			}
 		}
-		part, err := e.Partition(job.Workload, job.Select)
+		part, err := e.PartitionCtx(ctx, job.Workload, job.Select)
 		if err != nil {
 			return nil, err
 		}
-		res, err := timed(e, func() (*sim.Result, error) {
+		res, err := timed(ctx, e, func() (*sim.Result, error) {
 			e.nSims.Add(1)
 			if e.m != nil {
 				e.m.sims.Inc()
@@ -294,6 +380,9 @@ func (e *Engine) Run(job Job) (*sim.Result, error) {
 			return runSim(part, job.Config)
 		})
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("grid: sim %s/%dPU: %w", job.Workload, job.Config.NumPUs, err)
 		}
 		if cache != nil {
@@ -304,9 +393,11 @@ func (e *Engine) Run(job Job) (*sim.Result, error) {
 }
 
 // RunAll executes fn(i) for every i in [0, n) concurrently and returns the
-// lowest-index error, if any. It is the fan-out helper the experiment layer
-// uses: results land in caller-indexed slots, so collection order — and any
-// output derived from it — is deterministic regardless of completion order.
+// errors.Join of every failure in index order (nil when all succeed), so no
+// concurrent experiment error is masked by another. It is the fan-out helper
+// the experiment layer uses: results land in caller-indexed slots, so
+// collection order — and any output derived from it — is deterministic
+// regardless of completion order.
 func RunAll(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -318,10 +409,5 @@ func RunAll(n int, fn func(i int) error) error {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }

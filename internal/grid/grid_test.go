@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -280,7 +281,7 @@ func TestUnknownWorkload(t *testing.T) {
 	}
 }
 
-func TestRunAllFirstErrorByIndex(t *testing.T) {
+func TestRunAllJoinsAllErrors(t *testing.T) {
 	errA, errB := errors.New("a"), errors.New("b")
 	err := RunAll(4, func(i int) error {
 		switch i {
@@ -288,15 +289,145 @@ func TestRunAllFirstErrorByIndex(t *testing.T) {
 			time.Sleep(10 * time.Millisecond)
 			return errA
 		case 3:
-			return errB // finishes first, but index 1 wins
+			return errB // finishes first but must not mask errA
 		}
 		return nil
 	})
-	if err != errA {
-		t.Errorf("err = %v, want the lowest-index error %v", err, errA)
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Errorf("err = %v, want both %v and %v joined", err, errA, errB)
+	}
+	// Index order, not completion order.
+	lines := strings.Split(err.Error(), "\n")
+	if len(lines) != 2 || lines[0] != "a" || lines[1] != "b" {
+		t.Errorf("joined error not in index order: %q", err.Error())
 	}
 	if err := RunAll(0, func(int) error { return nil }); err != nil {
 		t.Errorf("empty RunAll: %v", err)
+	}
+	if err := RunAll(3, func(int) error { return nil }); err != nil {
+		t.Errorf("all-success RunAll: %v", err)
+	}
+}
+
+// gateSim stubs runSim with a function that signals entry on started and
+// blocks until release is closed.
+func gateSim(t *testing.T) (started chan string, release chan struct{}, calls *atomic.Int64) {
+	t.Helper()
+	started = make(chan string, 64)
+	release = make(chan struct{})
+	calls = &atomic.Int64{}
+	saved := runSim
+	t.Cleanup(func() { runSim = saved })
+	runSim = func(part *core.Partition, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		started <- part.Prog.Name
+		<-release
+		return &sim.Result{IPC: 1}, nil
+	}
+	return started, release, calls
+}
+
+func TestRunCtxCancelsQueuedJob(t *testing.T) {
+	started, release, _ := gateSim(t)
+	e := New(Options{Workers: 1})
+	// Warm the partition memo so the occupier's worker slot is the only
+	// contended resource.
+	if _, err := e.Partition(fastJob().Workload, fastJob().Select); err != nil {
+		t.Fatal(err)
+	}
+	occupier := make(chan error, 1)
+	go func() {
+		_, err := e.Run(fastJob())
+		occupier <- err
+	}()
+	<-started // the single worker slot is now held inside the stubbed sim
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := fastJob()
+	queued.Config.RingBW = 7 // distinct key: must queue for the slot
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.RunCtx(ctx, queued)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach the slot queue
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("queued job returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued job did not cancel while the worker was busy")
+	}
+
+	close(release)
+	if err := <-occupier; err != nil {
+		t.Fatal(err)
+	}
+	// The canceled call must not be memoized: rerunning the same job now
+	// succeeds and actually simulates.
+	sims := e.Stats().Sims
+	if _, err := e.Run(queued); err != nil {
+		t.Fatalf("rerun after cancellation: %v", err)
+	}
+	if got := e.Stats().Sims; got != sims+1 {
+		t.Errorf("rerun did not simulate (sims %d -> %d); canceled error was memoized", sims, got)
+	}
+}
+
+func TestRunCtxWaiterDeadlineLeavesLeader(t *testing.T) {
+	started, release, calls := gateSim(t)
+	e := New(Options{Workers: 2})
+	if _, err := e.Partition(fastJob().Workload, fastJob().Select); err != nil {
+		t.Fatal(err)
+	}
+	leader := make(chan *sim.Result, 1)
+	go func() {
+		res, err := e.Run(fastJob())
+		if err != nil {
+			t.Error(err)
+		}
+		leader <- res
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := e.RunCtx(ctx, fastJob()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("waiter returned %v, want context.DeadlineExceeded", err)
+	}
+
+	close(release)
+	if res := <-leader; res == nil {
+		t.Fatal("leader result missing")
+	}
+	// The leader's completed result is memoized despite the waiter's exit.
+	res, err := e.Run(fastJob())
+	if err != nil || res == nil {
+		t.Fatalf("memoized result after waiter deadline: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("sim ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestRunCtxAlreadyCanceled(t *testing.T) {
+	e := New(Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunCtx(ctx, fastJob()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx on a dead context returned %v", err)
+	}
+	if _, err := e.PartitionCtx(ctx, fastJob().Workload, fastJob().Select); !errors.Is(err, context.Canceled) {
+		t.Errorf("PartitionCtx on a dead context returned %v", err)
+	}
+	// Nothing may be memoized for the canceled attempts.
+	if _, err := e.Run(fastJob()); err != nil {
+		t.Fatalf("fresh run after canceled attempts: %v", err)
+	}
+	if s := e.Stats(); s.Sims != 1 {
+		t.Errorf("sims = %d, want exactly the fresh run", s.Sims)
 	}
 }
 

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Metrics
+// appear in name order, so the same registry contents always render the same
+// bytes — suitable for golden tests and for scrape endpoints alike.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range s.Metrics {
+		help := m.Help
+		if m.Unit != "" {
+			help += " (" + m.Unit + ")"
+		}
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		switch m.Type {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.Name, m.Type, m.Name, *m.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.Name); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for _, b := range m.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.Le != math.MaxInt64 {
+					le = fmt.Sprintf("%d", b.Le)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m.Name, m.Sum, m.Name, m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus snapshots the registry and renders it in the Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// escapeHelp escapes the two characters the exposition format reserves in
+// HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

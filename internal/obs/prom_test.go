@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte: counters and
+// gauges as single samples, histograms as cumulative buckets with a +Inf
+// edge, sum, and count, all in name order.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("serve_requests_total", "requests", "HTTP requests admitted")
+	c.Add(7)
+	g := r.Gauge("serve_inflight", "requests", "requests executing right now")
+	g.Set(2)
+	h := r.Histogram("serve_request_us", "us", "request wall time", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 50, 50, 5000} {
+		h.Observe(v)
+	}
+	r.Counter("a_first_total", "", "sorts before the rest").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_first_total sorts before the rest
+# TYPE a_first_total counter
+a_first_total 1
+# HELP serve_inflight requests executing right now (requests)
+# TYPE serve_inflight gauge
+serve_inflight 2
+# HELP serve_request_us request wall time (us)
+# TYPE serve_request_us histogram
+serve_request_us_bucket{le="10"} 1
+serve_request_us_bucket{le="100"} 3
+serve_request_us_bucket{le="1000"} 3
+serve_request_us_bucket{le="+Inf"} 4
+serve_request_us_sum 5105
+serve_request_us_count 4
+# HELP serve_requests_total HTTP requests admitted (requests)
+# TYPE serve_requests_total counter
+serve_requests_total 7
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusEscapesHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", "line one\nline \\ two").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# HELP x_total line one\nline \\ two`) {
+		t.Errorf("help not escaped:\n%s", sb.String())
+	}
+}
+
+func TestWritePrometheusEmptyRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty registry rendered %q", sb.String())
+	}
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"multiscalar/internal/experiment"
+	"multiscalar/internal/grid"
+	"multiscalar/internal/verify"
+)
+
+// writeJSON renders v with a status; encode failures on plain data structs
+// are programming errors and surface via the panic-recovery middleware.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("serve: encode response: %v", err))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(blob, '\n'))
+}
+
+// writeError renders the structured error shape.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// decode strictly parses a JSON request body: unknown fields, trailing data,
+// and oversized bodies are all rejected before any engine work starts. It
+// writes the error response itself and reports ok=false.
+func decode[T any](w http.ResponseWriter, r *http.Request, maxBytes int64) (v T, ok bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return v, false
+		}
+		writeError(w, http.StatusBadRequest, "invalid_request", "decode request: "+err.Error())
+		return v, false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "invalid_request", "trailing data after JSON body")
+		return v, false
+	}
+	return v, true
+}
+
+// writeEngineError maps an engine failure onto the wire: a blown request
+// deadline is 504, a client that went away gets nothing (the connection is
+// gone), everything else is a 500 with the engine's message.
+func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			fmt.Sprintf("request deadline (%s) exceeded before the job finished", s.cfg.RequestTimeout))
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; log only.
+		s.log.Printf("level=info msg=client_gone method=%s path=%s", r.Method, r.URL.Path)
+	default:
+		s.log.Printf("level=error msg=engine_error path=%s err=%v", r.URL.Path, err)
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{
+		Status:   status,
+		Inflight: len(s.admit),
+		Workers:  s.eng.Workers(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Printf("level=error msg=metrics_write err=%v", err)
+	}
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[PartitionRequest](w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	opts, err := req.Select.core()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	if err := validateWorkload(req.Workload); err != nil {
+		writeError(w, http.StatusBadRequest, "unknown_workload", err.Error())
+		return
+	}
+	part, err := s.eng.PartitionCtx(r.Context(), req.Workload, opts)
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
+	findings := verify.Partition(part)
+	findings.Sort()
+	resp := PartitionResponse{
+		Workload:  req.Workload,
+		Heuristic: part.Heuristic.String(),
+		Tasks:     len(part.Tasks),
+		Errors:    findings.Errors(),
+		Warnings:  findings.Warnings(),
+		Findings:  findingBodies(findings),
+	}
+	targets := 0
+	for _, t := range part.Tasks {
+		resp.Blocks += len(t.Blocks)
+		targets += len(t.Targets)
+	}
+	if n := len(part.Tasks); n > 0 {
+		resp.AvgBlocks = float64(resp.Blocks) / float64(n)
+		resp.AvgTargets = float64(targets) / float64(n)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[SimulateRequest](w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	opts, err := req.Select.core()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	cfg, err := req.Machine.config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	if err := validateWorkload(req.Workload); err != nil {
+		writeError(w, http.StatusBadRequest, "unknown_workload", err.Error())
+		return
+	}
+	job := grid.Job{Workload: req.Workload, Select: opts, Config: cfg}
+	res, err := s.eng.RunCtx(r.Context(), job)
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Workload: req.Workload,
+		Key:      grid.Key(job),
+		Result:   res,
+	})
+}
+
+// sseWriter emits Server-Sent Events with JSON payloads, flushing after
+// each so clients observe progress live.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (s *sseWriter) event(name string, v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, blob); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+// progressSince reports engine activity as deltas against the counters at
+// request start — with a shared engine, absolute counters mix every
+// client's work together.
+func progressSince(base, now grid.Stats, start time.Time) Progress {
+	return Progress{
+		JobsDone:  now.Done - base.Done,
+		Sims:      now.Sims - base.Sims,
+		CacheHits: now.CacheHits - base.CacheHits,
+		Deduped:   now.Deduped - base.Deduped,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+}
+
+// handleExperiment streams a named experiment over SSE: `progress` events at
+// the configured cadence (one immediately, so even instant runs stream at
+// least one), then a terminal `result` event — or `error` on failure.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[ExperimentRequest](w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "internal", "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	sse := &sseWriter{w: w, f: flusher}
+
+	ctx := r.Context()
+	base := s.eng.Stats()
+	start := time.Now()
+	runner := experiment.NewRunnerOn(s.eng).WithContext(ctx)
+
+	type outcome struct {
+		result ExperimentResult
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		out := ExperimentResult{Name: req.Name}
+		var err error
+		switch req.Name {
+		case "fig5":
+			out.Cells, err = experiment.Figure5(runner, req.PUs, req.Workloads)
+		case "table1":
+			out.Rows, err = experiment.Table1(runner, req.Workloads)
+		case "summary":
+			var cells []experiment.Fig5Cell
+			cells, err = experiment.Figure5(runner, req.PUs, req.Workloads)
+			if err == nil {
+				out.Summaries = experiment.Summarize(cells)
+			}
+		}
+		done <- outcome{result: out, err: err}
+	}()
+
+	sse.event("progress", progressSince(base, s.eng.Stats(), start))
+	tick := time.NewTicker(s.cfg.ProgressInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case o := <-done:
+			if o.err != nil {
+				code, status := "internal", "experiment failed"
+				if errors.Is(o.err, context.DeadlineExceeded) {
+					code, status = "deadline_exceeded", "request deadline exceeded"
+				}
+				s.log.Printf("level=error msg=experiment_error name=%s err=%v", req.Name, o.err)
+				sse.event("error", ErrorBody{Error: ErrorDetail{Code: code, Message: status + ": " + o.err.Error()}})
+				return
+			}
+			o.result.Progress = progressSince(base, s.eng.Stats(), start)
+			sse.event("result", o.result)
+			return
+		case <-tick.C:
+			if err := sse.event("progress", progressSince(base, s.eng.Stats(), start)); err != nil {
+				// Client gone: the runner's ctx cancels with the request,
+				// and the experiment goroutine drains into the buffered
+				// channel. Nothing more to write.
+				return
+			}
+		case <-ctx.Done():
+			o := <-done // the runner unwinds promptly once ctx ends
+			if o.err == nil {
+				o.result.Progress = progressSince(base, s.eng.Stats(), start)
+				sse.event("result", o.result)
+				return
+			}
+			sse.event("error", ErrorBody{Error: ErrorDetail{
+				Code:    "deadline_exceeded",
+				Message: "request deadline exceeded: " + o.err.Error(),
+			}})
+			return
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package serve exposes the Multiscalar pipeline as a long-lived HTTP/JSON
+// service: POST /v1/partition (task selection + static verification),
+// POST /v1/simulate (one grid job), POST /v1/experiment (named figure/table
+// with Server-Sent-Events progress), GET /healthz, and GET /metrics
+// (Prometheus text exposition).
+//
+// Every request executes through one shared grid.Engine, so identical
+// concurrent requests coalesce into a single simulation and warm-cache
+// requests never touch a worker. Robustness is structural rather than
+// best-effort: requests are strictly decoded (unknown fields are errors) and
+// validated before any work starts, a bounded admission gate sheds excess
+// load with 429 + Retry-After, per-request deadlines propagate as a
+// context.Context into the engine (queued jobs cancel cleanly), panics
+// convert to 500s, and Shutdown drains gracefully — the listener closes,
+// in-flight requests finish, then control returns to the caller.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"multiscalar/internal/grid"
+	"multiscalar/internal/obs"
+)
+
+// Config configures a Server. Engine is required; everything else defaults.
+type Config struct {
+	// Engine executes all partition/simulation work. Required.
+	Engine *grid.Engine
+	// Metrics is the registry GET /metrics exposes; the server registers its
+	// own serve_* metrics here. Pass the same registry to grid.New so the
+	// scrape shows engine counters too. Nil creates a private registry.
+	Metrics *obs.Registry
+	// MaxInFlight bounds admitted /v1 requests; excess load is shed with
+	// 429 + Retry-After (0 = 4× engine workers).
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline propagated into the engine
+	// (0 = 2 minutes).
+	RequestTimeout time.Duration
+	// ProgressInterval is the SSE progress cadence for /v1/experiment
+	// (0 = 500ms).
+	ProgressInterval time.Duration
+	// MaxBodyBytes caps request bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+	// Logger receives access lines and internal errors (nil = discard).
+	Logger *log.Logger
+}
+
+// serveMetrics holds the server's registry handles, resolved once at New.
+type serveMetrics struct {
+	requests, errors, shed *obs.Counter
+	inflight               *obs.Gauge
+	latency                *obs.Histogram
+}
+
+// Server is the HTTP simulation service. Create one with New.
+type Server struct {
+	cfg      Config
+	eng      *grid.Engine
+	reg      *obs.Registry
+	log      *log.Logger
+	admit    chan struct{}
+	hs       *http.Server
+	draining atomic.Bool
+	m        serveMetrics
+}
+
+// New builds a server. It panics if cfg.Engine is nil (a wiring error, not a
+// runtime condition).
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("serve: Config.Engine is required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4 * cfg.Engine.Workers()
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = 500 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		reg:   cfg.Metrics,
+		log:   cfg.Logger,
+		admit: make(chan struct{}, cfg.MaxInFlight),
+	}
+	r := cfg.Metrics
+	s.m = serveMetrics{
+		requests: r.Counter("serve_requests_total", "requests", "HTTP requests received"),
+		errors:   r.Counter("serve_errors_total", "requests", "requests answered with a 5xx status"),
+		shed:     r.Counter("serve_shed_total", "requests", "requests shed with 429 at the admission gate"),
+		inflight: r.Gauge("serve_inflight", "requests", "admitted /v1 requests executing right now"),
+		latency: r.Histogram("serve_request_us", "us", "request wall time",
+			obs.ExpBuckets(100, 4, 12)),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("POST /v1/partition", s.admitted(s.handlePartition))
+	mux.Handle("POST /v1/simulate", s.admitted(s.handleSimulate))
+	mux.Handle("POST /v1/experiment", s.admitted(s.handleExperiment))
+	// Catch-all: structured 404s, and structured 405s for known routes hit
+	// with the wrong method (a method mismatch falls through to this
+	// handler because the "/" pattern still matches the path).
+	methods := map[string]string{
+		"/v1/partition":  http.MethodPost,
+		"/v1/simulate":   http.MethodPost,
+		"/v1/experiment": http.MethodPost,
+		"/healthz":       http.MethodGet,
+		"/metrics":       http.MethodGet,
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if want, ok := methods[r.URL.Path]; ok {
+			w.Header().Set("Allow", want)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s %s not allowed (use %s)", r.Method, r.URL.Path, want))
+			return
+		}
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
+	})
+	s.hs = &http.Server{
+		Handler:           s.middleware(mux),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the fully wrapped handler, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.hs.Handler }
+
+// Serve accepts connections on l until Shutdown; like http.Server.Serve it
+// returns http.ErrServerClosed after a clean drain.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// Shutdown drains gracefully: the listener stops accepting, /healthz flips
+// to "draining", in-flight requests run to completion, and Shutdown returns
+// when the last one finishes (or ctx expires, whichever is first).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.hs.Shutdown(ctx)
+}
+
+// middleware wraps every request with panic recovery, request counting,
+// latency observation, and one structured access-log line.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rw := &responseWriter{ResponseWriter: w}
+		s.m.requests.Inc()
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Printf("level=error msg=panic method=%s path=%s panic=%v\n%s",
+					r.Method, r.URL.Path, p, debug.Stack())
+				if !rw.wrote {
+					writeError(rw, http.StatusInternalServerError, "internal", "internal server error")
+				}
+			}
+			dur := time.Since(t0)
+			s.m.latency.Observe(dur.Microseconds())
+			if rw.status() >= 500 {
+				s.m.errors.Inc()
+			}
+			s.log.Printf("level=info msg=access method=%s path=%s status=%d bytes=%d dur_ms=%.1f remote=%s",
+				r.Method, r.URL.Path, rw.status(), rw.bytes, float64(dur.Microseconds())/1000, r.RemoteAddr)
+		}()
+		next.ServeHTTP(rw, r)
+	})
+}
+
+// admitted gates a /v1 handler behind the admission semaphore and arms the
+// per-request deadline. A full gate sheds immediately — the request never
+// queues, never allocates engine work, and tells the client when to retry.
+func (s *Server) admitted(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			s.m.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "overloaded",
+				fmt.Sprintf("all %d request slots busy; retry later", cap(s.admit)))
+			return
+		}
+		s.m.inflight.Set(int64(len(s.admit)))
+		defer func() {
+			<-s.admit
+			s.m.inflight.Set(int64(len(s.admit)))
+		}()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	})
+}
+
+// responseWriter records status and byte count for logging and metrics, and
+// forwards Flush so SSE streaming works through the wrapper.
+type responseWriter struct {
+	http.ResponseWriter
+	wrote      bool
+	statusCode int
+	bytes      int64
+}
+
+func (rw *responseWriter) WriteHeader(code int) {
+	if !rw.wrote {
+		rw.wrote = true
+		rw.statusCode = code
+	}
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *responseWriter) Write(p []byte) (int, error) {
+	if !rw.wrote {
+		rw.wrote = true
+		rw.statusCode = http.StatusOK
+	}
+	n, err := rw.ResponseWriter.Write(p)
+	rw.bytes += int64(n)
+	return n, err
+}
+
+func (rw *responseWriter) status() int {
+	if rw.statusCode == 0 {
+		return http.StatusOK
+	}
+	return rw.statusCode
+}
+
+func (rw *responseWriter) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/experiment"
+	"multiscalar/internal/sim"
+	"multiscalar/internal/verify"
+	"multiscalar/internal/workloads"
+)
+
+// SelectOptions is the wire form of core.Options: how a workload is
+// partitioned into tasks.
+type SelectOptions struct {
+	// Heuristic is "bb", "cf", or "dd" ("" = "bb", the paper's baseline).
+	Heuristic string `json:"heuristic,omitempty"`
+	// TaskSize applies the task-size heuristic on top of Heuristic.
+	TaskSize bool `json:"task_size,omitempty"`
+	// MaxTargets overrides the hardware target limit N (0 = paper's 4).
+	MaxTargets int `json:"max_targets,omitempty"`
+	// CallThresh and LoopThresh override the task-size thresholds (0 =
+	// paper defaults).
+	CallThresh int `json:"call_thresh,omitempty"`
+	LoopThresh int `json:"loop_thresh,omitempty"`
+	// NoGreedy uses first-fit instead of greedy task growth.
+	NoGreedy bool `json:"no_greedy,omitempty"`
+}
+
+func (o SelectOptions) core() (core.Options, error) {
+	var h core.Heuristic
+	switch o.Heuristic {
+	case "", "bb":
+		h = core.BasicBlock
+	case "cf":
+		h = core.ControlFlow
+	case "dd":
+		h = core.DataDependence
+	default:
+		return core.Options{}, fmt.Errorf("unknown heuristic %q (want bb, cf, or dd)", o.Heuristic)
+	}
+	if o.MaxTargets < 0 || o.CallThresh < 0 || o.LoopThresh < 0 {
+		return core.Options{}, fmt.Errorf("select thresholds must be non-negative")
+	}
+	return core.Options{
+		Heuristic:  h,
+		TaskSize:   o.TaskSize,
+		MaxTargets: o.MaxTargets,
+		CallThresh: o.CallThresh,
+		LoopThresh: o.LoopThresh,
+		NoGreedy:   o.NoGreedy,
+	}, nil
+}
+
+// MachineConfig is the wire form of the simulated machine point; omitted
+// fields take the paper's §4.2 defaults (sim.DefaultConfig).
+type MachineConfig struct {
+	// PUs is the processing-unit count (0 = 4).
+	PUs int `json:"pus,omitempty"`
+	// InOrder selects in-order PUs instead of out-of-order.
+	InOrder bool `json:"in_order,omitempty"`
+	// NoSyncTable disables the memory dependence synchronization table.
+	NoSyncTable bool `json:"no_sync_table,omitempty"`
+	// RingBW overrides the register ring bandwidth (0 = 2).
+	RingBW int `json:"ring_bw,omitempty"`
+	// MaxTargets overrides the hardware target limit (0 = 4).
+	MaxTargets int `json:"max_targets,omitempty"`
+	// L1DBanks overrides the data-cache bank count (0 = one per PU).
+	L1DBanks int `json:"l1d_banks,omitempty"`
+}
+
+// maxPUs bounds accepted machine sizes: a request is rejected up front
+// rather than tying a worker to an absurd simulation.
+const maxPUs = 64
+
+func (m MachineConfig) config() (sim.Config, error) {
+	pus := m.PUs
+	if pus == 0 {
+		pus = 4
+	}
+	if pus < 1 || pus > maxPUs {
+		return sim.Config{}, fmt.Errorf("pus %d out of range [1,%d]", m.PUs, maxPUs)
+	}
+	if m.RingBW < 0 || m.MaxTargets < 0 || m.L1DBanks < 0 {
+		return sim.Config{}, fmt.Errorf("machine overrides must be non-negative")
+	}
+	cfg := sim.DefaultConfig(pus)
+	cfg.InOrder = m.InOrder
+	cfg.SyncTable = !m.NoSyncTable
+	if m.RingBW != 0 {
+		cfg.RingBW = m.RingBW
+	}
+	if m.MaxTargets != 0 {
+		cfg.MaxTargets = m.MaxTargets
+	}
+	if m.L1DBanks != 0 {
+		cfg.L1DBanks = m.L1DBanks
+	}
+	return cfg, nil
+}
+
+// PartitionRequest asks for a task selection plus its static verification.
+type PartitionRequest struct {
+	Workload string        `json:"workload"`
+	Select   SelectOptions `json:"select"`
+}
+
+// FindingBody is the wire form of one verify.Finding.
+type FindingBody struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	// Task is the offending task ID, or -1 for IR-layer findings.
+	Task int `json:"task"`
+	Fn   string `json:"fn,omitempty"`
+	// Block is the offending block, or -1 for function-level findings.
+	Block int    `json:"block"`
+	Msg   string `json:"msg"`
+}
+
+func findingBodies(fs verify.Findings) []FindingBody {
+	out := make([]FindingBody, len(fs))
+	for i, f := range fs {
+		out[i] = FindingBody{
+			Rule:     string(f.Rule),
+			Severity: f.Sev.String(),
+			Task:     f.Task,
+			Fn:       f.FnName,
+			Block:    int(f.Blk),
+			Msg:      f.Msg,
+		}
+	}
+	return out
+}
+
+// PartitionResponse summarizes a task selection and its verification.
+type PartitionResponse struct {
+	Workload  string  `json:"workload"`
+	Heuristic string  `json:"heuristic"`
+	Tasks     int     `json:"tasks"`
+	Blocks    int     `json:"blocks"`
+	AvgBlocks float64 `json:"avg_blocks_per_task"`
+	AvgTargets float64 `json:"avg_targets_per_task"`
+
+	Errors   int           `json:"errors"`
+	Warnings int           `json:"warnings"`
+	Findings []FindingBody `json:"findings,omitempty"`
+}
+
+// SimulateRequest asks for one grid job: workload × selection × machine.
+type SimulateRequest struct {
+	Workload string        `json:"workload"`
+	Select   SelectOptions `json:"select"`
+	Machine  MachineConfig `json:"machine"`
+}
+
+// SimulateResponse carries the simulation result plus the job's
+// content-address (the grid cache key).
+type SimulateResponse struct {
+	Workload string      `json:"workload"`
+	Key      string      `json:"key"`
+	Result   *sim.Result `json:"result"`
+}
+
+// ExperimentRequest names a figure or table to regenerate.
+type ExperimentRequest struct {
+	// Name is "fig5", "table1", or "summary".
+	Name string `json:"name"`
+	// Workloads restricts the run (empty = all 18).
+	Workloads []string `json:"workloads,omitempty"`
+	// PUs restricts the machine sizes for fig5/summary (empty = 4 and 8;
+	// table1 is always the paper's 8-PU configuration).
+	PUs []int `json:"pus,omitempty"`
+}
+
+func (r ExperimentRequest) validate() error {
+	switch r.Name {
+	case "fig5", "table1", "summary":
+	default:
+		return fmt.Errorf("unknown experiment %q (want fig5, table1, or summary)", r.Name)
+	}
+	for _, n := range r.Workloads {
+		if err := validateWorkload(n); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.PUs {
+		if n < 1 || n > maxPUs {
+			return fmt.Errorf("pus %d out of range [1,%d]", n, maxPUs)
+		}
+	}
+	return nil
+}
+
+// Progress is one SSE progress datum: engine activity attributable to this
+// request (deltas against the engine counters at request start).
+type Progress struct {
+	JobsDone  int64 `json:"jobs_done"`
+	Sims      int64 `json:"sims"`
+	CacheHits int64 `json:"cache_hits"`
+	Deduped   int64 `json:"deduped"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// ExperimentResult is the terminal SSE event body: exactly one of Cells,
+// Rows, or Summaries is set, matching the requested experiment.
+type ExperimentResult struct {
+	Name      string                    `json:"name"`
+	Cells     []experiment.Fig5Cell     `json:"cells,omitempty"`
+	Rows      []experiment.T1Row        `json:"rows,omitempty"`
+	Summaries []experiment.SuiteSummary `json:"summaries,omitempty"`
+	Progress  Progress                  `json:"progress"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	// Status is "ok", or "draining" once shutdown has begun.
+	Status   string `json:"status"`
+	Inflight int    `json:"inflight"`
+	Workers  int    `json:"workers"`
+}
+
+// ErrorBody is the structured error shape every non-2xx JSON response uses:
+//
+//	{"error": {"code": "invalid_request", "message": "..."}}
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a stable machine-readable code and a human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// validateWorkload rejects unknown workload names, listing the known ones.
+func validateWorkload(name string) error {
+	if name == "" {
+		return fmt.Errorf("missing workload name (known: %s)", strings.Join(workloads.Names(), ", "))
+	}
+	if _, err := workloads.ByName(name); err != nil {
+		return fmt.Errorf("unknown workload %q (known: %s)", name, strings.Join(workloads.Names(), ", "))
+	}
+	return nil
+}

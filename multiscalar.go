@@ -34,6 +34,12 @@
 // observed run returns a Result identical to Simulate's — and
 // WriteChromeTrace exports collected events as a Chrome trace-event /
 // Perfetto JSON file. See DESIGN.md §9.
+//
+// The whole pipeline is also servable over HTTP (internal/serve, exported as
+// Server): partition, simulate, and experiment endpoints on a shared grid
+// engine with request coalescing, load shedding, per-request deadlines, and
+// graceful drain. The cmd/mssrv binary is a thin main around NewServer; see
+// DESIGN.md §10.
 package multiscalar
 
 import (
@@ -46,6 +52,7 @@ import (
 	"multiscalar/internal/grid"
 	"multiscalar/internal/ir"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/serve"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/verify"
 	"multiscalar/internal/workloads"
@@ -279,3 +286,21 @@ func FormatFigure5(cells []Fig5Cell) string { return experiment.FormatFigure5(ce
 
 // FormatTable1 renders Table 1 rows.
 func FormatTable1(rows []T1Row) string { return experiment.FormatTable1(rows) }
+
+// HTTP serving: the simulation service behind cmd/mssrv (DESIGN.md §10).
+type (
+	// Server is the HTTP simulation service: POST /v1/partition, /v1/simulate,
+	// /v1/experiment (SSE progress), GET /healthz, GET /metrics. All requests
+	// execute on one shared Grid, so identical concurrent requests coalesce
+	// into a single simulation; a bounded admission gate sheds excess load
+	// with 429, and Shutdown drains in-flight requests gracefully.
+	Server = serve.Server
+	// ServerConfig configures NewServer. Engine is required; every other
+	// field (admission bound, request timeout, body cap, logger) defaults.
+	ServerConfig = serve.Config
+)
+
+// NewServer returns an HTTP simulation service on cfg.Engine. Serve it with
+// Server.Serve and stop it with Server.Shutdown, or mount Server.Handler in
+// an existing mux.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
