@@ -1,6 +1,6 @@
 // Command mslint runs the static Multiscalar invariant checker: it selects
 // tasks for a benchmark (or an assembly file) and verifies both the program
-// (IR000–IR005) and the resulting partition (PT001–PT009) against the task
+// (IR000–IR005) and the resulting partition (PT001–PT010) against the task
 // invariants of the paper. See DESIGN.md §7 for the rule catalog.
 //
 // Usage:
@@ -8,10 +8,17 @@
 //	mslint -workload compress -heuristic dd -tasksize
 //	mslint -asm prog.s -heuristic cf
 //	mslint -all
+//	mslint -all -json > findings.json
 //
 // Exit status is 0 when no error-severity findings exist, 1 when at least
 // one does, and 2 on usage errors. -min controls which findings print;
 // the exit status always reflects errors regardless of the display filter.
+//
+// -json emits the findings at or above -min as a JSON array on stdout in
+// the shared lint format (internal/lintout) that msvet -json also produces,
+// so one consumer parses both tools' output. Locations are symbolic
+// (workload/variant/task/block) since mslint findings live in selected
+// partitions, not source lines.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
 	"multiscalar/internal/ir"
+	"multiscalar/internal/lintout"
 	"multiscalar/internal/verify"
 	"multiscalar/internal/workloads"
 )
@@ -36,6 +44,7 @@ func main() {
 		all       = flag.Bool("all", false, "lint every workload under every heuristic, with and without -tasksize")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 		min       = flag.String("min", "warn", "lowest severity to print: info, warn, or error")
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array on stdout (shared lint format)")
 	)
 	flag.Parse()
 
@@ -49,11 +58,13 @@ func main() {
 	if err != nil {
 		usage(err)
 	}
+	out := &output{json: *jsonOut}
 	if *all {
 		if *workload != "" || *asmFile != "" {
 			usage(fmt.Errorf("-all cannot be combined with -workload or -asm"))
 		}
-		os.Exit(lintAll(minSev, *targets))
+		code := lintAll(out, minSev, *targets)
+		out.flush(code)
 	}
 	prog, err := loadProgram(*workload, *asmFile)
 	if err != nil {
@@ -67,31 +78,80 @@ func main() {
 	if name == "" {
 		name = *asmFile
 	}
-	errs, fatalErr := lintOne(name, prog, core.Options{Heuristic: h, TaskSize: *taskSize, MaxTargets: *targets}, minSev)
+	errs, fatalErr := lintOne(out, name, prog, core.Options{Heuristic: h, TaskSize: *taskSize, MaxTargets: *targets}, minSev)
 	if fatalErr != nil {
 		fmt.Fprintln(os.Stderr, "mslint:", fatalErr)
 		os.Exit(1)
 	}
+	code := 0
 	if errs > 0 {
-		os.Exit(1)
+		code = 1
+	}
+	out.flush(code)
+}
+
+// output accumulates findings for -json mode (flushed as one array on exit)
+// and passes human-readable lines straight through otherwise.
+type output struct {
+	json     bool
+	findings []lintout.Finding
+}
+
+// collect records the shown findings of one configuration under a symbolic
+// location prefix like "compress[dd +tasksize]".
+func (o *output) collect(where string, fs verify.Findings) {
+	for _, f := range fs {
+		loc := where
+		if f.Task >= 0 {
+			loc += fmt.Sprintf(" task %d", f.Task)
+		}
+		if f.FnName != "" {
+			loc += " fn " + f.FnName
+		}
+		if f.Blk != ir.NoBlock {
+			loc += fmt.Sprintf(" b%d", f.Blk)
+		}
+		o.findings = append(o.findings, lintout.Finding{
+			Tool:     "mslint",
+			Rule:     string(f.Rule),
+			Severity: f.Sev.String(),
+			Location: loc,
+			Message:  f.Msg,
+		})
 	}
 }
 
+// flush writes the JSON document (in -json mode) and exits with code.
+func (o *output) flush(code int) {
+	if o.json {
+		if err := lintout.Write(os.Stdout, o.findings); err != nil {
+			fmt.Fprintln(os.Stderr, "mslint:", err)
+			os.Exit(2)
+		}
+	}
+	os.Exit(code)
+}
+
 // lintOne verifies one program/options combination, printing findings at or
-// above minSev and a one-line summary. It returns the error-finding count.
-func lintOne(name string, prog *ir.Program, opts core.Options, minSev verify.Severity) (int, error) {
+// above minSev and a one-line summary (or collecting them, in -json mode).
+// It returns the error-finding count.
+func lintOne(out *output, name string, prog *ir.Program, opts core.Options, minSev verify.Severity) (int, error) {
 	part, err := core.Select(prog, opts)
 	if err != nil {
 		return 0, fmt.Errorf("%s: select: %w", name, err)
 	}
 	fs := verify.Partition(part)
 	shown := fs.MinSeverity(minSev)
-	if len(shown) > 0 {
-		fmt.Print(shown)
-	}
 	ts := ""
 	if opts.TaskSize {
 		ts = " +tasksize"
+	}
+	if out.json {
+		out.collect(fmt.Sprintf("%s[%v%s]", name, opts.Heuristic, ts), shown)
+		return fs.Errors(), nil
+	}
+	if len(shown) > 0 {
+		fmt.Print(shown)
 	}
 	fmt.Printf("%s [%v%s]: %d tasks, %d errors, %d warnings, %d findings\n",
 		name, opts.Heuristic, ts, len(part.Tasks), fs.Errors(), fs.Warnings(), len(fs))
@@ -101,14 +161,14 @@ func lintOne(name string, prog *ir.Program, opts core.Options, minSev verify.Sev
 // lintAll sweeps the full benchmark grid — every workload under every
 // heuristic, with and without the task-size heuristic — and returns the
 // process exit code.
-func lintAll(minSev verify.Severity, targets int) int {
+func lintAll(out *output, minSev verify.Severity, targets int) int {
 	heuristics := []core.Heuristic{core.BasicBlock, core.ControlFlow, core.DataDependence}
 	totalErrs, configs := 0, 0
 	for _, w := range workloads.All() {
 		for _, h := range heuristics {
 			for _, ts := range []bool{false, true} {
 				opts := core.Options{Heuristic: h, TaskSize: ts, MaxTargets: targets}
-				errs, err := lintOne(w.Name, w.Build(), opts, minSev)
+				errs, err := lintOne(out, w.Name, w.Build(), opts, minSev)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "mslint:", err)
 					return 1
@@ -118,7 +178,9 @@ func lintAll(minSev verify.Severity, targets int) int {
 			}
 		}
 	}
-	fmt.Printf("\n%d configurations linted, %d error findings\n", configs, totalErrs)
+	if !out.json {
+		fmt.Printf("\n%d configurations linted, %d error findings\n", configs, totalErrs)
+	}
 	if totalErrs > 0 {
 		return 1
 	}

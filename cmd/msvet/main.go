@@ -1,0 +1,192 @@
+// Command msvet runs the repository's contract analyzers (internal/analysis)
+// over Go packages. It works two ways:
+//
+// Standalone, with go-list loading:
+//
+//	msvet ./...             # findings to stderr, exit 1 if any
+//	msvet -json ./...       # findings as JSON (internal/lintout) to stdout
+//
+// As a go vet tool, speaking the unitchecker protocol (-V=full, -flags, and
+// per-package .cfg files):
+//
+//	go vet -vettool=$(which msvet) ./...
+//
+// Findings are suppressed per-site with `//msvet:allow <analyzer> (reason)`;
+// see internal/analysis. DESIGN.md §11 catalogs the analyzers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"multiscalar/internal/analysis"
+	"multiscalar/internal/lintout"
+)
+
+// version participates in go vet's tool-ID cache key (-V=full); bump it when
+// analyzer behavior changes so cached vet verdicts invalidate.
+const version = "v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("msvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (shared lint format)")
+	vFlag := fs.String("V", "", "print version and exit (go vet protocol; use -V=full)")
+	flagsOut := fs.Bool("flags", false, "print the tool's flag schema as JSON (go vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: msvet [-json] [packages]\n       go vet -vettool=msvet [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *vFlag != "":
+		// The go command hashes this line into its action cache key.
+		fmt.Fprintf(stdout, "msvet version %s\n", version)
+		return 0
+	case *flagsOut:
+		// go vet asks for the flag schema before forwarding user flags.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	case fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg"):
+		return runUnit(fs.Arg(0), stderr)
+	}
+	return runStandalone(fs.Args(), *jsonOut, stdout, stderr)
+}
+
+// runStandalone loads packages with `go list` and analyzes them all.
+func runStandalone(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "msvet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "msvet: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		findings := make([]lintout.Finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, lintout.Finding{
+				Tool:     "msvet",
+				Rule:     d.Analyzer,
+				Severity: "error",
+				Location: d.Pos.String(),
+				Message:  d.Message,
+			})
+		}
+		if err := lintout.Write(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "msvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stderr, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the per-package configuration the go command writes for vet
+// tools (x/tools unitchecker.Config); only the fields msvet consumes are
+// declared.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single package described by a go vet .cfg file.
+func runUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "msvet: reading %s: %v\n", cfgPath, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "msvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// msvet exports no facts, but the go command expects the output file to
+	// exist before it will cache the result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "msvet: writing %s: %v\n", cfg.VetxOutput, err)
+			return 2
+		}
+	}
+	// The go command also vets test variants of each package. The contracts
+	// msvet enforces are library-code contracts (tests legitimately use
+	// context.Background, ad-hoc error collection, etc.), and the standalone
+	// mode never loads test files, so unit mode drops them too for identical
+	// verdicts across both entry points.
+	files := cfg.GoFiles[:0:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	cfg.GoFiles = files
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.Dir, cfg.GoFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "msvet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "msvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,201 @@
+// Package analysis is msvet's engine: a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis that enforces this repository's
+// cross-cutting contracts on its own Go source. The five analyzers (see
+// All) encode invariants the packages rely on but the compiler cannot see:
+// cache-key completeness, deterministic output, nil-guarded observability,
+// context propagation, and error aggregation. DESIGN.md §11 is the catalog.
+//
+// The framework mirrors the x/tools shape — Analyzer, Pass, Reportf — so the
+// analyzers could migrate to a vendored go/analysis with mechanical edits,
+// but it runs on the standard library alone: packages are enumerated with
+// `go list -export`, targets are type-checked from source, and imports are
+// satisfied from the compiler's export data (see Load).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named contract check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //msvet:allow
+	// suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract statement msvet -help prints.
+	Doc string
+	// Run inspects one package and reports findings through the pass. A
+	// returned error aborts the whole msvet run (an analyzer bug, not a
+	// finding).
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files, parsed with comments.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the file:line:col form editors understand.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run executes every analyzer over every package, drops suppressed findings
+// (see //msvet:allow in suppress.go), and returns the rest sorted by
+// position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := allowedLines(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    new([]Diagnostic),
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range *pass.diags {
+				if !allow.suppresses(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// pathHasSuffix reports whether a slash-separated import path ends in the
+// given suffix at a path-segment boundary: "multiscalar/internal/sim" has
+// suffix "internal/sim" but "internal/simx" does not.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// namedFromObsPackage reports whether t (after unwrapping pointers and
+// aliases) is a named type declared in a package whose path ends in
+// internal/obs, returning its bare name ("Tracer", "Registry", ...).
+func namedFromObsPackage(t types.Type) (string, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !pathHasSuffix(n.Obj().Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	return n.Obj().Name(), true
+}
+
+// exprPath renders a nil-checkable receiver chain ("s.tracer", "cfg.Metrics")
+// or "" when the expression is not a pure ident/selector chain.
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// calleePath renders the called function as a dotted path ("context.Background",
+// "sort.Slice", "append") or "" for indirect calls.
+func calleePath(call *ast.CallExpr, info *types.Info) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if obj, isPkg := info.Uses[x].(*types.PkgName); isPkg {
+				return obj.Imported().Path() + "." + fun.Sel.Name
+			}
+			return x.Name + "." + fun.Sel.Name
+		}
+		return "." + fun.Sel.Name
+	}
+	return ""
+}
+
+// terminates reports whether a statement list definitely transfers control
+// out of the enclosing flow: ends in return, panic, os.Exit, continue, break,
+// or a goto.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				if x, ok := fun.X.(*ast.Ident); ok {
+					return x.Name == "os" && fun.Sel.Name == "Exit"
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/analysis"
+)
+
+// TestAll pins the analyzer roster: msvet must load exactly these five, each
+// with a name (the //msvet:allow key) and a doc string.
+func TestAll(t *testing.T) {
+	want := []string{"cachekey", "ctxflow", "determinism", "errjoin", "obsguard"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}

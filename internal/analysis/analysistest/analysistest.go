@@ -1,0 +1,147 @@
+// Package analysistest runs one analyzer over a fixture package tree and
+// compares its findings against `// want "regexp"` annotations in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the local framework.
+//
+// Fixtures live under internal/analysis/testdata, which is its own Go module
+// (module "fixtures") so the repository build never sees them, and carry
+// package paths shaped like the real tree (".../internal/sim") so analyzers
+// that scope by path suffix behave exactly as they do on the repository.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"multiscalar/internal/analysis"
+)
+
+// want is one expectation: a diagnostic from the analyzer on this line whose
+// message matches the pattern.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads the packages matching patterns (relative to dir, normally the
+// testdata module root), applies the analyzer, and reports any mismatch
+// between its findings and the fixtures' `// want` annotations: a finding
+// with no annotation, an annotation with no finding, or a message that fails
+// its pattern.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) []analysis.Diagnostic {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages match %v under %s", patterns, dir)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a %s finding matching %q, got none",
+				w.file, w.line, a.Name, w.pattern)
+		}
+	}
+	return diags
+}
+
+// collectWants extracts every `// want "p1" "p2"` annotation from the loaded
+// fixture files.
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, pat := range splitPatterns(m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses the quoted pattern list of a want comment.
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, `"`) {
+			return out
+		}
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+}
+
+// claim marks the first unmatched want satisfied by the diagnostic.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Clean asserts the analyzer produces no findings at all on the given
+// fixture packages — the "negative control" half of each analyzer's tests.
+func Clean(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages match %v under %s", patterns, dir)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%s flagged a clean fixture:\n%s", a.Name, sb.String())
+	}
+}

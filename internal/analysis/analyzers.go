@@ -1,0 +1,14 @@
+package analysis
+
+// All returns every msvet analyzer in the order findings are attributed.
+// DESIGN.md §11 documents each contract; //msvet:allow suppresses a finding
+// at one site with a justification.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Cachekey,
+		Ctxflow,
+		Determinism,
+		Errjoin,
+		Obsguard,
+	}
+}

@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Cachekey guards the grid cache against silent key drift. The experiment
+// cache (internal/grid) addresses results by a SHA-256 over the JSON
+// encoding of SchemaVersion plus the job's core.Options and sim.Config. That
+// scheme has two failure modes the compiler cannot catch:
+//
+//   - a field that json.Marshal silently drops (unexported, or tagged
+//     `json:"-"`) or cannot encode (func, chan) makes two semantically
+//     different jobs collide on one cache entry — stale results served as
+//     fresh;
+//   - a field added to either struct changes the meaning of old entries,
+//     which is exactly what SchemaVersion exists to version — but nothing
+//     forces the person adding the field to look at the key.
+//
+// The analyzer applies to any package that derives cache keys (declares a
+// *Key function and imports the config structs). It walks every field of
+// core.Options and sim.Config — recursively through nested structs such as
+// mem.Config — and reports marshal-hostile fields; it requires a
+// SchemaVersion constant, referenced by every *Key function; and it pins the
+// struct shapes with a fingerprint: the package must declare
+//
+//	const schemaFingerprint = "<hex>"
+//
+// matching a hash of the recursive field list. Any edit to either struct
+// breaks the fingerprint, and the fix — updating the constant — happens in
+// the key file, next to the SchemaVersion bump the edit usually requires.
+// The finding's message carries the expected value.
+var Cachekey = &Analyzer{
+	Name: "cachekey",
+	Doc: "every field of sim.Config and core.Options must survive JSON " +
+		"cache-key hashing, and struct shape changes must be acknowledged " +
+		"next to SchemaVersion (fingerprint pinning)",
+	Run: runCachekey,
+}
+
+func runCachekey(pass *Pass) error {
+	keyFuncs := collectKeyFuncs(pass)
+	if len(keyFuncs) == 0 {
+		return nil // not a key-deriving package
+	}
+	roots := configRoots(pass)
+	if len(roots) == 0 {
+		return nil
+	}
+
+	for _, root := range roots {
+		checkFields(pass, root)
+	}
+
+	anchor := keyFuncs[0].Name.Pos()
+	schema := pass.Pkg.Scope().Lookup("SchemaVersion")
+	if _, ok := schema.(*types.Const); !ok {
+		pass.Reportf(anchor, "key-deriving package %s declares no SchemaVersion constant; cache entries cannot be invalidated when the key schema changes",
+			pass.Pkg.Name())
+	} else {
+		// Only exported key functions owe a SchemaVersion reference;
+		// unexported helpers like keyOf hash whatever payload the exported
+		// entry points (which do fold the version in) hand them.
+		for _, fn := range keyFuncs {
+			if !fn.Name.IsExported() {
+				continue
+			}
+			if !usesObject(pass, fn, schema) {
+				pass.Reportf(fn.Name.Pos(), "%s derives a cache key without folding in SchemaVersion; old entries will collide with the new schema",
+					fn.Name.Name)
+			}
+		}
+	}
+
+	checkFingerprint(pass, roots, anchor)
+	return nil
+}
+
+// keyRoot is one struct the cache key must cover.
+type keyRoot struct {
+	label  string // "core.Options", "sim.Config"
+	strct  *types.Struct
+	impPos token.Pos // position of the import that brought it in
+}
+
+// collectKeyFuncs returns the package's key-derivation functions: any
+// function whose name ends in "Key" (Key, PartitionKey) or is keyOf.
+func collectKeyFuncs(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Key") || fn.Name.Name == "keyOf" {
+				out = append(out, fn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// configRoots locates core.Options and sim.Config among the package's direct
+// imports, paired with the import declaration to anchor findings about
+// types declared elsewhere.
+func configRoots(pass *Pass) []keyRoot {
+	want := []struct{ suffix, typ, label string }{
+		{"internal/core", "Options", "core.Options"},
+		{"internal/sim", "Config", "sim.Config"},
+	}
+	var roots []keyRoot
+	for _, w := range want {
+		for _, imp := range pass.Pkg.Imports() {
+			if !pathHasSuffix(imp.Path(), w.suffix) {
+				continue
+			}
+			obj, ok := imp.Scope().Lookup(w.typ).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			strct, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			roots = append(roots, keyRoot{
+				label:  w.label,
+				strct:  strct,
+				impPos: importPos(pass, imp.Path()),
+			})
+		}
+	}
+	return roots
+}
+
+// importPos finds the ImportSpec for path in the package's files.
+func importPos(pass *Pass, path string) token.Pos {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == path {
+				return imp.Pos()
+			}
+		}
+	}
+	if len(pass.Files) > 0 {
+		return pass.Files[0].Package
+	}
+	return token.NoPos
+}
+
+// checkFields walks the root struct recursively and reports every field the
+// JSON hash would drop or choke on. Findings anchor at the import of the
+// package declaring the struct, since the field itself is in another package.
+func checkFields(pass *Pass, root keyRoot) {
+	seen := map[*types.Struct]bool{}
+	var walk func(label string, s *types.Struct)
+	walk = func(label string, s *types.Struct) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		for i := 0; i < s.NumFields(); i++ {
+			f := s.Field(i)
+			fname := label + "." + f.Name()
+			switch {
+			case !f.Exported():
+				pass.Reportf(root.impPos, "cache key drift: unexported field %s is silently dropped by JSON hashing; two jobs differing only in it share one cache entry",
+					fname)
+			case jsonTag(s.Tag(i)) == "-":
+				pass.Reportf(root.impPos, "cache key drift: field %s is excluded from the key by its json:\"-\" tag; jobs differing in it collide",
+					fname)
+			case hostileType(f.Type()):
+				pass.Reportf(root.impPos, "cache key drift: field %s has type %s, which json.Marshal cannot encode; keying will fail or drop it",
+					fname, f.Type())
+			}
+			if nested, ok := f.Type().Underlying().(*types.Struct); ok {
+				walk(fname, nested)
+			}
+		}
+	}
+	walk(root.label, root.strct)
+}
+
+// jsonTag extracts the name part of a field's json struct tag.
+func jsonTag(tag string) string {
+	v := reflect.StructTag(tag).Get("json")
+	if i := strings.Index(v, ","); i >= 0 {
+		v = v[:i]
+	}
+	return v
+}
+
+// hostileType reports whether t cannot round-trip through json.Marshal.
+func hostileType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		return true
+	case *types.Pointer:
+		return hostileType(u.Elem())
+	case *types.Slice:
+		return hostileType(u.Elem())
+	case *types.Array:
+		return hostileType(u.Elem())
+	case *types.Map:
+		return hostileType(u.Elem())
+	}
+	return false
+}
+
+// usesObject reports whether fn references obj anywhere in its body.
+func usesObject(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFingerprint compares the package's schemaFingerprint constant against
+// the hash of the current struct shapes.
+func checkFingerprint(pass *Pass, roots []keyRoot, anchor token.Pos) {
+	want := fingerprint(roots)
+	obj, ok := pass.Pkg.Scope().Lookup("schemaFingerprint").(*types.Const)
+	if !ok {
+		pass.Reportf(anchor, "key-deriving package %s does not pin its key schema; declare `const schemaFingerprint = %q` next to SchemaVersion so struct changes are caught here",
+			pass.Pkg.Name(), want)
+		return
+	}
+	got := constant.StringVal(obj.Val())
+	if got != want {
+		pass.Reportf(anchor, "schemaFingerprint %q is stale: sim.Config/core.Options changed shape (want %q); audit the cache key, bump SchemaVersion if encoding changed, and update the constant",
+			got, want)
+	}
+}
+
+// fingerprint hashes the recursive field lists of the key roots into a short
+// stable hex string. The canonical form is field names plus type strings
+// (package-name qualified), nested structs expanded inline, so any rename,
+// retype, addition, or removal anywhere under either root changes the value.
+func fingerprint(roots []keyRoot) string {
+	var sb strings.Builder
+	for _, root := range roots {
+		writeShape(&sb, root.label, root.strct, map[*types.Struct]bool{})
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:6])
+}
+
+func writeShape(sb *strings.Builder, label string, s *types.Struct, seen map[*types.Struct]bool) {
+	if seen[s] {
+		return
+	}
+	seen[s] = true
+	fmt.Fprintf(sb, "%s{", label)
+	qual := func(p *types.Package) string { return p.Name() }
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		if nested, ok := f.Type().Underlying().(*types.Struct); ok {
+			writeShape(sb, f.Name(), nested, seen)
+			continue
+		}
+		fmt.Fprintf(sb, "%s %s;", f.Name(), types.TypeString(f.Type(), qual))
+	}
+	sb.WriteString("}")
+}

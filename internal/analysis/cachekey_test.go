@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/analysis"
+	"multiscalar/internal/analysis/analysistest"
+)
+
+func TestCachekeyBad(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Cachekey, "./cachekeybad/...")
+}
+
+func TestCachekeyClean(t *testing.T) {
+	analysistest.Clean(t, "testdata", analysis.Cachekey, "./cachekeyclean/...")
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces context propagation through the concurrent layers. The
+// grid engine, the HTTP service, and the experiment runners all support
+// cancellation (shed load, abort a sweep, drain the server); that only works
+// if contexts flow from the caller down to every goroutine. Two rules:
+//
+//  1. An exported function or method in internal/grid, internal/serve, or
+//     internal/experiment that starts goroutines must accept a
+//     context.Context, and it must be the first parameter.
+//  2. Library code in those packages must not synthesize its own root with
+//     context.Background() or context.TODO() — that silently detaches the
+//     work from the caller's cancellation. Deliberate roots (main functions,
+//     compatibility wrappers) carry a //msvet:allow ctxflow justification.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "exported concurrency entry points must accept a leading context.Context; " +
+		"library code must not call context.Background/TODO",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	inScope := false
+	for _, suffix := range []string{"internal/grid", "internal/serve", "internal/experiment"} {
+		if pathHasSuffix(pass.Pkg.Path(), suffix) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBackground(pass, fn)
+			if fn.Name.IsExported() {
+				checkEntryPoint(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBackground flags context.Background/TODO anywhere in the function.
+func checkBackground(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleePath(call, pass.Info) {
+		case "context.Background", "context.TODO":
+			pass.Reportf(call.Pos(), "%s in library code detaches this work from the caller's cancellation; accept a context.Context instead",
+				calleePath(call, pass.Info))
+		}
+		return true
+	})
+}
+
+// checkEntryPoint requires a leading context.Context parameter on exported
+// functions that start goroutines.
+func checkEntryPoint(pass *Pass, fn *ast.FuncDecl) {
+	if !startsGoroutine(fn.Body) {
+		return
+	}
+	params := fn.Type.Params
+	if params != nil && len(params.List) > 0 {
+		first := params.List[0]
+		if isContextType(pass.Info.TypeOf(first.Type)) {
+			return
+		}
+		// A context anywhere else is a style violation, not a missing one.
+		for _, field := range params.List[1:] {
+			if isContextType(pass.Info.TypeOf(field.Type)) {
+				pass.Reportf(fn.Name.Pos(), "exported %s takes a context.Context but not as its first parameter",
+					fn.Name.Name)
+				return
+			}
+		}
+	}
+	pass.Reportf(fn.Name.Pos(), "exported %s starts goroutines but does not accept a context.Context; callers cannot cancel the work it spawns",
+		fn.Name.Name)
+}
+
+// startsGoroutine reports whether the body contains a go statement, including
+// inside nested function literals (the goroutine still escapes this call).
+func startsGoroutine(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}

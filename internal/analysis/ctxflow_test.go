@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/analysis"
+	"multiscalar/internal/analysis/analysistest"
+)
+
+func TestCtxflowBad(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Ctxflow, "./ctxflow/bad/...")
+}
+
+func TestCtxflowClean(t *testing.T) {
+	analysistest.Clean(t, "testdata", analysis.Ctxflow, "./ctxflow/clean/...")
+}

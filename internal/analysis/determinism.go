@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism flags code whose output can vary run-to-run for reasons the
+// simulation contract forbids: map iteration order escaping into slices or
+// writers without a sort, and wall-clock or randomness on pure paths.
+//
+// The repository's results pipeline (grid cache keys, golden tests,
+// byte-identical parallel-vs-serial output) relies on every package
+// producing the same bytes for the same inputs. Two rules enforce it:
+//
+//  1. A `range` over a map may not append to an outer slice that is never
+//     sorted afterwards in the same function, may not write to an output
+//     sink (fmt.Fprint*, strings.Builder, io.Writer), and may not send on a
+//     channel. Commutative bodies — delete, keyed writes, aggregation — are
+//     fine and not flagged.
+//  2. time.Now/Since/Until and math/rand are banned in internal/sim (the
+//     timing model is a pure function of its inputs) and inside any
+//     key-derivation function (name containing "Key", or keyOf) anywhere.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map-iteration order escaping into output and wall-clock/randomness " +
+		"on pure simulation or cache-key paths",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	simPkg := pathHasSuffix(pass.Pkg.Path(), "internal/sim")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn.Body)
+			if simPkg || isKeyFunc(fn.Name.Name) {
+				checkPureBody(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func isKeyFunc(name string) bool {
+	return strings.Contains(name, "Key") || strings.Contains(name, "key")
+}
+
+// checkPureBody bans wall-clock and randomness inside a pure function.
+func checkPureBody(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch calleePath(n, pass.Info) {
+			case "time.Now", "time.Since", "time.Until":
+				pass.Reportf(n.Pos(), "%s calls %s; the simulation and cache-key paths must be pure functions of their inputs",
+					fn.Name.Name, calleePath(n, pass.Info))
+			}
+		case *ast.SelectorExpr:
+			if x, ok := n.X.(*ast.Ident); ok {
+				if pkg, isPkg := pass.Info.Uses[x].(*types.PkgName); isPkg {
+					p := pkg.Imported().Path()
+					if p == "math/rand" || p == "math/rand/v2" {
+						pass.Reportf(n.Pos(), "%s uses %s; the simulation and cache-key paths must be deterministic",
+							fn.Name.Name, p)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges finds every `range` over a map in the body and applies the
+// escape rules to its loop body.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapLoopBody(pass, body, rs)
+		return true
+	})
+}
+
+// checkMapLoopBody inspects one map-range body for order-dependent escapes.
+// fnBody is the whole enclosing function body, used to look for a sort
+// after the loop.
+func checkMapLoopBody(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a map range; receive order depends on map iteration order")
+		case *ast.AssignStmt:
+			checkRangeAppend(pass, fnBody, rs, n)
+		case *ast.CallExpr:
+			if sink, ok := outputSink(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s inside a map range; output order depends on map iteration order — collect and sort first", sink)
+			}
+		}
+		return true
+	})
+}
+
+// checkRangeAppend flags `s = append(s, ...)` inside a map range when s
+// outlives the loop and is never sorted afterwards in the same function.
+func checkRangeAppend(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || calleePath(call, pass.Info) != "append" {
+		return
+	}
+	target, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.ObjectOf(target)
+	if obj == nil || insideNode(obj.Pos(), rs) {
+		return // loop-local accumulator; its lifetime ends with the iteration
+	}
+	if sortedAfter(pass, fnBody, rs, obj) {
+		return
+	}
+	pass.Reportf(as.Pos(), "%s accumulates elements in map iteration order and is never sorted in this function; output derived from it is nondeterministic",
+		obj.Name())
+}
+
+// insideNode reports whether pos falls within n's extent.
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// sortedAfter reports whether obj is passed to a sorting call somewhere
+// after the range statement in the same function body: sort.*, slices.Sort*,
+// or any helper whose name contains "sort" (sortUint64, sortedBlockIDs, ...).
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rs.End() {
+			return true
+		}
+		callee := calleePath(call, pass.Info)
+		if !strings.Contains(strings.ToLower(callee), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// outputSink recognizes calls that serialize directly to an output stream.
+func outputSink(pass *Pass, call *ast.CallExpr) (string, bool) {
+	callee := calleePath(call, pass.Info)
+	switch callee {
+	case "fmt.Fprintf", "fmt.Fprint", "fmt.Fprintln",
+		"fmt.Printf", "fmt.Print", "fmt.Println":
+		return callee, true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return "", false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	s := t.String()
+	if strings.Contains(s, "strings.Builder") || strings.Contains(s, "bytes.Buffer") ||
+		isIOWriter(t) {
+		return s + "." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isIOWriter reports whether t is the io.Writer interface (the common sink
+// parameter type), matched structurally so fixtures need not import io.
+func isIOWriter(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Write" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/analysis"
+	"multiscalar/internal/analysis/analysistest"
+)
+
+func TestDeterminismBad(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism,
+		"./determinism/bad/...", "./determinism/internal/...")
+}
+
+func TestDeterminismClean(t *testing.T) {
+	analysistest.Clean(t, "testdata", analysis.Determinism, "./determinism/clean/...")
+}

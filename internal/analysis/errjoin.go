@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Errjoin catches the keep-last-error bug in collection loops. A loop that
+// assigns each iteration's error into a variable declared outside the loop
+// reports only the final iteration's failure; every earlier one is silently
+// dropped. The grid engine aggregates worker errors with errors.Join, and
+// this analyzer holds the rest of the module to the same standard.
+//
+// An assignment is fine when the loop actually handles or aggregates it:
+//   - the value is folded into the accumulator (errors.Join(errs, err),
+//     fmt.Errorf wrapping the previous value),
+//   - the error is only stored when the slot is still empty
+//     (if firstErr == nil { firstErr = err }),
+//   - the loop exits on it (if err != nil { return / break }) — first-error
+//     semantics, nothing is lost.
+//
+// What remains — overwrite and keep looping — is the bug.
+var Errjoin = &Analyzer{
+	Name: "errjoin",
+	Doc: "loops collecting errors across iterations must aggregate " +
+		"(errors.Join) or exit early, not overwrite",
+	Run: runErrjoin,
+}
+
+func runErrjoin(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			checkErrLoop(pass, n, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrLoop examines one loop body for plain `=` assignments to an outer
+// error variable that neither aggregate nor exit. A stack of ancestors is
+// maintained during the walk (ast.Inspect signals post-order with nil) so
+// the keep-first guard can look upward from each assignment.
+func checkErrLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.ObjectOf(id)
+			if obj == nil || !isErrorType(obj.Type()) || insideNode(obj.Pos(), loop) {
+				continue
+			}
+			if aggregates(pass, as, i, obj) ||
+				guardedKeepFirst(pass, stack, as, obj) ||
+				exitsAfter(pass, body, as, obj) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "loop overwrites %s each iteration, keeping only the last error; aggregate with errors.Join or exit on the first failure",
+				obj.Name())
+		}
+		return true
+	})
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// aggregates reports whether the assignment folds the previous value of obj
+// into the new one: errors.Join(obj, ...), fmt.Errorf("...%w", obj), or any
+// RHS that mentions obj.
+func aggregates(pass *Pass, as *ast.AssignStmt, i int, obj types.Object) bool {
+	if len(as.Rhs) != len(as.Lhs) {
+		return false
+	}
+	mentions := false
+	ast.Inspect(as.Rhs[i], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			mentions = true
+		}
+		return !mentions
+	})
+	return mentions
+}
+
+// guardedKeepFirst reports whether some enclosing if (from the ancestor
+// stack) stores into obj only when it is still nil — the keep-first idiom
+// `if firstErr == nil { firstErr = err }`, including as one conjunct of a
+// compound condition (`if err != nil && firstErr == nil { ... }`).
+func guardedKeepFirst(pass *Pass, stack []ast.Node, as *ast.AssignStmt, obj types.Object) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok || !insideNode(as.Pos(), ifs.Body) {
+			continue
+		}
+		if condHasNilCheck(pass, ifs.Cond, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// condHasNilCheck reports whether cond (or any conjunct of it) is
+// `obj == nil`.
+func condHasNilCheck(pass *Pass, cond ast.Expr, obj types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LAND:
+		return condHasNilCheck(pass, be.X, obj) || condHasNilCheck(pass, be.Y, obj)
+	case token.EQL:
+		return sideIsObj(pass, be, obj) && (isNilIdent(be.X) || isNilIdent(be.Y))
+	}
+	return false
+}
+
+func sideIsObj(pass *Pass, be *ast.BinaryExpr, obj types.Object) bool {
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if id, ok := ast.Unparen(side).(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// exitsAfter reports whether control leaves the loop promptly once obj is
+// set: the assignment is an if-init (`if err = f(); err != nil { return }`)
+// or a statement after the assignment checks obj and returns/breaks.
+func exitsAfter(pass *Pass, body *ast.BlockStmt, as *ast.AssignStmt, obj types.Object) bool {
+	exits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || exits || ifs.End() < as.Pos() {
+			return true
+		}
+		if ifs.Init == ast.Stmt(as) || ifs.Pos() >= as.End() {
+			if condMentions(pass, ifs.Cond, obj) && exitsLoop(ifs.Body.List) {
+				exits = true
+			}
+		}
+		return true
+	})
+	return exits
+}
+
+func condMentions(pass *Pass, cond ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exitsLoop reports whether the branch leaves the loop (return, break, goto,
+// panic) rather than continuing to the next iteration.
+func exitsLoop(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return exitsLoop(s.List)
+	}
+	return false
+}

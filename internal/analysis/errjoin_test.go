@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/analysis"
+	"multiscalar/internal/analysis/analysistest"
+)
+
+func TestErrjoinBad(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Errjoin, "./errjoin/bad/...")
+}
+
+func TestErrjoinClean(t *testing.T) {
+	analysistest.Clean(t, "testdata", analysis.Errjoin, "./errjoin/clean/...")
+}

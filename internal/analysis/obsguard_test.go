@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/analysis"
+	"multiscalar/internal/analysis/analysistest"
+)
+
+func TestObsguardBad(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Obsguard, "./obsguard/bad/...")
+}
+
+func TestObsguardClean(t *testing.T) {
+	analysistest.Clean(t, "testdata", analysis.Obsguard, "./obsguard/clean/...")
+}

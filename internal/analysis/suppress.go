@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// msvet findings are suppressed in source with a justification comment:
+//
+//	e.Run(job) //msvet:allow ctxflow (compat wrapper: delegates to RunCtx)
+//
+// The comment names one analyzer (or a comma-separated list) and suppresses
+// that analyzer's findings on its own line and on the line directly below —
+// so both trailing comments and comments above the offending statement work.
+// A bare "//msvet:allow" with no analyzer name suppresses nothing; naming
+// the contract being waived is mandatory.
+const allowPrefix = "//msvet:allow"
+
+// allowSet maps file → line → analyzer names allowed there.
+type allowSet map[string]map[int][]string
+
+// allowedLines scans every comment of the package for //msvet:allow markers.
+func allowedLines(pkg *Package) allowSet {
+	set := make(allowSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				// The analyzer list ends at the first space; anything after
+				// is the (mandatory by convention) justification.
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						lines[pos.Line] = append(lines[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether an allow marker for the analyzer covers the
+// diagnostic's line (marker on the same line or the line above).
+func (s allowSet) suppresses(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

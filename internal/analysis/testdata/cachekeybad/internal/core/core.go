@@ -1,0 +1,17 @@
+// Package core mirrors the real task-selection Options struct, with a
+// deliberately key-hostile field.
+package core
+
+// Heuristic selects the task-partitioning policy.
+type Heuristic int
+
+// Options configures task selection.
+type Options struct {
+	Heuristic Heuristic
+	TaskSize  int
+	hidden    int // unexported: json.Marshal drops it silently
+}
+
+// Hidden reads the unexported field so the fixture compiles without vet
+// complaints about unused fields.
+func (o Options) Hidden() int { return o.hidden }

@@ -1,0 +1,10 @@
+// Package sim mirrors the real simulator Config struct, with two
+// deliberately key-hostile fields.
+package sim
+
+// Config configures a simulation run.
+type Config struct {
+	NumPUs int
+	Debug  bool `json:"-"` // excluded from the marshal, so excluded from the key
+	Hook   func(cycle uint64)
+}

@@ -1,0 +1,43 @@
+// Package keys derives cache keys from structs with key-hostile fields, a
+// key function that skips SchemaVersion, and a stale fingerprint.
+package keys
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"fixtures/cachekeybad/internal/core" // want "unexported field core.Options.hidden"
+	"fixtures/cachekeybad/internal/sim"  // want "excluded from the key" "cannot encode"
+)
+
+// SchemaVersion versions the cache key encoding.
+const SchemaVersion = 1
+
+// schemaFingerprint was never updated after the structs changed shape.
+const schemaFingerprint = "000000000000"
+
+// Key folds the schema version in, as required.
+func Key(o core.Options, c sim.Config) string { // want "schemaFingerprint .* is stale"
+	return keyOf(struct {
+		Schema int
+		Opts   core.Options
+		Cfg    sim.Config
+	}{SchemaVersion, o, c})
+}
+
+// PartitionKey forgets the schema version entirely.
+func PartitionKey(o core.Options) string { // want "without folding in SchemaVersion"
+	return keyOf(struct {
+		Opts core.Options
+	}{o})
+}
+
+func keyOf(payload any) string {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

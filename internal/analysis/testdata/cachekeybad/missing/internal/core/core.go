@@ -1,0 +1,11 @@
+// Package core is a key-safe Options mirror for the missing-schema fixture.
+package core
+
+// Heuristic selects the task-partitioning policy.
+type Heuristic int
+
+// Options configures task selection.
+type Options struct {
+	Heuristic Heuristic
+	TaskSize  int
+}

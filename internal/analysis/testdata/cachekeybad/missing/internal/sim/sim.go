@@ -1,0 +1,8 @@
+// Package sim is a key-safe Config mirror for the missing-schema fixture.
+package sim
+
+// Config configures a simulation run.
+type Config struct {
+	NumPUs int
+	Width  int
+}

@@ -1,0 +1,15 @@
+// Package missing derives keys from clean structs but declares neither
+// SchemaVersion nor schemaFingerprint.
+package missing
+
+import (
+	"fmt"
+
+	"fixtures/cachekeybad/missing/internal/core"
+	"fixtures/cachekeybad/missing/internal/sim"
+)
+
+// JobKey has no schema versioning at all.
+func JobKey(o core.Options, c sim.Config) string { // want "declares no SchemaVersion constant" "does not pin its key schema"
+	return fmt.Sprintf("%v|%v", o, c)
+}

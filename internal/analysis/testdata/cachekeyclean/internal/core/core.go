@@ -1,0 +1,13 @@
+// Package core mirrors the real task-selection Options struct in a fully
+// key-safe shape.
+package core
+
+// Heuristic selects the task-partitioning policy.
+type Heuristic int
+
+// Options configures task selection; every field survives JSON hashing.
+type Options struct {
+	Heuristic  Heuristic
+	TaskSize   int
+	MaxTargets int
+}

@@ -1,0 +1,16 @@
+// Package sim mirrors the real simulator Config struct, including a nested
+// struct the field walk must descend into.
+package sim
+
+// MemConfig configures the memory hierarchy.
+type MemConfig struct {
+	L1Size    int
+	L1Latency int
+}
+
+// Config configures a simulation run; every field survives JSON hashing.
+type Config struct {
+	NumPUs int
+	Width  int
+	Mem    MemConfig
+}

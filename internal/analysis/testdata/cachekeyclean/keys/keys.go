@@ -1,0 +1,45 @@
+// Package keys is a fully compliant key-deriving package: no hostile
+// fields, SchemaVersion folded into every exported key, fingerprint pinned.
+package keys
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"fixtures/cachekeyclean/internal/core"
+	"fixtures/cachekeyclean/internal/sim"
+)
+
+// SchemaVersion versions the cache key encoding.
+const SchemaVersion = 3
+
+// schemaFingerprint pins the shape of core.Options and sim.Config; msvet's
+// cachekey analyzer reports the expected value whenever it goes stale.
+const schemaFingerprint = "891744c444ca"
+
+// Key addresses one simulation result.
+func Key(o core.Options, c sim.Config) string {
+	return keyOf(struct {
+		Schema int
+		Opts   core.Options
+		Cfg    sim.Config
+	}{SchemaVersion, o, c})
+}
+
+// PartitionKey addresses one task-partitioning result.
+func PartitionKey(o core.Options) string {
+	return keyOf(struct {
+		Schema int
+		Opts   core.Options
+	}{SchemaVersion, o})
+}
+
+func keyOf(payload any) string {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

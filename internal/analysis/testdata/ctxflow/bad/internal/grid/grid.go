@@ -1,0 +1,47 @@
+// Package grid (path suffix internal/grid → in ctxflow scope) holds the
+// context-propagation violations ctxflow must flag.
+package grid
+
+import (
+	"context"
+	"sync"
+)
+
+// Run starts workers with no way for the caller to cancel them.
+func Run(n int, fn func(int)) { // want "starts goroutines but does not accept a context.Context"
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// RunAll accepts a context, but not where convention puts it.
+func RunAll(n int, ctx context.Context, fn func(int)) { // want "not as its first parameter"
+	for i := 0; i < n; i++ {
+		go fn(i)
+	}
+	_ = ctx
+}
+
+// detach synthesizes a root context deep in library code.
+func detach(fn func(context.Context)) {
+	ctx := context.Background() // want "detaches this work from the caller's cancellation"
+	fn(ctx)
+}
+
+// todo is the placeholder form of the same bug.
+func todo(fn func(context.Context)) {
+	fn(context.TODO()) // want "detaches this work from the caller's cancellation"
+}
+
+// compat demonstrates the suppression escape hatch: a deliberate root with
+// a recorded justification produces no finding.
+func compat(fn func(context.Context)) {
+	//msvet:allow ctxflow (compat wrapper: callers predate the ctx API)
+	fn(context.Background())
+}

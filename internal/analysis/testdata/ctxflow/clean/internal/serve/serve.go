@@ -1,0 +1,36 @@
+// Package serve (path suffix internal/serve → in ctxflow scope) holds the
+// compliant shapes ctxflow must accept.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// RunCtx is the canonical entry point: leading context, goroutines inside.
+func RunCtx(ctx context.Context, n int, fn func(context.Context, int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if ctx.Err() == nil {
+				fn(ctx, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Describe is exported but starts nothing, so it owes no context.
+func Describe() string { return "serve fixture" }
+
+// pump is unexported; the entry-point rule applies to the API surface only.
+func pump(ch chan<- int, n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+}

@@ -1,0 +1,54 @@
+// Package bad exercises every determinism rule: map-order escapes and
+// impurity in key-derivation functions.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "never sorted in this function"
+	}
+	return out
+}
+
+// Print serializes in map iteration order.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output order depends on map iteration order"
+	}
+}
+
+// Send's receiver observes map iteration order.
+func Send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "channel send inside a map range"
+	}
+}
+
+// Render builds a string in map iteration order.
+func Render(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "output order depends on map iteration order"
+	}
+	return sb.String()
+}
+
+// CacheKey is a key-derivation function (name suffix Key), so wall-clock
+// input is banned regardless of package.
+func CacheKey(workload string) string {
+	stamp := time.Now() // want "must be pure functions of their inputs"
+	return fmt.Sprintf("%s-%d", workload, stamp.Unix())
+}
+
+// keyOf mixes randomness into a key.
+func keyOf(workload string) string {
+	return fmt.Sprintf("%s-%d", workload, rand.Int()) // want "must be deterministic"
+}

@@ -1,0 +1,79 @@
+// Package clean holds the patterns determinism must accept: sorted
+// accumulation, commutative map-loop bodies, and impure calls outside the
+// pure scopes.
+package clean
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SortedKeys collects then sorts — the canonical deterministic iteration.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LocalSorter uses a package-local sort helper, recognized by name.
+func LocalSorter(m map[uint64]int) []uint64 {
+	var out []uint64
+	for k := range m {
+		out = append(out, k)
+	}
+	sortUint64(out)
+	return out
+}
+
+func sortUint64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// Prune deletes during iteration — commutative, order-independent.
+func Prune(m map[string]int, limit int) {
+	for k, v := range m {
+		if v > limit {
+			delete(m, k)
+		}
+	}
+}
+
+// Invert writes keyed entries — commutative.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Sum aggregates — commutative.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// InnerScratch appends to a slice whose lifetime is one iteration.
+func InnerScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var scratch []int
+		for _, v := range vs {
+			scratch = append(scratch, v*2)
+		}
+		n += len(scratch)
+	}
+	return n
+}
+
+// Elapsed is neither in internal/sim nor a key function; wall-clock is fine.
+func Elapsed(start time.Time) string {
+	return fmt.Sprintf("%v", time.Since(start))
+}

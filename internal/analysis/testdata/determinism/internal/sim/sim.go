@@ -1,0 +1,21 @@
+// Package sim carries the internal/sim path suffix, so the purity rules
+// apply to every function, not just key derivation.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Step is an ordinary simulation function; wall-clock reads are still banned.
+func Step(cycle uint64) uint64 {
+	if time.Now().Unix()%2 == 0 { // want "must be pure functions of their inputs"
+		return cycle + 2
+	}
+	return cycle + 1
+}
+
+// Jitter injects randomness into the timing model.
+func Jitter(cycle uint64) uint64 {
+	return cycle + uint64(rand.Intn(3)) // want "must be deterministic"
+}

@@ -1,0 +1,41 @@
+// Package bad holds keep-last-error loops errjoin must flag.
+package bad
+
+import "sync"
+
+// Collect overwrites err every iteration; only the last failure survives.
+func Collect(fns []func() error) error {
+	var err error
+	for _, fn := range fns {
+		err = fn() // want "keeping only the last error"
+	}
+	return err
+}
+
+// Fan loses every worker error but the last-written one.
+func Fan(fns []func() error) error {
+	var last error
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func() error) {
+			defer wg.Done()
+			last = f() // want "keeping only the last error"
+		}(fn)
+	}
+	wg.Wait()
+	return last
+}
+
+// SkipOn records the failure, then continues — the record is overwritten by
+// the next iteration, so earlier failures are still lost.
+func SkipOn(fns []func() error) error {
+	var err error
+	for _, fn := range fns {
+		err = fn() // want "keeping only the last error"
+		if err != nil {
+			continue
+		}
+	}
+	return err
+}

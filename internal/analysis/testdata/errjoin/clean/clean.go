@@ -1,0 +1,82 @@
+// Package clean holds the error-collection idioms errjoin must accept.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Join aggregates every failure.
+func Join(fns []func() error) error {
+	var errs error
+	for _, fn := range fns {
+		errs = errors.Join(errs, fn())
+	}
+	return errs
+}
+
+// Wrap folds the previous value into the new one.
+func Wrap(fns []func() error) error {
+	var err error
+	for i, fn := range fns {
+		if e := fn(); e != nil {
+			err = fmt.Errorf("step %d: %w (after %w)", i, e, errorOr(err))
+		}
+	}
+	return err
+}
+
+func errorOr(err error) error {
+	if err == nil {
+		return errNone
+	}
+	return err
+}
+
+var errNone = errors.New("none")
+
+// First keeps the first failure and drops the rest deliberately.
+func First(fns []func() error) error {
+	var firstErr error
+	for _, fn := range fns {
+		if err := fn(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// FailFast exits the loop on the first failure; nothing is overwritten.
+func FailFast(fns []func() error) error {
+	var err error
+	for _, fn := range fns {
+		err = fn()
+		if err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// InitExit uses the if-init form of fail-fast.
+func InitExit(fns []func() error) error {
+	var err error
+	for _, fn := range fns {
+		if err = fn(); err != nil {
+			break
+		}
+	}
+	return err
+}
+
+// LoopLocal declares the error inside the loop; nothing outlives an iteration.
+func LoopLocal(fns []func() error) int {
+	failures := 0
+	for _, fn := range fns {
+		err := fn()
+		if err != nil {
+			failures++
+		}
+	}
+	return failures
+}

@@ -1,0 +1,53 @@
+// Package sim (path suffix internal/sim → in obsguard scope) holds the
+// unguarded-call patterns obsguard must flag.
+package sim
+
+import "fixtures/obsguard/internal/obs"
+
+// Sim carries optional observability hooks.
+type Sim struct {
+	tracer obs.Tracer
+	met    *obs.Registry
+}
+
+// Unguarded calls straight through the optional fields.
+func (s *Sim) Unguarded() {
+	s.tracer.Emit(obs.Event{Name: "step"}) // want "without a dominating nil check"
+	s.met.Counter("steps").Inc()           // want "without a dominating nil check"
+}
+
+// WrongGuard checks the wrong field.
+func (s *Sim) WrongGuard() {
+	if s.met != nil {
+		s.tracer.Emit(obs.Event{Name: "step"}) // want "without a dominating nil check"
+	}
+}
+
+// GuardLost reassigns the field after the guard, discarding the fact.
+func (s *Sim) GuardLost(t obs.Tracer) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer = t
+	s.tracer.Emit(obs.Event{Name: "swap"}) // want "without a dominating nil check"
+}
+
+// LoopEscape establishes the guard inside the first iteration only; the
+// fact must not survive into the next statement after the loop.
+func (s *Sim) LoopEscape(n int) {
+	for i := 0; i < n; i++ {
+		if s.tracer == nil {
+			return
+		}
+	}
+	s.tracer.Emit(obs.Event{Name: "after"}) // want "without a dominating nil check"
+}
+
+// ElseBranch uses the field where the condition proves it nil.
+func (s *Sim) ElseBranch() {
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Name: "on"})
+	} else {
+		s.met.Counter("off").Inc() // want "without a dominating nil check"
+	}
+}

@@ -1,0 +1,80 @@
+// Package grid (path suffix internal/grid → in obsguard scope) holds the
+// guarded idioms obsguard must accept without findings.
+package grid
+
+import "fixtures/obsguard/internal/obs"
+
+// Engine carries optional observability hooks.
+type Engine struct {
+	tracer obs.Tracer
+	met    *obs.Registry
+}
+
+// DirectGuard is the canonical hot-path idiom.
+func (e *Engine) DirectGuard() {
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Name: "run"})
+	}
+}
+
+// EarlyReturn proves the field for the rest of the function.
+func (e *Engine) EarlyReturn() {
+	if e.met == nil {
+		return
+	}
+	e.met.Counter("runs").Inc()
+	e.met.Counter("jobs").Inc()
+}
+
+// DefaultInGuard is the construction-time idiom: nil is replaced before use.
+func DefaultInGuard(r *obs.Registry) *Engine {
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	r.Counter("engines").Inc()
+	return &Engine{met: r}
+}
+
+// CopyOfSafe aliases a guarded field; the copy inherits the fact.
+func (e *Engine) CopyOfSafe() {
+	if e.tracer == nil {
+		return
+	}
+	t := e.tracer
+	t.Emit(obs.Event{Name: "alias"})
+}
+
+// GuardedLoop establishes the fact before the loop; the loop body inherits it.
+func (e *Engine) GuardedLoop(n int) {
+	if e.met == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		e.met.Counter("iter").Inc()
+	}
+}
+
+// GuardedClosure captures a checked field inside a function literal.
+func (e *Engine) GuardedClosure() func() {
+	if e.tracer == nil {
+		return func() {}
+	}
+	return func() {
+		e.tracer.Emit(obs.Event{Name: "deferred"})
+	}
+}
+
+// CombinedGuard proves both fields with one condition.
+func (e *Engine) CombinedGuard() {
+	if e.tracer != nil && e.met != nil {
+		e.tracer.Emit(obs.Event{Name: "both"})
+		e.met.Counter("both").Inc()
+	}
+}
+
+// FreshRegistry uses a constructor result, which is never nil.
+func FreshRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("boot").Inc()
+	return r
+}

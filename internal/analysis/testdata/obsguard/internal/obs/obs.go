@@ -1,0 +1,42 @@
+// Package obs mirrors the real observability layer's shape: Tracer and
+// Registry are the two types whose nil means "observability off". The path
+// suffix internal/obs is what obsguard matches on, so these stand in for
+// the real types in fixtures.
+package obs
+
+// Event is one trace event.
+type Event struct {
+	Name string
+	Cyc  uint64
+}
+
+// Tracer consumes events; nil means tracing is off.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Registry owns metrics; nil means metrics are off.
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty, non-nil registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Counter is a monotonic count.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }

@@ -389,7 +389,10 @@ func (s *selector) coverFunction(fn ir.FnID, owned map[ir.BlockID]bool) {
 			}
 		}
 		// The resume point after a non-included call must start a task too.
-		for b := range t.Blocks {
+		// Sorted iteration: the BFS visit order decides which task claims a
+		// contested block, so seeding the queue in map order would make the
+		// partition vary run to run.
+		for _, b := range sortedBlocks(t.Blocks) {
 			blk := f.Block(b)
 			if blk.Term.Kind == ir.TermCall && !t.IncludeCall[b] && !queued[blk.Term.Fall] {
 				queued[blk.Term.Fall] = true

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,9 +20,9 @@ type AblationRow struct {
 
 // sweep runs one ablation point per (workload, setting) pair concurrently
 // on the runner's engine, keeping rows in workload-major order.
-func sweep(n int, fn func(i int) (AblationRow, error)) ([]AblationRow, error) {
+func sweep(ctx context.Context, n int, fn func(i int) (AblationRow, error)) ([]AblationRow, error) {
 	rows := make([]AblationRow, n)
-	err := grid.RunAll(n, func(i int) error {
+	err := grid.RunAll(ctx, n, func(i int) error {
 		row, err := fn(i)
 		if err != nil {
 			return err
@@ -42,7 +43,7 @@ func AblationTargets(r *Runner, names []string, ns []int) ([]AblationRow, error)
 	if len(ns) == 0 {
 		ns = []int{2, 4, 8}
 	}
-	return sweep(len(names)*len(ns), func(i int) (AblationRow, error) {
+	return sweep(r.context(), len(names)*len(ns), func(i int) (AblationRow, error) {
 		name, n := names[i/len(ns)], ns[i%len(ns)]
 		res, err := r.Run(name, CF, SimConfig{PUs: 8, Targets: n})
 		if err != nil {
@@ -59,7 +60,7 @@ func AblationTargets(r *Runner, names []string, ns []int) ([]AblationRow, error)
 
 // AblationSync compares the memory dependence synchronization table on/off.
 func AblationSync(r *Runner, names []string) ([]AblationRow, error) {
-	return sweep(len(names)*2, func(i int) (AblationRow, error) {
+	return sweep(r.context(), len(names)*2, func(i int) (AblationRow, error) {
 		name, noSync := names[i/2], i%2 == 1
 		res, err := r.Run(name, DD, SimConfig{PUs: 8, NoSyncTable: noSync})
 		if err != nil {
@@ -83,7 +84,7 @@ func AblationRing(r *Runner, names []string, bws []int) ([]AblationRow, error) {
 	if len(bws) == 0 {
 		bws = []int{1, 2, 4}
 	}
-	return sweep(len(names)*len(bws), func(i int) (AblationRow, error) {
+	return sweep(r.context(), len(names)*len(bws), func(i int) (AblationRow, error) {
 		name, bw := names[i/len(bws)], bws[i%len(bws)]
 		res, err := r.Run(name, DD, SimConfig{PUs: 8, RingBW: bw})
 		if err != nil {
@@ -103,7 +104,7 @@ func AblationBanks(r *Runner, names []string, banks []int) ([]AblationRow, error
 	if len(banks) == 0 {
 		banks = []int{1, 4, 8}
 	}
-	return sweep(len(names)*len(banks), func(i int) (AblationRow, error) {
+	return sweep(r.context(), len(names)*len(banks), func(i int) (AblationRow, error) {
 		name, nb := names[i/len(banks)], banks[i%len(banks)]
 		res, err := r.Run(name, CF, SimConfig{PUs: 8, L1DBanks: nb})
 		if err != nil {
@@ -123,7 +124,7 @@ func AblationBanks(r *Runner, names []string, banks []int) ([]AblationRow, error
 // selection options go straight to the grid engine, which keys partitions
 // on the full option set.
 func AblationGreedy(r *Runner, names []string) ([]AblationRow, error) {
-	return sweep(len(names)*2, func(i int) (AblationRow, error) {
+	return sweep(r.context(), len(names)*2, func(i int) (AblationRow, error) {
 		name, noGreedy := names[i/2], i%2 == 1
 		res, err := r.Engine().Run(grid.Job{
 			Workload: name,
@@ -153,7 +154,7 @@ func AblationThresh(r *Runner, names []string, threshes []int) ([]AblationRow, e
 	if len(threshes) == 0 {
 		threshes = []int{10, 30, 90}
 	}
-	return sweep(len(names)*len(threshes), func(i int) (AblationRow, error) {
+	return sweep(r.context(), len(names)*len(threshes), func(i int) (AblationRow, error) {
 		name, th := names[i/len(threshes)], threshes[i%len(threshes)]
 		res, err := r.Engine().Run(grid.Job{
 			Workload: name,

@@ -89,6 +89,7 @@ func (r *Runner) context() context.Context {
 	if r.ctx != nil {
 		return r.ctx
 	}
+	//msvet:allow ctxflow (deliberate root: a Runner built without WithContext runs uncancelled)
 	return context.Background()
 }
 

@@ -50,7 +50,7 @@ func Figure5(r *Runner, pus []int, names []string) ([]Fig5Cell, error) {
 			}
 		}
 	}
-	err := grid.RunAll(len(cells), func(i int) error {
+	err := grid.RunAll(r.context(), len(cells), func(i int) error {
 		c := &cells[i]
 		res, err := r.Run(c.Workload, c.Variant, SimConfig{PUs: c.PUs, InOrder: c.InOrder})
 		if err != nil {
@@ -150,8 +150,6 @@ func Summarize(cells []Fig5Cell) []SuiteSummary {
 		v       Variant
 	}
 	ratios := map[key][]float64{}
-	base := map[string]map[[2]interface{}]float64{}
-	_ = base
 	bbIPC := map[string]float64{}
 	for _, c := range cells {
 		if c.Variant == BB {

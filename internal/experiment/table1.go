@@ -56,7 +56,7 @@ func Table1(r *Runner, names []string) ([]T1Row, error) {
 	}
 	mc := SimConfig{PUs: 8}
 	rows := make([]T1Row, len(names))
-	err := grid.RunAll(len(names), func(i int) error {
+	err := grid.RunAll(r.context(), len(names), func(i int) error {
 		name := names[i]
 		w, err := workloads.ByName(name)
 		if err != nil {

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -30,7 +31,7 @@ func benchJobs() []Job {
 
 func runJobs(b *testing.B, e *Engine, jobs []Job) {
 	b.Helper()
-	err := RunAll(len(jobs), func(i int) error {
+	err := RunAll(context.Background(), len(jobs), func(i int) error {
 		_, err := e.Run(jobs[i])
 		return err
 	})

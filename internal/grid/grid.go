@@ -290,6 +290,7 @@ func timed[T any](ctx context.Context, e *Engine, fn func() (T, error)) (T, erro
 // Partition returns the task selection for one workload under opts,
 // computing it at most once per engine.
 func (e *Engine) Partition(workload string, opts core.Options) (*core.Partition, error) {
+	//msvet:allow ctxflow (compat wrapper: uncancellable by design; callers with deadlines use PartitionCtx)
 	return e.PartitionCtx(context.Background(), workload, opts)
 }
 
@@ -331,6 +332,7 @@ func (e *Engine) PartitionCtx(ctx context.Context, workload string, opts core.Op
 // both directions: their per-task records would bloat artifacts read by
 // every non-timeline consumer, so they always simulate and never persist.
 func (e *Engine) Run(job Job) (*sim.Result, error) {
+	//msvet:allow ctxflow (compat wrapper: uncancellable by design; callers with deadlines use RunCtx)
 	return e.RunCtx(context.Background(), job)
 }
 
@@ -398,10 +400,19 @@ func (e *Engine) RunCtx(ctx context.Context, job Job) (*sim.Result, error) {
 // the experiment layer uses: results land in caller-indexed slots, so
 // collection order — and any output derived from it — is deterministic
 // regardless of completion order.
-func RunAll(n int, fn func(i int) error) error {
+//
+// Cancellation gates launches, not running work: once ctx ends, remaining
+// indices are not started and report ctx.Err() in their slots, while
+// already-launched fns run to completion (they receive the same ctx through
+// their closure if they want to stop sooner).
+func RunAll(ctx context.Context, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()

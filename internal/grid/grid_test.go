@@ -96,7 +96,7 @@ func TestWorkerBound(t *testing.T) {
 	e := New(Options{Workers: bound})
 	job := fastJob()
 	const jobs = 6
-	err := RunAll(jobs, func(i int) error {
+	err := RunAll(context.Background(), jobs, func(i int) error {
 		j := job
 		j.Config.RingBW = i + 1 // distinct machine points
 		_, err := e.Run(j)
@@ -133,7 +133,7 @@ func TestParallelWallClock(t *testing.T) {
 			t.Fatal(err)
 		}
 		start := time.Now()
-		err := RunAll(jobs, func(i int) error {
+		err := RunAll(context.Background(), jobs, func(i int) error {
 			j := fastJob()
 			j.Config.RingBW = i + 1
 			_, err := e.Run(j)
@@ -283,7 +283,7 @@ func TestUnknownWorkload(t *testing.T) {
 
 func TestRunAllJoinsAllErrors(t *testing.T) {
 	errA, errB := errors.New("a"), errors.New("b")
-	err := RunAll(4, func(i int) error {
+	err := RunAll(context.Background(), 4, func(i int) error {
 		switch i {
 		case 1:
 			time.Sleep(10 * time.Millisecond)
@@ -301,10 +301,10 @@ func TestRunAllJoinsAllErrors(t *testing.T) {
 	if len(lines) != 2 || lines[0] != "a" || lines[1] != "b" {
 		t.Errorf("joined error not in index order: %q", err.Error())
 	}
-	if err := RunAll(0, func(int) error { return nil }); err != nil {
+	if err := RunAll(context.Background(), 0, func(int) error { return nil }); err != nil {
 		t.Errorf("empty RunAll: %v", err)
 	}
-	if err := RunAll(3, func(int) error { return nil }); err != nil {
+	if err := RunAll(context.Background(), 3, func(int) error { return nil }); err != nil {
 		t.Errorf("all-success RunAll: %v", err)
 	}
 }

@@ -18,6 +18,18 @@ import (
 // which could embed per-task records — are invalidated.
 const SchemaVersion = 2
 
+// schemaFingerprint pins the recursive field shape of core.Options and
+// sim.Config (msvet's cachekey analyzer recomputes it on every run). When a
+// field is added, removed, renamed, or retyped anywhere under either struct,
+// msvet fails with the new expected value: audit that the JSON encoding
+// still covers every field, bump SchemaVersion if old artifacts are now
+// wrong, and paste the new fingerprint here.
+const schemaFingerprint = "649450b0c43b"
+
+// The fingerprint is consumed by tooling, not runtime code; the blank use
+// keeps unused-symbol linters from suggesting its removal.
+var _ = schemaFingerprint
+
 // keyOf hashes a canonical JSON encoding of its payload. Both option
 // structs contain only exported scalar fields, so encoding/json emits them
 // in declaration order and the digest is stable across processes.

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -24,7 +25,7 @@ func TestEngineMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	e := New(Options{Workers: 2, CacheDir: t.TempDir(), Metrics: reg})
 	jobs := []Job{testJob(2), testJob(4), testJob(2)} // one duplicate memoizes
-	if err := RunAll(len(jobs), func(i int) error {
+	if err := RunAll(context.Background(), len(jobs), func(i int) error {
 		_, err := e.Run(jobs[i])
 		return err
 	}); err != nil {

@@ -1,0 +1,38 @@
+// Package lintout defines the one machine-readable findings format shared
+// by the repository's linters: mslint -json (semantic partition checks,
+// internal/verify) and msvet -json (source contract checks,
+// internal/analysis) emit the same array-of-findings document, so CI and
+// editor tooling parse one schema regardless of which tool produced it.
+package lintout
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Finding is one linter finding.
+type Finding struct {
+	// Tool is the producer: "mslint" or "msvet".
+	Tool string `json:"tool"`
+	// Rule identifies the check: a verify rule ID ("PT010") or an msvet
+	// analyzer name ("ctxflow").
+	Rule string `json:"rule"`
+	// Severity is "info", "warn", or "error".
+	Severity string `json:"severity"`
+	// Location is "file:line:col" where the tool can anchor the finding to
+	// source, or a symbolic location (workload/task) where it cannot.
+	Location string `json:"location"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+}
+
+// Write emits findings as an indented JSON array. A nil or empty slice
+// writes [] rather than null, so consumers always receive an array.
+func Write(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}

@@ -111,7 +111,7 @@ type FindingBody struct {
 	Rule     string `json:"rule"`
 	Severity string `json:"severity"`
 	// Task is the offending task ID, or -1 for IR-layer findings.
-	Task int `json:"task"`
+	Task int    `json:"task"`
 	Fn   string `json:"fn,omitempty"`
 	// Block is the offending block, or -1 for function-level findings.
 	Block int    `json:"block"`
@@ -135,11 +135,11 @@ func findingBodies(fs verify.Findings) []FindingBody {
 
 // PartitionResponse summarizes a task selection and its verification.
 type PartitionResponse struct {
-	Workload  string  `json:"workload"`
-	Heuristic string  `json:"heuristic"`
-	Tasks     int     `json:"tasks"`
-	Blocks    int     `json:"blocks"`
-	AvgBlocks float64 `json:"avg_blocks_per_task"`
+	Workload   string  `json:"workload"`
+	Heuristic  string  `json:"heuristic"`
+	Tasks      int     `json:"tasks"`
+	Blocks     int     `json:"blocks"`
+	AvgBlocks  float64 `json:"avg_blocks_per_task"`
 	AvgTargets float64 `json:"avg_targets_per_task"`
 
 	Errors   int           `json:"errors"`

@@ -58,6 +58,7 @@ const (
 	RuleForwardPoint  RuleID = "PT007" // forward point unsound or register never released
 	RuleCallInclusion RuleID = "PT008" // IncludeCall / FnIncluded inconsistency
 	RulePartIndex     RuleID = "PT009" // task index / target-task existence broken
+	RuleDeadForward   RuleID = "PT010" // create-mask register with no forward point anywhere (dead mask bit)
 )
 
 // Finding is one rule violation (or report) at a location.

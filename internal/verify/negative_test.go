@@ -137,6 +137,20 @@ func TestNegativePartitions(t *testing.T) {
 			},
 		},
 		{
+			name: "dead forward bit",
+			rule: RuleDeadForward,
+			sev:  SevWarn,
+			corrupt: func(t *testing.T, part *core.Partition) {
+				// R(9) is written nowhere in the fixture, so no member block
+				// can have a forward point for it: claiming it in the create
+				// mask leaves a bit no forwarding machinery ever serves.
+				// (PT007 co-fires — the bit is also unreleased — but PT010
+				// isolates the "no forward point anywhere" diagnosis.)
+				task := multiBlockTask(t, part)
+				task.CreateMask = task.CreateMask.Add(ir.R(9))
+			},
+		},
+		{
 			name: "target set disagrees with CFG",
 			rule: RuleTargetSet,
 			sev:  SevError,

@@ -6,7 +6,7 @@ import (
 	"multiscalar/internal/ir"
 )
 
-// checkPartition runs the partition-layer rules (PT001–PT009) against the
+// checkPartition runs the partition-layer rules (PT001–PT010) against the
 // recomputed per-function analyses.
 func (c *checker) checkPartition() {
 	c.checkPartIndex()
@@ -281,7 +281,8 @@ func targetsEqualAsSets(a, b []core.Target) bool {
 // live at some exit (PT006), and every forwarded register is released
 // soundly — forward points are genuinely last definitions, and any
 // create-mask register without a forward point on some path is end-forwarded
-// (PT007).
+// (PT007). Create-mask registers with no forward point in any member block at
+// all (and no end-forward) are additionally flagged as dead mask bits (PT010).
 func (c *checker) checkRegComm(v *taskView) {
 	t := v.t
 	// Expected create mask: the union of member (and included-callee) writes,
@@ -390,5 +391,22 @@ func (c *checker) checkRegComm(v *taskView) {
 		c.report(RuleForwardPoint, SevError, t.Fn, t.Entry, t.ID,
 			"create-mask registers %s reach a task exit on some path with no forward point and are not end-forwarded; successor PUs would deadlock waiting for them",
 			unreleased)
+	}
+
+	// Dead forward bits (PT010): a create-mask register that is not
+	// end-forwarded and has a forward point in no member block at all. PT007
+	// above already errors that such a register is unreleased; the sharper
+	// diagnosis here is that the forwarding machinery for the bit does not
+	// exist anywhere in the task — usually an over-approximated mask whose
+	// bit should be dropped (or end-forwarded), not a misplaced forward
+	// point, which PT007 alone reports when at least one path forwards it.
+	var fwdAll dataflow.RegSet
+	for _, b := range v.members {
+		fwdAll = fwdAll.Union(fwdRegs[b])
+	}
+	if dead := t.CreateMask.Minus(t.EndForward()).Minus(fwdAll); dead != 0 {
+		c.report(RuleDeadForward, SevWarn, t.Fn, t.Entry, t.ID,
+			"create-mask registers %s have no forward point in any member block and are not end-forwarded: dead mask bits the selector should release or drop",
+			dead)
 	}
 }

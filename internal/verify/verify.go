@@ -34,7 +34,7 @@ func Program(p *ir.Program) Findings {
 
 // Partition runs the full catalog — the IR-layer rules over part.Prog (the
 // transformed program the tasks were selected on) plus the partition-layer
-// rules (PT001–PT009) — and returns the findings in canonical order.
+// rules (PT001–PT010) — and returns the findings in canonical order.
 func Partition(part *core.Partition) Findings {
 	c := newChecker(part.Prog, part)
 	c.checkProgram()
