@@ -3,6 +3,15 @@
 // The grid runs in parallel across a bounded worker pool; pass -cache-dir
 // to persist simulation results so warm reruns skip simulation entirely.
 //
+// With -workers the run fans out across processes: msreport becomes the
+// leader of a distributed grid, listening on the given address for mssrv
+// -worker peers. Cache-missing jobs go to a work-stealing shard scheduler;
+// the leader's own cores participate through a local worker loop, remote
+// workers pull over HTTP, and results flow back through reports and the
+// shared cache. Output stays byte-identical to a serial run — collection is
+// by index, not arrival order. -remote-cache chains a peer's cache behind
+// the local tiers for single-process runs too; -lru adds an in-memory tier.
+//
 // Usage:
 //
 //	msreport -experiment fig5
@@ -11,6 +20,10 @@
 //	msreport -experiment ablations -workloads compress,tomcatv
 //	msreport -experiment all -cache-dir ~/.cache/msgrid
 //	msreport -experiment all -metrics-out metrics.json -cpuprofile cpu.pprof
+//
+//	# distributed: start the leader, then any number of workers
+//	msreport -experiment fig5 -workers 127.0.0.1:9090
+//	mssrv -worker -leader http://127.0.0.1:9090   # in other terminals
 //
 // -metrics-out captures the grid engine's metrics (job/sim/cache counters,
 // queue-wait and exec wall-time histograms, worker occupancy) as a
@@ -23,15 +36,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"multiscalar/internal/dist"
 	"multiscalar/internal/experiment"
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
@@ -46,6 +64,10 @@ func main() {
 		workers    = flag.Int("j", 0, "max concurrent partition/simulation jobs (default GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (default: no cache)")
 		noCache    = flag.Bool("no-cache", false, "ignore -cache-dir and recompute everything")
+		distAddr   = flag.String("workers", "", "lead a distributed run: listen on this host:port for mssrv -worker peers")
+		remoteAddr = flag.String("remote-cache", "", "base URL of a peer cache (an mssrv or another leader) chained behind the local tiers")
+		lruSize    = flag.Int("lru", 0, "in-memory cache tier entry budget (0 = no memory tier; a leader with no other tier defaults to 4096)")
+		lease      = flag.Duration("lease", 0, "distributed job lease before reassignment to another worker (0 = 2m)")
 		progress   = flag.Bool("progress", false, "print a progress/ETA line to stderr")
 		timeout    = flag.Duration("timeout", 0, "overall deadline for the run; queued jobs cancel cleanly when it expires (0 = none)")
 		metricsOut = flag.String("metrics-out", "", "write the grid metrics snapshot as JSON to this file")
@@ -108,7 +130,41 @@ func main() {
 		defer cancel()
 	}
 
-	eng := grid.New(grid.Options{Workers: *workers, CacheDir: dir, Metrics: reg})
+	lru := *lruSize
+	if *distAddr != "" && lru == 0 && dir == "" && *remoteAddr == "" {
+		// A leader serves GET/PUT /v1/cache/{key} to its workers; give it a
+		// memory tier when nothing else is configured so worker publications
+		// have somewhere to land.
+		lru = 4096
+	}
+	cache, remoteTier := dist.BuildCache(dist.CacheConfig{
+		LRUSize:       lru,
+		Dir:           dir,
+		Remote:        *remoteAddr,
+		RemoteOptions: dist.RemoteOptions{Metrics: reg},
+	})
+	opts := grid.Options{Workers: *workers, Metrics: reg}
+	if cache != nil {
+		opts.Cache = cache
+	}
+
+	var d *distRun
+	if *distAddr != "" {
+		var err error
+		d, err = startLeader(ctx, *distAddr, *lease, cache, reg)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Dispatcher = d.sched
+	}
+	eng := grid.New(opts)
+	if d != nil {
+		// The leader's own cores pull from the same scheduler as remote
+		// workers, via ComputeCtx — RunCtx already holds the job's
+		// single-flight leadership, so re-entering it would deadlock.
+		go d.sched.RunLocal(ctx, eng.Workers(), eng.ComputeCtx)
+	}
+	defer distSummary(d, remoteTier)
 	r := experiment.NewRunnerOn(eng).WithContext(ctx)
 	if *progress {
 		defer trackProgress(eng)()
@@ -315,6 +371,67 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// distRun bundles the leader-side pieces of a distributed run.
+type distRun struct {
+	sched *dist.Scheduler
+	srv   *http.Server
+	addr  net.Addr
+}
+
+// startLeader listens for workers and mounts the scheduler + shared cache
+// on HTTP. The leader is up before any job is submitted, so workers can
+// register while the first experiment is still partitioning.
+func startLeader(ctx context.Context, addr string, lease time.Duration, cache grid.Cache, reg *obs.Registry) (*distRun, error) {
+	sched := dist.NewScheduler(dist.SchedOptions{Lease: lease, Metrics: reg})
+	leader := dist.NewLeader(sched, dist.LeaderOptions{
+		Cache:  cache,
+		Logger: log.New(os.Stderr, "msreport ", log.LstdFlags),
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("leader listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: leader.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "msreport: leading distributed run on %s\n", ln.Addr())
+	return &distRun{sched: sched, srv: srv, addr: ln.Addr()}, nil
+}
+
+// distSummary ends the distributed run and prints one machine-greppable
+// summary line per concern: fleet activity, then remote cache traffic. It
+// closes the scheduler (workers observe closed on their next pull and
+// exit), waits briefly for them to drain, and only then tears down the
+// listener so no worker dies on a connection error.
+func distSummary(d *distRun, remote *dist.RemoteCache) {
+	if d != nil {
+		jobs := d.sched.WorkerJobs() // snapshot before Close deregisters
+		st := d.sched.Stats()
+		d.sched.Close()
+		deadline := time.Now().Add(3 * time.Second)
+		for d.sched.RemoteWorkers() > 0 && time.Now().Before(deadline) {
+			time.Sleep(25 * time.Millisecond)
+		}
+		d.srv.Close()
+
+		names := make([]string, 0, len(jobs))
+		for name := range jobs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var parts []string
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s:%d", name, jobs[name]))
+		}
+		fmt.Fprintf(os.Stderr, "msreport: dist workers=%d jobs{%s} submitted=%d completed=%d steals=%d reassigned=%d\n",
+			st.RemoteWorkers, strings.Join(parts, " "), st.Submitted, st.Completed, st.Steals, st.Reassigned)
+	}
+	if remote != nil {
+		rs := remote.Stats()
+		fmt.Fprintf(os.Stderr, "msreport: remote cache hits=%d misses=%d puts=%d errors=%d\n",
+			rs.Hits, rs.Misses, rs.Puts, rs.Errors)
+	}
 }
 
 func fatal(err error) {

@@ -1,20 +1,36 @@
 // Command mssrv serves the Multiscalar pipeline over HTTP: task selection
-// (POST /v1/partition), simulation (POST /v1/simulate), and the paper's
-// experiment grids with SSE progress (POST /v1/experiment), plus /healthz
-// and a Prometheus /metrics scrape. All requests share one grid engine, so
-// identical concurrent requests coalesce into a single simulation and (with
-// -cache-dir) warm results are served from disk without touching a worker.
+// (POST /v1/partition), simulation (POST /v1/simulate), the paper's
+// experiment grids with SSE progress (POST /v1/experiment), a shared result
+// cache (GET/PUT /v1/cache/{key}), plus /healthz and a Prometheus /metrics
+// scrape. All requests share one grid engine, so identical concurrent
+// requests coalesce into a single simulation and warm results are served
+// from the cache tiers without touching a worker.
+//
+// The cache is tiered: -lru puts a bounded in-memory tier in front, -cache-dir
+// adds the content-addressed disk store, and -remote-cache chains another
+// mssrv (or a msreport leader) behind both — remote hits are promoted to the
+// local tiers, local results are published back, and every remote failure
+// fails open to local compute.
+//
+// With -worker the process joins a distributed run instead of serving: it
+// registers with the msreport leader at -leader, pulls simulation jobs from
+// the shard scheduler, executes them on the local engine, and publishes
+// results through the cache tiers (the remote tier defaults to the leader).
 //
 // Usage:
 //
-//	mssrv -addr :8080 -j 8 -cache-dir ~/.cache/msgrid
+//	mssrv -addr :8080 -j 8 -cache-dir ~/.cache/msgrid -lru 1024
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/simulate \
 //	  -d '{"workload":"compress","select":{"heuristic":"cf"},"machine":{"pus":4}}'
 //
+//	# join a distributed msreport run as a worker
+//	mssrv -worker -leader http://127.0.0.1:9090 -j 4
+//
 // On SIGINT/SIGTERM the server drains gracefully: the listener closes,
 // in-flight requests finish (bounded by -drain-timeout), the final metrics
-// snapshot is flushed, and the process exits 0.
+// snapshot is flushed, and the process exits 0. A worker exits 0 when the
+// leader ends the run or on a clean signal.
 package main
 
 import (
@@ -30,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"multiscalar/internal/dist"
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
 	"multiscalar/internal/serve"
@@ -39,7 +56,11 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 		workers      = flag.Int("j", 0, "max concurrent partition/simulation jobs (default GOMAXPROCS)")
-		cacheDir     = flag.String("cache-dir", "", "content-addressed result cache directory shared with msreport/mssim (default: no cache)")
+		cacheDir     = flag.String("cache-dir", "", "content-addressed result cache directory shared with msreport/mssim (default: no disk tier)")
+		lruSize      = flag.Int("lru", 0, "in-memory cache tier entry budget (0 = no memory tier; workers default to 1024)")
+		remoteCache  = flag.String("remote-cache", "", "base URL of a peer cache (another mssrv or a msreport leader) chained behind the local tiers")
+		workerMode   = flag.Bool("worker", false, "run as a distributed worker instead of serving HTTP (requires -leader)")
+		leaderURL    = flag.String("leader", "", "msreport leader base URL for -worker mode")
 		maxInflight  = flag.Int("max-inflight", 0, "admitted /v1 requests before shedding with 429 (default 4x workers)")
 		reqTimeout   = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline propagated into the engine")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
@@ -49,26 +70,71 @@ func main() {
 
 	logger := log.New(os.Stderr, "mssrv ", log.LstdFlags)
 	reg := obs.NewRegistry()
-	eng := grid.New(grid.Options{Workers: *workers, CacheDir: *cacheDir, Metrics: reg})
-	srv := serve.New(serve.Config{
+
+	remote := *remoteCache
+	lru := *lruSize
+	if *workerMode {
+		if *leaderURL == "" {
+			fatal(errors.New("-worker requires -leader"))
+		}
+		// A worker's natural remote tier is its leader: results publish to
+		// the fleet and peers' results are reused. A small memory tier keeps
+		// repeated partition-sharing jobs off the wire.
+		if remote == "" {
+			remote = *leaderURL
+		}
+		if lru == 0 {
+			lru = 1024
+		}
+	}
+	cache, remoteTier := dist.BuildCache(dist.CacheConfig{
+		LRUSize:       lru,
+		Dir:           *cacheDir,
+		Remote:        remote,
+		RemoteOptions: dist.RemoteOptions{Metrics: reg},
+	})
+	opts := grid.Options{Workers: *workers, Metrics: reg}
+	if cache != nil {
+		opts.Cache = cache
+	}
+	eng := grid.New(opts)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *workerMode {
+		runWorker(ctx, eng, reg, remoteTier, *leaderURL, *metricsOut, logger)
+		return
+	}
+
+	cfg := serve.Config{
 		Engine:         eng,
 		Metrics:        reg,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
 		Logger:         logger,
-	})
+	}
+	if cache != nil {
+		cfg.Cache = cache
+		cfg.Backend = func(ctx context.Context) serve.BackendStatus {
+			return serve.BackendStatus{
+				CacheTiers:  tierStatus(cache.Health(ctx)),
+				DistWorkers: -1, // an mssrv instance leads no fleet
+			}
+		}
+	}
+	srv := serve.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	logger.Printf("level=info msg=listening addr=%s workers=%d cache=%q", ln.Addr(), eng.Workers(), *cacheDir)
+	logger.Printf("level=info msg=listening addr=%s workers=%d cache=%q lru=%d remote=%q",
+		ln.Addr(), eng.Workers(), *cacheDir, lru, remote)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-serveErr:
 		fatal(err)
@@ -86,11 +152,44 @@ func main() {
 		fatal(err)
 	}
 
-	// Flush the final metrics snapshot so a scrape-less deployment still
-	// keeps the run's counters.
+	flushMetrics(reg, *metricsOut)
+	s := eng.Stats()
+	logger.Printf("level=info msg=exit jobs=%d sims=%d cache_hits=%d deduped=%d", s.Done, s.Sims, s.CacheHits, s.Deduped)
+}
+
+// runWorker joins a distributed msreport run and blocks until the leader
+// ends it, a signal arrives, or the leader stays unreachable.
+func runWorker(ctx context.Context, eng *grid.Engine, reg *obs.Registry, remoteTier *dist.RemoteCache, leader, metricsOut string, logger *log.Logger) {
+	w, err := dist.NewWorker(dist.WorkerOptions{
+		Leader:  leader,
+		Engine:  eng,
+		Metrics: reg,
+		Logger:  logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	runErr := w.Run(ctx)
+	flushMetrics(reg, metricsOut)
+	st := w.Stats()
+	line := fmt.Sprintf("level=info msg=worker_exit worker=%s jobs=%d failures=%d", w.Name(), st.Jobs, st.Failures)
+	if remoteTier != nil {
+		rs := remoteTier.Stats()
+		line += fmt.Sprintf(" remote_hits=%d remote_misses=%d remote_puts=%d remote_errors=%d",
+			rs.Hits, rs.Misses, rs.Puts, rs.Errors)
+	}
+	logger.Print(line)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		fatal(runErr)
+	}
+}
+
+// flushMetrics writes the final snapshot so a scrape-less deployment still
+// keeps the run's counters.
+func flushMetrics(reg *obs.Registry, path string) {
 	out := os.Stderr
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
@@ -100,8 +199,15 @@ func main() {
 	if err := reg.WritePrometheus(out); err != nil {
 		fatal(err)
 	}
-	s := eng.Stats()
-	logger.Printf("level=info msg=exit jobs=%d sims=%d cache_hits=%d deduped=%d", s.Done, s.Sims, s.CacheHits, s.Deduped)
+}
+
+// tierStatus converts dist tier health into the serve wire shape.
+func tierStatus(hs []dist.TierHealth) []serve.CacheTierStatus {
+	out := make([]serve.CacheTierStatus, len(hs))
+	for i, h := range hs {
+		out[i] = serve.CacheTierStatus{Tier: h.Tier, OK: h.OK, Err: h.Err}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -1,0 +1,34 @@
+// Package dist (path suffix internal/dist → in ctxflow scope) holds the
+// context-propagation violations the distributed grid must never ship: a
+// worker loop detached from cancellation would keep pulling jobs after the
+// leader is gone.
+package dist
+
+import "context"
+
+// RunWorkers fans a worker loop out across goroutines with no way for the
+// caller to stop the fleet.
+func RunWorkers(n int, pull func() (string, bool)) { // want "starts goroutines but does not accept a context.Context"
+	for i := 0; i < n; i++ {
+		go func() {
+			for {
+				if _, ok := pull(); !ok {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// workerLoop synthesizes its own root, so the pull requests it issues
+// outlive the run that spawned them.
+func workerLoop(pull func(context.Context) bool) {
+	ctx := context.Background() // want "detaches this work from the caller's cancellation"
+	for pull(ctx) {
+	}
+}
+
+// Publish buries the context mid-signature instead of leading with it.
+func Publish(key string, ctx context.Context, put func(context.Context, string)) { // want "not as its first parameter"
+	go put(ctx, key)
+}

@@ -1,0 +1,32 @@
+// Package dist is the distribution layer of the experiment grid: it lets
+// one sweep fan out over a fleet of worker processes with no shared memory
+// between them, coordinated entirely through HTTP and the content-addressed
+// result cache.
+//
+// Three pieces compose:
+//
+//   - A tiered grid.Cache (Tiered): in-memory LRU → disk → remote HTTP
+//     backend (RemoteCache) speaking GET/PUT-by-key against an mssrv peer or
+//     a dist leader. Every tier is strictly fail-open — a remote timeout,
+//     corrupt artifact, or stale schema is a miss, never an error — so cache
+//     infrastructure can only make runs slower, not wrong.
+//
+//   - A work-stealing shard Scheduler that partitions the job keyspace by
+//     cache-key hash. It implements grid.Dispatcher, so the leader's engine
+//     hands every cache-missing simulation to it; workers (remote processes
+//     and the leader's own RunLocal loop) pull from their home shard, steal
+//     from the longest queue when idle, and hold time-bounded leases —
+//     a worker that dies mid-job is reaped and its jobs are reassigned.
+//
+//   - The worker protocol: a Leader mounts the scheduler and a cache over
+//     HTTP (/v1/dist/register, /v1/dist/pull, /v1/dist/report,
+//     /v1/cache/{key}, /healthz) and a Worker (mssrv -worker) registers,
+//     pulls jobs, executes them through its own grid.Engine — resolving the
+//     partition→simulate dependency locally and publishing results through
+//     the shared cache — and reports completion.
+//
+// Determinism is preserved end to end: the scheduler only decides *where* a
+// job runs, the experiment layer still collects results into caller-indexed
+// slots, and the simulator itself is deterministic, so distributed output is
+// byte-identical to the serial harness.
+package dist

@@ -1,0 +1,253 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/grid"
+	"multiscalar/internal/sim"
+)
+
+// artifactServer serves one artifact under /v1/cache/{key}, counting GETs
+// and recording PUTs.
+type artifactServer struct {
+	ts   *httptest.Server
+	gets atomic.Int64
+	puts atomic.Int64
+
+	// respond lets tests override the GET behavior (nil = serve artifacts).
+	respond func(w http.ResponseWriter, key string)
+	stored  map[string][]byte
+}
+
+func newArtifactServer(t *testing.T) *artifactServer {
+	t.Helper()
+	s := &artifactServer{stored: make(map[string][]byte)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		s.gets.Add(1)
+		key := r.PathValue("key")
+		if s.respond != nil {
+			s.respond(w, key)
+			return
+		}
+		blob, ok := s.stored[key]
+		if !ok {
+			http.Error(w, "not cached", http.StatusNotFound)
+			return
+		}
+		w.Write(blob)
+	})
+	mux.HandleFunc("PUT /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		s.puts.Add(1)
+		var a grid.Artifact
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		enc, _ := json.Marshal(a)
+		s.stored[r.PathValue("key")] = enc
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func (s *artifactServer) put(key string, a grid.Artifact) {
+	blob, err := json.Marshal(a)
+	if err != nil {
+		panic(err)
+	}
+	s.stored[key] = blob
+}
+
+func fastRemote(base string) *RemoteCache {
+	return NewRemoteCache(base, RemoteOptions{
+		Timeout: 2 * time.Second,
+		Backoff: time.Millisecond,
+	})
+}
+
+func TestRemoteHitMissPut(t *testing.T) {
+	ctx := context.Background()
+	srv := newArtifactServer(t)
+	rc := fastRemote(srv.ts.URL)
+
+	key := testKey(0)
+	srv.put(key, grid.Artifact{Schema: grid.SchemaVersion, Result: testResult(2)})
+	res, ok := rc.Load(ctx, key, grid.Job{})
+	if !ok || res.IPC != 2 {
+		t.Fatalf("Load = (%v, %v), want hit with IPC 2", res, ok)
+	}
+	if _, ok := rc.Load(ctx, testKey(1), grid.Job{}); ok {
+		t.Fatal("absent key reported a hit")
+	}
+
+	job := grid.Job{Workload: "compress", Select: core.Options{}, Config: sim.DefaultConfig(4)}
+	rc.Store(ctx, testKey(2), job, testResult(3))
+	if res, ok := rc.Load(ctx, testKey(2), grid.Job{}); !ok || res.IPC != 3 {
+		t.Fatalf("round-trip Load = (%v, %v), want IPC 3", res, ok)
+	}
+	st := rc.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss / 1 put / 0 errors", st)
+	}
+}
+
+// TestRemoteCorruptionIsMiss mirrors the disk-cache corruption tests: a
+// body that is not JSON, an artifact from an older schema, and an artifact
+// with no result are all definitive misses — never errors, never retried.
+func TestRemoteCorruptionIsMiss(t *testing.T) {
+	ctx := context.Background()
+	srv := newArtifactServer(t)
+	rc := fastRemote(srv.ts.URL)
+
+	cases := map[string][]byte{
+		"garbage":      []byte("{not json"),
+		"stale-schema": mustJSON(t, grid.Artifact{Schema: grid.SchemaVersion - 1, Result: testResult(1)}),
+		"no-result":    mustJSON(t, grid.Artifact{Schema: grid.SchemaVersion}),
+	}
+	i := 0
+	for name, blob := range cases {
+		key := testKey(100 + i)
+		i++
+		srv.stored[key] = blob
+		before := srv.gets.Load()
+		if _, ok := rc.Load(ctx, key, grid.Job{}); ok {
+			t.Errorf("%s: reported a hit", name)
+		}
+		if got := srv.gets.Load() - before; got != 1 {
+			t.Errorf("%s: %d requests, want 1 (definitive answers are not retried)", name, got)
+		}
+	}
+	if st := rc.Stats(); st.Errors != 0 {
+		t.Errorf("corruption counted as %d errors, want misses only", st.Errors)
+	}
+}
+
+// TestRemoteRetriesThenHit counts attempts through transient 5xx weather:
+// with Retries=2, two 500s are absorbed and the third attempt's 200 wins.
+func TestRemoteRetriesThenHit(t *testing.T) {
+	srv := newArtifactServer(t)
+	key := testKey(0)
+	srv.put(key, grid.Artifact{Schema: grid.SchemaVersion, Result: testResult(4)})
+	var n atomic.Int64
+	srv.respond = func(w http.ResponseWriter, k string) {
+		if n.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Write(srv.stored[k])
+	}
+	rc := NewRemoteCache(srv.ts.URL, RemoteOptions{Retries: 2, Backoff: time.Millisecond})
+	res, ok := rc.Load(context.Background(), key, grid.Job{})
+	if !ok || res.IPC != 4 {
+		t.Fatalf("Load = (%v, %v), want hit after retries", res, ok)
+	}
+	if n.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", n.Load())
+	}
+}
+
+// TestRemoteExhaustedRetriesFailOpen: a peer that only answers 500 is a
+// miss after the retry budget, and the error counter records the abandon.
+func TestRemoteExhaustedRetriesFailOpen(t *testing.T) {
+	srv := newArtifactServer(t)
+	srv.respond = func(w http.ResponseWriter, _ string) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}
+	rc := NewRemoteCache(srv.ts.URL, RemoteOptions{Retries: 1, Backoff: time.Millisecond})
+	if _, ok := rc.Load(context.Background(), testKey(0), grid.Job{}); ok {
+		t.Fatal("all-500 peer reported a hit")
+	}
+	if st := rc.Stats(); st.Errors != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 error and 1 miss", st)
+	}
+	if got := srv.gets.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2 (Retries=1)", got)
+	}
+}
+
+// TestRemoteUnreachableFailsOpenToCompute is the acceptance-criteria
+// property end to end: an engine whose only cache tier points at a dead
+// address still computes every job locally, with no error and no artifact.
+func TestRemoteUnreachableFailsOpenToCompute(t *testing.T) {
+	restore := grid.SetSimForTesting(func(*core.Partition, sim.Config) (*sim.Result, error) {
+		return testResult(1), nil
+	})
+	t.Cleanup(restore)
+
+	rc := NewRemoteCache("http://127.0.0.1:1", RemoteOptions{
+		Retries: 0, Backoff: time.Millisecond, Timeout: 200 * time.Millisecond,
+	})
+	eng := grid.New(grid.Options{Workers: 2, Cache: NewTiered(rc)})
+	job := grid.Job{Workload: "compress", Config: sim.DefaultConfig(4)}
+	res, err := eng.RunCtx(context.Background(), job)
+	if err != nil || res == nil {
+		t.Fatalf("RunCtx = (%v, %v), want local compute", res, err)
+	}
+	if s := eng.Stats(); s.Sims != 1 || s.CacheHits != 0 {
+		t.Fatalf("stats = %+v, want 1 sim, 0 cache hits", s)
+	}
+}
+
+// TestRemoteCanceledLeaderNotPoisoned: a load abandoned because the
+// caller's ctx died must not memoize a failure — the next caller with a
+// live ctx gets the remote hit.
+func TestRemoteCanceledLeaderNotPoisoned(t *testing.T) {
+	srv := newArtifactServer(t)
+	key := grid.Key(grid.Job{Workload: "compress", Config: sim.DefaultConfig(4)})
+	srv.put(key, grid.Artifact{Schema: grid.SchemaVersion, Result: testResult(7)})
+
+	restore := grid.SetSimForTesting(func(*core.Partition, sim.Config) (*sim.Result, error) {
+		t.Error("simulated despite a cached remote artifact")
+		return testResult(0), nil
+	})
+	t.Cleanup(restore)
+
+	eng := grid.New(grid.Options{Workers: 2, Cache: NewTiered(fastRemote(srv.ts.URL))})
+	job := grid.Job{Workload: "compress", Config: sim.DefaultConfig(4)}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunCtx(canceled, job); err == nil {
+		t.Fatal("canceled run reported success")
+	}
+	res, err := eng.RunCtx(context.Background(), job)
+	if err != nil || res.IPC != 7 {
+		t.Fatalf("post-cancel RunCtx = (%v, %v), want remote hit with IPC 7", res, err)
+	}
+	if s := eng.Stats(); s.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", s.CacheHits)
+	}
+}
+
+func TestRemotePing(t *testing.T) {
+	srv := newArtifactServer(t)
+	if err := fastRemote(srv.ts.URL).Ping(context.Background()); err != nil {
+		t.Errorf("ping live server: %v", err)
+	}
+	dead := NewRemoteCache("http://127.0.0.1:1", RemoteOptions{Timeout: 200 * time.Millisecond})
+	if err := dead.Ping(context.Background()); err == nil {
+		t.Error("ping dead address succeeded")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}

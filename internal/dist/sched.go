@@ -1,0 +1,515 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"multiscalar/internal/grid"
+	"multiscalar/internal/obs"
+	"multiscalar/internal/sim"
+)
+
+// SchedOptions configures a Scheduler; the zero value is usable.
+type SchedOptions struct {
+	// Shards is the number of keyspace partitions (0 = 16). Jobs hash to a
+	// shard by cache key; workers are assigned home shards round-robin and
+	// steal from the longest other queue when theirs is empty.
+	Shards int
+	// Lease bounds how long a pulled job may go unreported before it is
+	// reassigned to another worker (0 = 2 minutes). Duplicate execution
+	// after a false-positive reap is harmless — the simulator is
+	// deterministic and the first report wins.
+	Lease time.Duration
+	// Metrics, when non-nil, receives dist_* scheduler counters plus one
+	// jobs counter per registered worker.
+	Metrics *obs.Registry
+}
+
+// SchedStats snapshots scheduler counters.
+type SchedStats struct {
+	// Workers and RemoteWorkers count live registered workers (Workers
+	// includes the leader's local loop).
+	Workers, RemoteWorkers int
+	// Queued and Leased are current queue depths; Submitted and Completed
+	// are lifetime totals.
+	Queued, Leased       int
+	Submitted, Completed int64
+	// Steals counts pulls served from another live worker's home shard;
+	// Reassigned counts jobs requeued after their lease expired.
+	Steals, Reassigned int64
+}
+
+type taskState int
+
+const (
+	taskQueued taskState = iota
+	taskLeased
+	taskDone
+)
+
+// task is one scheduled job.
+type task struct {
+	key   string
+	job   grid.Job
+	shard int
+	state taskState
+
+	worker string    // current lessee when leased
+	lease  time.Time // reassignment deadline when leased
+
+	done chan struct{} // closed on completion
+	res  *sim.Result
+	err  error
+}
+
+// workerInfo tracks one registered worker's health and leases.
+type workerInfo struct {
+	name     string
+	remote   bool
+	home     int
+	lastSeen time.Time
+	leased   map[string]*task
+	jobs     *obs.Counter // nil without metrics
+	nJobs    int64
+}
+
+type schedMetrics struct {
+	submitted, completed, steals, reassigned *obs.Counter
+	workers, queued                          *obs.Gauge
+}
+
+// Scheduler is the leader-side work-stealing shard scheduler. It implements
+// grid.Dispatcher: the leader's engine submits every cache-missing
+// simulation job, workers pull and report over the Leader's HTTP surface
+// (or in-process via RunLocal), and Dispatch callers block until the job's
+// first report. All state lives behind one mutex; waiting happens on
+// per-task channels, so the lock is never held across a job execution.
+type Scheduler struct {
+	nShards int
+	lease   time.Duration
+
+	mu        sync.Mutex
+	shards    [][]*task // queued tasks per shard, FIFO
+	tasks     map[string]*task
+	workers   map[string]*workerInfo
+	seq       int
+	closed    bool
+	submitted int64
+	completed int64
+	steals    int64
+	reassigns int64
+
+	reg *obs.Registry
+	m   *schedMetrics
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler(opts SchedOptions) *Scheduler {
+	if opts.Shards <= 0 {
+		opts.Shards = 16
+	}
+	if opts.Lease <= 0 {
+		opts.Lease = 2 * time.Minute
+	}
+	s := &Scheduler{
+		nShards: opts.Shards,
+		lease:   opts.Lease,
+		shards:  make([][]*task, opts.Shards),
+		tasks:   make(map[string]*task),
+		workers: make(map[string]*workerInfo),
+		reg:     opts.Metrics,
+	}
+	if r := opts.Metrics; r != nil {
+		s.m = &schedMetrics{
+			submitted:  r.Counter("dist_submitted_total", "jobs", "jobs submitted to the shard scheduler"),
+			completed:  r.Counter("dist_completed_total", "jobs", "jobs completed by any worker"),
+			steals:     r.Counter("dist_steals_total", "pulls", "pulls served from another live worker's home shard"),
+			reassigned: r.Counter("dist_reassigned_total", "jobs", "jobs requeued after a lease expired"),
+			workers:    r.Gauge("dist_workers", "workers", "live registered workers (incl. the local loop)"),
+			queued:     r.Gauge("dist_queued", "jobs", "jobs waiting for a worker"),
+		}
+	}
+	return s
+}
+
+// shardOf maps a cache key (hex) onto a shard. Non-hex keys (tests) fold
+// bytes instead, so every key lands somewhere deterministic.
+func (s *Scheduler) shardOf(key string) int {
+	if len(key) >= 8 {
+		if v, err := strconv.ParseUint(key[:8], 16, 64); err == nil {
+			return int(v % uint64(s.nShards))
+		}
+	}
+	sum := 0
+	for i := 0; i < len(key); i++ {
+		sum = sum*31 + int(key[i])
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum % s.nShards
+}
+
+// Dispatch implements grid.Dispatcher: enqueue the job on its shard (or
+// join an already-scheduled copy) and wait for the first report. A closed
+// scheduler answers with an error wrapping grid.ErrDispatch, which sends
+// the engine back to in-process compute.
+func (s *Scheduler) Dispatch(ctx context.Context, key string, job grid.Job) (*sim.Result, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: scheduler closed", grid.ErrDispatch)
+	}
+	t, ok := s.tasks[key]
+	if !ok {
+		t = &task{key: key, job: job, shard: s.shardOf(key), done: make(chan struct{})}
+		s.tasks[key] = t
+		s.shards[t.shard] = append(s.shards[t.shard], t)
+		s.submitted++
+		if s.m != nil {
+			s.m.submitted.Inc()
+		}
+		s.gaugeQueuedLocked()
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Register adds a worker and returns its assigned name, home shard, and the
+// lease the leader will hold it to.
+func (s *Scheduler) Register(remote bool) (name string, home int, lease time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	name = "w" + strconv.Itoa(s.seq)
+	if !remote {
+		name = "local"
+	}
+	w := &workerInfo{
+		name:     name,
+		remote:   remote,
+		home:     (s.seq - 1) % s.nShards,
+		lastSeen: time.Now(),
+		leased:   make(map[string]*task),
+	}
+	if s.reg != nil {
+		w.jobs = s.reg.Counter("dist_worker_"+name+"_jobs_total", "jobs",
+			"jobs completed by worker "+name)
+	}
+	s.workers[name] = w
+	if s.m != nil {
+		s.m.workers.Set(int64(len(s.workers)))
+	}
+	return name, w.home, s.lease
+}
+
+// Pull hands worker its next job: the head of its home shard, else the tail
+// of the longest other queue (a steal, when that queue belongs to a live
+// worker). ok=false means no work right now; closed=true tells the worker
+// the run is over.
+func (s *Scheduler) Pull(worker string) (key string, job grid.Job, ok, closed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// The worker will exit on seeing closed; deregister it now so the
+		// leader can watch RemoteWorkers() drain to zero before tearing down
+		// its listener.
+		if _, ok := s.workers[worker]; ok {
+			delete(s.workers, worker)
+			if s.m != nil {
+				s.m.workers.Set(int64(len(s.workers)))
+			}
+		}
+		return "", grid.Job{}, false, true
+	}
+	now := time.Now()
+	s.reapLocked(now)
+	w := s.workers[worker]
+	if w == nil {
+		// Reaped as dead (or never registered): re-admit so a slow-but-alive
+		// worker keeps working after a false-positive reap.
+		w = &workerInfo{name: worker, remote: worker != "local",
+			home: 0, lastSeen: now, leased: make(map[string]*task)}
+		s.workers[worker] = w
+		if s.m != nil {
+			s.m.workers.Set(int64(len(s.workers)))
+		}
+	}
+	w.lastSeen = now
+
+	t := s.popLocked(w.home, false)
+	if t == nil {
+		// Steal: longest queue wins, taken from the tail — the cold end,
+		// farthest from where its owner is working.
+		best, bestLen := -1, 0
+		for i, q := range s.shards {
+			if len(q) > bestLen {
+				best, bestLen = i, len(q)
+			}
+		}
+		if best < 0 {
+			return "", grid.Job{}, false, false
+		}
+		if t = s.popLocked(best, true); t == nil {
+			return "", grid.Job{}, false, false
+		}
+		for _, other := range s.workers {
+			if other.name != worker && other.home == best {
+				s.steals++
+				if s.m != nil {
+					s.m.steals.Inc()
+				}
+				break
+			}
+		}
+	}
+	t.state = taskLeased
+	t.worker = worker
+	t.lease = now.Add(s.lease)
+	w.leased[t.key] = t
+	s.gaugeQueuedLocked()
+	return t.key, t.job, true, false
+}
+
+// popLocked removes the next still-queued task from one shard, discarding
+// entries a racing report already completed (a reassigned job can finish
+// under its original worker while its requeued copy waits in line).
+func (s *Scheduler) popLocked(shard int, fromTail bool) *task {
+	q := s.shards[shard]
+	for len(q) > 0 {
+		var t *task
+		if fromTail {
+			t = q[len(q)-1]
+			q = q[:len(q)-1]
+		} else {
+			t = q[0]
+			q = q[1:]
+		}
+		if t.state == taskQueued {
+			s.shards[shard] = q
+			return t
+		}
+	}
+	s.shards[shard] = q
+	return nil
+}
+
+// gaugeQueuedLocked re-derives the queued gauge from the shard queues, so
+// discarded duplicates can never make it drift.
+func (s *Scheduler) gaugeQueuedLocked() {
+	if s.m == nil {
+		return
+	}
+	n := 0
+	for _, q := range s.shards {
+		for _, t := range q {
+			if t.state == taskQueued {
+				n++
+			}
+		}
+	}
+	s.m.queued.Set(int64(n))
+}
+
+// Report completes a job. Late reports — after a reassignment raced the
+// original worker to completion — are dropped: the first report wins, and
+// the simulator's determinism makes the duplicates identical anyway.
+func (s *Scheduler) Report(worker, key string, res *sim.Result, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w := s.workers[worker]; w != nil {
+		w.lastSeen = time.Now()
+		delete(w.leased, key)
+	}
+	t := s.tasks[key]
+	if t == nil || t.state == taskDone {
+		return
+	}
+	t.state = taskDone
+	t.res = res
+	if errMsg != "" {
+		t.err = errors.New(errMsg)
+	} else if res == nil {
+		t.err = errors.New("dist: worker reported neither result nor error")
+	}
+	s.completed++
+	if s.m != nil {
+		s.m.completed.Inc()
+	}
+	if w := s.workers[worker]; w != nil {
+		w.nJobs++
+		if w.jobs != nil {
+			w.jobs.Inc()
+		}
+	}
+	close(t.done)
+}
+
+// reapLocked requeues expired leases and forgets workers that have gone
+// silent. Called with s.mu held from Pull, so any live puller keeps the
+// whole fleet honest without a background goroutine.
+func (s *Scheduler) reapLocked(now time.Time) {
+	for name, w := range s.workers {
+		for key, t := range w.leased {
+			if t.state == taskLeased && now.After(t.lease) {
+				t.state = taskQueued
+				t.worker = ""
+				s.shards[t.shard] = append([]*task{t}, s.shards[t.shard]...)
+				s.reassigns++
+				if s.m != nil {
+					s.m.reassigned.Inc()
+				}
+				delete(w.leased, key)
+			}
+		}
+		if len(w.leased) == 0 && now.Sub(w.lastSeen) > 3*s.lease {
+			delete(s.workers, name)
+			if s.m != nil {
+				s.m.workers.Set(int64(len(s.workers)))
+			}
+		}
+	}
+}
+
+// Close ends the run: queued and in-flight submissions unblock with an
+// error wrapping grid.ErrDispatch (their engines compute locally), and
+// every subsequent Pull tells its worker to exit.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, t := range s.tasks {
+		if t.state != taskDone {
+			t.state = taskDone
+			t.err = fmt.Errorf("%w: scheduler closed", grid.ErrDispatch)
+			close(t.done)
+		}
+	}
+	for i := range s.shards {
+		s.shards[i] = nil
+	}
+	if s.m != nil {
+		s.m.queued.Set(0)
+	}
+}
+
+// Stats snapshots the scheduler.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedStats{
+		Submitted: s.submitted, Completed: s.completed,
+		Steals: s.steals, Reassigned: s.reassigns,
+	}
+	for _, q := range s.shards {
+		for _, t := range q {
+			if t.state == taskQueued {
+				st.Queued++
+			}
+		}
+	}
+	for _, w := range s.workers {
+		st.Workers++
+		if w.remote {
+			st.RemoteWorkers++
+		}
+		st.Leased += len(w.leased)
+	}
+	return st
+}
+
+// RemoteWorkers reports the live remote worker count (for /healthz).
+func (s *Scheduler) RemoteWorkers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, w := range s.workers {
+		if w.remote {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkerJobs reports per-worker completed-job counts (for the end-of-run
+// summary), keyed by worker name.
+func (s *Scheduler) WorkerJobs() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.workers))
+	for name, w := range s.workers {
+		out[name] = w.nJobs
+	}
+	return out
+}
+
+// RunLocal is the leader's own worker presence: it registers once as
+// "local" and runs n concurrent pull-execute loops (n <= 0 means one), so
+// the leader contributes its full worker pool to the fleet. compute is
+// normally the leader engine's ComputeCtx, which resolves the partition
+// dependency through the engine's shared single-flight but bypasses the
+// sim-level memo (RunCtx already holds this job's single-flight leadership,
+// so re-entering it would deadlock). RunLocal returns when ctx ends or the
+// scheduler closes, and guarantees progress even with zero remote workers.
+func (s *Scheduler) RunLocal(ctx context.Context, n int, compute func(context.Context, grid.Job) (*sim.Result, error)) {
+	if n <= 0 {
+		n = 1
+	}
+	worker, _, _ := s.Register(false)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.localLoop(ctx, worker, compute)
+		}()
+	}
+	wg.Wait()
+}
+
+func (s *Scheduler) localLoop(ctx context.Context, worker string, compute func(context.Context, grid.Job) (*sim.Result, error)) {
+	idle := time.NewTimer(0)
+	if !idle.Stop() {
+		<-idle.C
+	}
+	defer idle.Stop()
+	for ctx.Err() == nil {
+		key, job, ok, closed := s.Pull(worker)
+		if closed {
+			return
+		}
+		if !ok {
+			idle.Reset(5 * time.Millisecond)
+			select {
+			case <-idle.C:
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		res, err := compute(ctx, job)
+		if err != nil && ctx.Err() != nil {
+			// The run is being canceled; don't report the cancellation as a
+			// job failure — Close will unwind every waiter.
+			return
+		}
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		s.Report(worker, key, res, errMsg)
+	}
+}

@@ -1,0 +1,304 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/grid"
+	"multiscalar/internal/sim"
+)
+
+// shardKey returns a valid key that hashes onto the given shard (the first
+// 8 hex chars are the shard number, and shard < nShards <= 16^8).
+func shardKey(shard, salt int) string {
+	return fmt.Sprintf("%08x%08x%048x", shard, salt, 0)
+}
+
+func testJob(pus int) grid.Job {
+	return grid.Job{Workload: "compress", Config: sim.DefaultConfig(pus)}
+}
+
+// dispatchAsync submits a job from a goroutine and returns a channel with
+// the outcome.
+func dispatchAsync(ctx context.Context, s *Scheduler, key string, job grid.Job) chan error {
+	out := make(chan error, 1)
+	go func() {
+		_, err := s.Dispatch(ctx, key, job)
+		out <- err
+	}()
+	return out
+}
+
+func TestDispatchPullReport(t *testing.T) {
+	s := NewScheduler(SchedOptions{Shards: 4})
+	worker, home, _ := s.Register(true)
+	if worker != "w1" || home != 0 {
+		t.Fatalf("Register = (%s, %d), want (w1, 0)", worker, home)
+	}
+	key := shardKey(0, 1)
+	done := dispatchAsync(context.Background(), s, key, testJob(4))
+
+	var gotKey string
+	waitForCond(t, "job on the queue", func() bool {
+		k, _, ok, _ := s.Pull(worker)
+		gotKey = k
+		return ok
+	})
+	if gotKey != key {
+		t.Fatalf("pulled %s, want %s", gotKey, key)
+	}
+	s.Report(worker, key, testResult(1), "")
+	if err := <-done; err != nil {
+		t.Fatalf("Dispatch returned %v", err)
+	}
+	st := s.Stats()
+	if st.Submitted != 1 || st.Completed != 1 || st.Queued != 0 || st.Leased != 0 {
+		t.Fatalf("stats = %+v, want 1 submitted, 1 completed, nothing pending", st)
+	}
+}
+
+// TestShardAffinityAndStealing: with two workers homed on shards 0 and 1, a
+// job on each shard, each worker pulls its own shard's job first (no
+// steal), and a third pull crossing shards counts as a steal.
+func TestShardAffinityAndStealing(t *testing.T) {
+	s := NewScheduler(SchedOptions{Shards: 4})
+	w1, _, _ := s.Register(true) // home 0
+	w2, _, _ := s.Register(true) // home 1
+
+	ctx := context.Background()
+	// Sequence the dispatches so shard 1's queue order (k1 before k1b) is
+	// deterministic — concurrent dispatches may enqueue in either order.
+	k0, k1, k1b := shardKey(0, 1), shardKey(1, 2), shardKey(1, 3)
+	d0 := dispatchAsync(ctx, s, k0, testJob(4))
+	d1 := dispatchAsync(ctx, s, k1, testJob(4))
+	waitForCond(t, "2 queued", func() bool { return s.Stats().Queued == 2 })
+	d1b := dispatchAsync(ctx, s, k1b, testJob(4))
+	waitForCond(t, "3 queued", func() bool { return s.Stats().Queued == 3 })
+
+	if k, _, ok, _ := s.Pull(w1); !ok || k != k0 {
+		t.Fatalf("w1 pulled %q, want home-shard job %q", k, k0)
+	}
+	if k, _, ok, _ := s.Pull(w2); !ok || k != k1 {
+		t.Fatalf("w2 pulled %q, want home-shard job %q", k, k1)
+	}
+	if st := s.Stats(); st.Steals != 0 {
+		t.Fatalf("steals = %d after home pulls, want 0", st.Steals)
+	}
+	// w1's home shard is dry; the remaining job on w2's home shard must be
+	// stolen rather than left waiting.
+	if k, _, ok, _ := s.Pull(w1); !ok || k != k1b {
+		t.Fatalf("w1 stole %q, want %q", k, k1b)
+	}
+	if st := s.Stats(); st.Steals != 1 {
+		t.Fatalf("steals = %d, want 1", st.Steals)
+	}
+	for _, w := range []string{w1, w2} {
+		for k := range map[string]bool{k0: true, k1: true, k1b: true} {
+			s.Report(w, k, testResult(1), "")
+		}
+	}
+	for _, d := range []chan error{d0, d1, d1b} {
+		if err := <-d; err != nil {
+			t.Fatalf("Dispatch: %v", err)
+		}
+	}
+}
+
+// TestLostWorkerReassignment is the acceptance-criteria property: a worker
+// that pulls a job and disappears does not strand it — after the lease
+// expires, another worker's pull reaps and re-pulls it, and the original
+// Dispatch still completes. Run under -race.
+func TestLostWorkerReassignment(t *testing.T) {
+	s := NewScheduler(SchedOptions{Shards: 2, Lease: 30 * time.Millisecond})
+	lost, _, _ := s.Register(true)
+	alive, _, _ := s.Register(true)
+
+	key := shardKey(0, 1)
+	done := dispatchAsync(context.Background(), s, key, testJob(4))
+	waitForCond(t, "job queued", func() bool { return s.Stats().Queued == 1 })
+
+	if k, _, ok, _ := s.Pull(lost); !ok || k != key {
+		t.Fatalf("lost worker pulled (%q, %v), want the job", k, ok)
+	}
+	// The lost worker never reports. The live worker polls until the lease
+	// expires and the job is reassigned to it.
+	var got string
+	waitForCond(t, "reassignment", func() bool {
+		k, _, ok, _ := s.Pull(alive)
+		got = k
+		return ok
+	})
+	if got != key {
+		t.Fatalf("reassigned %q, want %q", got, key)
+	}
+	if st := s.Stats(); st.Reassigned != 1 {
+		t.Fatalf("reassigned = %d, want 1", st.Reassigned)
+	}
+	s.Report(alive, key, testResult(2), "")
+	if err := <-done; err != nil {
+		t.Fatalf("Dispatch after reassignment: %v", err)
+	}
+	// A late report from the original worker must be a no-op.
+	s.Report(lost, key, testResult(99), "")
+	if st := s.Stats(); st.Completed != 1 {
+		t.Fatalf("completed = %d after late duplicate report, want 1", st.Completed)
+	}
+}
+
+// TestFirstReportWins: when a reassigned job races its original worker to
+// completion, the first report's result is what Dispatch returns.
+func TestFirstReportWins(t *testing.T) {
+	s := NewScheduler(SchedOptions{Shards: 2})
+	w, _, _ := s.Register(true)
+	key := shardKey(0, 1)
+	out := make(chan *sim.Result, 1)
+	go func() {
+		res, _ := s.Dispatch(context.Background(), key, testJob(4))
+		out <- res
+	}()
+	waitForCond(t, "job queued", func() bool {
+		k, _, ok, _ := s.Pull(w)
+		return ok && k == key
+	})
+	s.Report(w, key, testResult(1), "")
+	s.Report(w, key, testResult(2), "")
+	if res := <-out; res.IPC != 1 {
+		t.Fatalf("Dispatch got IPC %v, want the first report (1)", res.IPC)
+	}
+}
+
+func TestReportErrorPropagates(t *testing.T) {
+	s := NewScheduler(SchedOptions{Shards: 2})
+	w, _, _ := s.Register(true)
+	key := shardKey(0, 1)
+	done := dispatchAsync(context.Background(), s, key, testJob(4))
+	waitForCond(t, "job queued", func() bool {
+		_, _, ok, _ := s.Pull(w)
+		return ok
+	})
+	s.Report(w, key, nil, "workload exploded")
+	err := <-done
+	if err == nil || err.Error() != "workload exploded" {
+		t.Fatalf("Dispatch error = %v, want the worker's message", err)
+	}
+	if errors.Is(err, grid.ErrDispatch) {
+		t.Fatal("a real job failure must not look like dispatcher unavailability")
+	}
+}
+
+// TestCloseFailsOpenToLocalCompute is the other acceptance-criteria
+// property: an engine whose dispatcher has closed falls back to in-process
+// simulation — ErrDispatch is a routing signal, not a failure. Run under
+// -race.
+func TestCloseFailsOpenToLocalCompute(t *testing.T) {
+	restore := grid.SetSimForTesting(func(*core.Partition, sim.Config) (*sim.Result, error) {
+		return testResult(5), nil
+	})
+	t.Cleanup(restore)
+
+	s := NewScheduler(SchedOptions{})
+	s.Close()
+	if _, err := s.Dispatch(context.Background(), testKey(0), testJob(4)); !errors.Is(err, grid.ErrDispatch) {
+		t.Fatalf("closed Dispatch error = %v, want grid.ErrDispatch", err)
+	}
+
+	eng := grid.New(grid.Options{Workers: 2, Dispatcher: s})
+	res, err := eng.RunCtx(context.Background(), testJob(4))
+	if err != nil || res.IPC != 5 {
+		t.Fatalf("RunCtx = (%v, %v), want local compute despite closed dispatcher", res, err)
+	}
+	if st := eng.Stats(); st.Sims != 1 {
+		t.Fatalf("sims = %d, want 1", st.Sims)
+	}
+}
+
+// TestCloseUnblocksWaiters: pending Dispatches return ErrDispatch-wrapped
+// errors on Close rather than hanging, and subsequent pulls say closed.
+func TestCloseUnblocksWaiters(t *testing.T) {
+	s := NewScheduler(SchedOptions{})
+	w, _, _ := s.Register(true)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Dispatch(context.Background(), testKey(i), testJob(4))
+		}(i)
+	}
+	waitForCond(t, "4 queued", func() bool { return s.Stats().Queued == 4 })
+	s.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, grid.ErrDispatch) {
+			t.Errorf("waiter %d: err = %v, want grid.ErrDispatch", i, err)
+		}
+	}
+	if _, _, _, closed := s.Pull(w); !closed {
+		t.Error("post-Close pull did not say closed")
+	}
+	if s.RemoteWorkers() != 0 {
+		t.Error("worker not deregistered after observing closed")
+	}
+}
+
+// TestDispatchJoinsDuplicate: two Dispatches of the same key share one task
+// and both complete on a single report.
+func TestDispatchJoinsDuplicate(t *testing.T) {
+	s := NewScheduler(SchedOptions{})
+	w, _, _ := s.Register(true)
+	key := shardKey(0, 1)
+	d1 := dispatchAsync(context.Background(), s, key, testJob(4))
+	d2 := dispatchAsync(context.Background(), s, key, testJob(4))
+	waitForCond(t, "job queued", func() bool {
+		_, _, ok, _ := s.Pull(w)
+		return ok
+	})
+	if st := s.Stats(); st.Submitted != 1 {
+		t.Fatalf("submitted = %d, want 1 (duplicate joined)", st.Submitted)
+	}
+	s.Report(w, key, testResult(1), "")
+	if err1, err2 := <-d1, <-d2; err1 != nil || err2 != nil {
+		t.Fatalf("joined dispatches = %v, %v", err1, err2)
+	}
+}
+
+// TestRunLocalDrivesJobs: with no remote workers at all, RunLocal alone
+// completes dispatched jobs.
+func TestRunLocalDrivesJobs(t *testing.T) {
+	s := NewScheduler(SchedOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var loopDone sync.WaitGroup
+	loopDone.Add(1)
+	go func() {
+		defer loopDone.Done()
+		s.RunLocal(ctx, 2, func(_ context.Context, job grid.Job) (*sim.Result, error) {
+			return testResult(float64(job.Config.NumPUs)), nil
+		})
+	}()
+	res, err := s.Dispatch(ctx, testKey(0), testJob(8))
+	if err != nil || res.IPC != 8 {
+		t.Fatalf("Dispatch via RunLocal = (%v, %v), want IPC 8", res, err)
+	}
+	s.Close()
+	loopDone.Wait()
+}
+
+// waitForCond polls cond up to 2s.
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

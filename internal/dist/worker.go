@@ -1,0 +1,293 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"multiscalar/internal/grid"
+	"multiscalar/internal/obs"
+	"multiscalar/internal/sim"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Leader is the leader's base URL (scheme://host:port). Required.
+	Leader string
+	// Engine executes pulled jobs. Required. Give it a Tiered cache whose
+	// remote tier points back at the leader so the worker publishes every
+	// result to the fleet and reuses results other workers already
+	// published.
+	Engine *grid.Engine
+	// Client issues protocol requests (nil = private client; pulls and
+	// reports carry their own deadlines).
+	Client *http.Client
+	// Concurrency is how many pull-execute loops run at once (0 = the
+	// engine's worker count), so one worker process keeps all its cores
+	// busy. The engine's own semaphore still bounds simulations.
+	Concurrency int
+	// PollInterval is the pause after an empty pull (0 = 50ms; the leader
+	// long-polls on top of this).
+	PollInterval time.Duration
+	// Timeout bounds each protocol request (0 = 10s).
+	Timeout time.Duration
+	// Metrics, when non-nil, receives dist_pull_rtt_us and worker-side job
+	// counters.
+	Metrics *obs.Registry
+	// Logger receives lifecycle lines (nil = discard).
+	Logger *log.Logger
+}
+
+// WorkerStats snapshots a worker's counters.
+type WorkerStats struct {
+	// Jobs counts pulled jobs executed to completion (success or sim
+	// error); Failures counts jobs whose execution returned an error.
+	Jobs, Failures int64
+}
+
+// Worker is one fleet member: it registers with a leader, pulls jobs from
+// the shard scheduler, executes them through its own engine — the
+// partition→simulate dependency resolves locally; results publish through
+// the engine's cache tiers — and reports completions. Run returns when the
+// leader declares the run over, the context ends, or the leader stays
+// unreachable past the retry budget.
+type Worker struct {
+	leader   string
+	eng      *grid.Engine
+	hc       *http.Client
+	conc     int
+	poll     time.Duration
+	timeout  time.Duration
+	log      *log.Logger
+	name     string
+	jobs     atomic.Int64
+	failures atomic.Int64
+
+	rtt     *obs.Histogram // nil without metrics
+	mJobs   *obs.Counter
+	mErrors *obs.Counter
+}
+
+// NewWorker validates opts and returns an unstarted worker.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Leader == "" {
+		return nil, fmt.Errorf("dist: WorkerOptions.Leader is required")
+	}
+	if opts.Engine == nil {
+		return nil, fmt.Errorf("dist: WorkerOptions.Engine is required")
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 50 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.New(io.Discard, "", 0)
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = opts.Engine.Workers()
+	}
+	w := &Worker{
+		leader:  trimSlash(opts.Leader),
+		eng:     opts.Engine,
+		hc:      opts.Client,
+		conc:    opts.Concurrency,
+		poll:    opts.PollInterval,
+		timeout: opts.Timeout,
+		log:     opts.Logger,
+	}
+	if r := opts.Metrics; r != nil {
+		w.rtt = r.Histogram("dist_pull_rtt_us", "us",
+			"round-trip time of one pull against the leader", obs.ExpBuckets(10, 4, 12))
+		w.mJobs = r.Counter("dist_jobs_executed_total", "jobs", "jobs this worker executed")
+		w.mErrors = r.Counter("dist_job_errors_total", "jobs", "executed jobs that returned an error")
+	}
+	return w, nil
+}
+
+// Name reports the leader-assigned worker name ("" before registration).
+func (w *Worker) Name() string { return w.name }
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{Jobs: w.jobs.Load(), Failures: w.failures.Load()}
+}
+
+// maxConsecutiveFailures bounds how many protocol round trips may fail in a
+// row (with backoff between them) before the worker gives up on the leader.
+const maxConsecutiveFailures = 8
+
+// Run registers once and drives Concurrency pull-execute loops until the
+// leader closes the run (nil), ctx ends (ctx.Err()), or the leader stays
+// unreachable past the retry budget (a protocol error). The first loop
+// failure cancels its siblings.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.log.Printf("level=info msg=worker_registered worker=%s leader=%s conc=%d", w.name, w.leader, w.conc)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make(chan error, w.conc)
+	for i := 0; i < w.conc; i++ {
+		go func() { errs <- w.loop(ctx) }()
+	}
+	var first error
+	for i := 0; i < w.conc; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+			cancel()
+		}
+	}
+	if first == nil {
+		w.log.Printf("level=info msg=worker_done worker=%s jobs=%d", w.name, w.jobs.Load())
+	}
+	return first
+}
+
+// loop is one pull-execute loop.
+func (w *Worker) loop(ctx context.Context) error {
+	failures := 0
+	backoff := w.poll
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pull, err := w.pull(ctx)
+		if err != nil {
+			failures++
+			if failures >= maxConsecutiveFailures {
+				return fmt.Errorf("dist: leader unreachable after %d attempts: %w", failures, err)
+			}
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return err
+			}
+			backoff *= 2
+			continue
+		}
+		failures, backoff = 0, w.poll
+		switch {
+		case pull.Closed:
+			return nil
+		case pull.None || pull.Job == nil:
+			if err := sleepCtx(ctx, w.poll); err != nil {
+				return err
+			}
+			continue
+		}
+		res, runErr := w.eng.RunCtx(ctx, *pull.Job)
+		if runErr != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.jobs.Add(1)
+		if w.mJobs != nil {
+			w.mJobs.Inc()
+		}
+		errMsg := ""
+		if runErr != nil {
+			errMsg = runErr.Error()
+			w.failures.Add(1)
+			if w.mErrors != nil {
+				w.mErrors.Inc()
+			}
+		}
+		if err := w.report(ctx, pull.Key, res, errMsg); err != nil {
+			// The lease will expire and the job will be reassigned; the
+			// result is already published through the cache tiers, so the
+			// retry is cheap.
+			w.log.Printf("level=warn msg=report_failed worker=%s key=%s err=%v", w.name, pull.Key, err)
+		}
+	}
+}
+
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		var resp RegisterResponse
+		err := w.post(ctx, "/v1/dist/register", RegisterRequest{Hint: "mssrv-worker"}, &resp)
+		if err == nil {
+			if resp.Worker == "" {
+				return fmt.Errorf("dist: leader assigned empty worker name")
+			}
+			w.name = resp.Worker
+			return nil
+		}
+		if attempt+1 >= maxConsecutiveFailures {
+			return fmt.Errorf("dist: register with %s: %w", w.leader, err)
+		}
+		if err := sleepCtx(ctx, backoff); err != nil {
+			return err
+		}
+		backoff *= 2
+	}
+}
+
+func (w *Worker) pull(ctx context.Context) (PullResponse, error) {
+	var resp PullResponse
+	t0 := time.Now()
+	err := w.post(ctx, "/v1/dist/pull", PullRequest{Worker: w.name}, &resp)
+	if w.rtt != nil {
+		w.rtt.Observe(time.Since(t0).Microseconds())
+	}
+	return resp, err
+}
+
+func (w *Worker) report(ctx context.Context, key string, res *sim.Result, errMsg string) error {
+	// Detach from cancellation (but keep the deadline): a finished result
+	// should reach the leader even if this worker is shutting down.
+	return w.post(context.WithoutCancel(ctx), "/v1/dist/report", ReportRequest{
+		Worker: w.name, Key: key, Result: grid.StripTimeline(res), Error: errMsg,
+	}, nil)
+}
+
+func (w *Worker) post(ctx context.Context, path string, body, out any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, w.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.leader+path, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx pauses for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,71 +1,111 @@
 package grid
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 
+	"multiscalar/internal/core"
 	"multiscalar/internal/sim"
 )
 
-// diskCache is a content-addressed store of simulation results: one JSON
-// artifact per key under dir. The cache is strictly best-effort — any read,
-// decode, or version mismatch is treated as a miss and the entry is
-// recomputed and overwritten; store failures are ignored (the result is
-// still returned to the caller).
-type diskCache struct {
-	dir string
+// Cache is the engine's result store: a content-addressed map from job key
+// to simulation result. Implementations are strictly best-effort — Load
+// answers (nil, false) for anything it cannot produce a valid result for
+// (absent, corrupt, stale schema, backend unreachable) and Store failures
+// are silent (the result is still returned to the caller) — so a broken
+// cache degrades to recomputation, never to a wrong answer or an error.
+//
+// The ctx carries the requesting job's deadline; implementations that talk
+// to a network (internal/dist's remote tier) honor it, local tiers ignore
+// it. The job passed to Load is advisory — it names the work the key was
+// derived from, so a tiered cache can promote a lower-tier hit upward with
+// full artifact metadata; callers that only have the key (the serve cache
+// endpoints) pass the zero Job and promoted artifacts simply carry no
+// inspection fields. Implementations must be safe for concurrent use.
+type Cache interface {
+	Load(ctx context.Context, key string, job Job) (*sim.Result, bool)
+	Store(ctx context.Context, key string, job Job, res *sim.Result)
 }
 
-// artifact is the on-disk format. Workload and Config are stored alongside
-// the result for human inspection; correctness rests on the key alone.
-type artifact struct {
+// Artifact is the persisted and wire form of one cached result, shared by
+// the disk store, the remote cache protocol (GET/PUT /v1/cache/{key}), and
+// the dist worker report. Workload, Select, and Config are stored alongside
+// the result for human inspection and so a receiver can reconstruct the
+// Job; correctness rests on the key alone.
+type Artifact struct {
 	Schema   int
 	Workload string
+	Select   core.Options
 	Config   sim.Config
 	Result   *sim.Result
 }
 
-func (c *diskCache) path(key string) string {
+// StripTimeline returns res without its per-task timeline records, copying
+// only when needed. Cache tiers call it before storing: artifacts are
+// shared by consumers that never asked for per-task records, and persisting
+// a timeline would bloat every warm read. (Engine.Run already bypasses all
+// caches for timeline jobs; this guards direct callers.)
+func StripTimeline(res *sim.Result) *sim.Result {
+	if res == nil || res.Timeline == nil {
+		return res
+	}
+	cp := *res
+	cp.Timeline = nil
+	return &cp
+}
+
+// DiskCache is the content-addressed on-disk Cache: one JSON artifact per
+// key under dir. Any read, decode, or version mismatch is a miss and the
+// entry is recomputed and overwritten.
+type DiskCache struct {
+	dir string
+}
+
+// NewDiskCache returns a disk cache rooted at dir. The directory is created
+// on first store.
+func NewDiskCache(dir string) *DiskCache { return &DiskCache{dir: dir} }
+
+// Dir reports the cache root.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-func (c *diskCache) load(key string) (*sim.Result, bool) {
+// Load implements Cache. The ctx and job are ignored: local disk reads are
+// fast enough that honoring a deadline would cost more than it saves, and
+// the disk tier never promotes.
+func (c *DiskCache) Load(_ context.Context, key string, _ Job) (*sim.Result, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return nil, false
 	}
-	var a artifact
+	var a Artifact
 	if err := json.Unmarshal(data, &a); err != nil || a.Schema != SchemaVersion || a.Result == nil {
 		return nil, false
 	}
 	return a.Result, true
 }
 
-func (c *diskCache) store(key string, job Job, res *sim.Result) {
-	if res.Timeline != nil {
-		// Artifacts are shared by consumers that never asked for per-task
-		// records; persisting a timeline would bloat every warm read.
-		// (Engine.Run already bypasses the cache for timeline jobs; this
-		// guards direct callers.)
-		cp := *res
-		cp.Timeline = nil
-		res = &cp
-	}
+// Store implements Cache: best-effort write-then-rename, so concurrent
+// readers (and a crashed writer) never observe a torn artifact.
+func (c *DiskCache) Store(_ context.Context, key string, job Job, res *sim.Result) {
+	res = StripTimeline(res)
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return
 	}
-	blob, err := json.Marshal(artifact{
+	blob, err := json.Marshal(Artifact{
 		Schema:   SchemaVersion,
 		Workload: job.Workload,
+		Select:   job.Select,
 		Config:   job.Config,
 		Result:   res,
 	})
 	if err != nil {
 		return
 	}
-	// Write-then-rename keeps concurrent readers (and a crashed writer)
-	// from ever observing a torn artifact.
 	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return

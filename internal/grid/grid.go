@@ -35,6 +35,17 @@ type Options struct {
 	// CacheDir enables the content-addressed on-disk result cache
 	// ("" = disabled). The directory is created on first store.
 	CacheDir string
+	// Cache overrides CacheDir with an explicit result store — typically a
+	// tiered cache (internal/dist: in-memory LRU → disk → remote HTTP) so
+	// one engine participates in a multi-process grid.
+	Cache Cache
+	// Dispatcher, when non-nil, is offered every cache-missing simulation
+	// job before local execution — the hook the distributed shard scheduler
+	// (internal/dist) plugs into. A dispatcher that answers with an error
+	// wrapping ErrDispatch sends the job back to in-process compute, so a
+	// drained or unreachable fleet degrades to single-process execution
+	// rather than failing the sweep.
+	Dispatcher Dispatcher
 	// Metrics, when non-nil, receives the engine's per-job metrics: job and
 	// simulation counters, cache hit/miss counters, queue-wait and
 	// execution wall-time histograms, and worker occupancy over time (see
@@ -66,12 +77,28 @@ type Stats struct {
 	Deduped int64
 }
 
+// Dispatcher is an alternative executor for simulation jobs: the engine
+// hands over (key, job) and blocks until a result arrives from wherever the
+// dispatcher ran it. Returning an error that wraps ErrDispatch instructs
+// the engine to execute the job in-process instead; a context error
+// propagates to the caller un-memoized like any other.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, key string, job Job) (*sim.Result, error)
+}
+
+// ErrDispatch marks a dispatcher failure that describes the dispatcher, not
+// the job — scheduler closed, fleet drained. The engine reacts by running
+// the job locally (fail-open), so distributed infrastructure can never make
+// a computable job uncomputable.
+var ErrDispatch = errors.New("grid: dispatcher unavailable")
+
 // Engine schedules grid jobs. Create one with New; the zero value is not
 // usable.
 type Engine struct {
-	sem   chan struct{}
-	cache *diskCache
-	m     *engMetrics // nil unless Options.Metrics was set
+	sem      chan struct{}
+	cache    Cache       // nil = no result cache
+	dispatch Dispatcher  // nil = always compute in-process
+	m        *engMetrics // nil unless Options.Metrics was set
 
 	mu    sync.Mutex
 	parts map[string]*call[*core.Partition]
@@ -138,13 +165,17 @@ func New(opts Options) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		sem:   make(chan struct{}, workers),
-		m:     newEngMetrics(opts.Metrics),
-		parts: make(map[string]*call[*core.Partition]),
-		sims:  make(map[string]*call[*sim.Result]),
+		sem:      make(chan struct{}, workers),
+		dispatch: opts.Dispatcher,
+		m:        newEngMetrics(opts.Metrics),
+		parts:    make(map[string]*call[*core.Partition]),
+		sims:     make(map[string]*call[*sim.Result]),
 	}
-	if opts.CacheDir != "" {
-		e.cache = &diskCache{dir: opts.CacheDir}
+	switch {
+	case opts.Cache != nil:
+		e.cache = opts.Cache
+	case opts.CacheDir != "":
+		e.cache = NewDiskCache(opts.CacheDir)
 	}
 	return e
 }
@@ -358,7 +389,7 @@ func (e *Engine) RunCtx(ctx context.Context, job Job) (*sim.Result, error) {
 			cache = nil
 		}
 		if cache != nil {
-			if res, ok := cache.load(key); ok {
+			if res, ok := cache.Load(ctx, key, job); ok {
 				e.cacheHits.Add(1)
 				if e.m != nil {
 					e.m.cacheHits.Inc()
@@ -370,28 +401,62 @@ func (e *Engine) RunCtx(ctx context.Context, job Job) (*sim.Result, error) {
 				e.m.cacheMiss.Inc()
 			}
 		}
-		part, err := e.PartitionCtx(ctx, job.Workload, job.Select)
+		if e.dispatch != nil && !job.Config.RecordTimeline {
+			res, err := e.dispatch.Dispatch(ctx, key, job)
+			switch {
+			case err == nil:
+				if cache != nil {
+					cache.Store(ctx, key, job, res)
+				}
+				return res, nil
+			case isCtxErr(err):
+				return nil, err
+			case errors.Is(err, ErrDispatch):
+				// Fail open: the fleet can't take the job; run it here.
+			default:
+				return nil, fmt.Errorf("grid: dispatch %s/%dPU: %w", job.Workload, job.Config.NumPUs, err)
+			}
+		}
+		res, err := e.ComputeCtx(ctx, job)
 		if err != nil {
 			return nil, err
 		}
-		res, err := timed(ctx, e, func() (*sim.Result, error) {
-			e.nSims.Add(1)
-			if e.m != nil {
-				e.m.sims.Inc()
-			}
-			return runSim(part, job.Config)
-		})
-		if err != nil {
-			if isCtxErr(err) {
-				return nil, err
-			}
-			return nil, fmt.Errorf("grid: sim %s/%dPU: %w", job.Workload, job.Config.NumPUs, err)
-		}
 		if cache != nil {
-			cache.store(key, job, res)
+			cache.Store(ctx, key, job, res)
 		}
 		return res, nil
 	})
+}
+
+// ComputeCtx executes one job in this process unconditionally: the
+// partition dependency resolves through the shared single-flight (so jobs
+// on the same selection still select once), then the simulation runs in a
+// worker slot. It bypasses the sim-level memo, the cache, and the
+// dispatcher — which is exactly what a distribution layer's local worker
+// loop needs: it already holds the job's single-flight leadership via
+// RunCtx, so re-entering RunCtx from the loop would self-deadlock.
+func (e *Engine) ComputeCtx(ctx context.Context, job Job) (*sim.Result, error) {
+	if job.Workload == "" {
+		return nil, errors.New("grid: empty workload name")
+	}
+	part, err := e.PartitionCtx(ctx, job.Workload, job.Select)
+	if err != nil {
+		return nil, err
+	}
+	res, err := timed(ctx, e, func() (*sim.Result, error) {
+		e.nSims.Add(1)
+		if e.m != nil {
+			e.m.sims.Inc()
+		}
+		return runSim(part, job.Config)
+	})
+	if err != nil {
+		if isCtxErr(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("grid: sim %s/%dPU: %w", job.Workload, job.Config.NumPUs, err)
+	}
+	return res, nil
 }
 
 // RunAll executes fn(i) for every i in [0, n) concurrently and returns the

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"fmt"
 
 	"multiscalar/internal/core"
 )
@@ -51,6 +53,22 @@ func Key(job Job) string {
 		Kind   string
 		Job    Job
 	}{SchemaVersion, "sim", job})
+}
+
+// ValidateKey rejects anything that is not a lowercase-hex sha256 digest —
+// both malformed requests and path-traversal attempts (cache keys become
+// disk file names). Every key Key and PartitionKey produce passes.
+func ValidateKey(key string) error { //msvet:allow cachekey (validates key syntax, derives nothing)
+	if len(key) != sha256.Size*2 {
+		return fmt.Errorf("key must be %d hex characters, got %d", sha256.Size*2, len(key))
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return errors.New("key must be lowercase hex")
+		}
+	}
+	return nil
 }
 
 // PartitionKey returns the content address of a task selection.

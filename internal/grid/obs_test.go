@@ -142,17 +142,17 @@ func TestTimelineJobsBypassCache(t *testing.T) {
 // untouched.
 func TestCacheStoreStripsTimeline(t *testing.T) {
 	dir := t.TempDir()
-	c := &diskCache{dir: dir}
+	c := NewDiskCache(dir)
 	job := testJob(2)
 	res := &sim.Result{
 		Cycles:   123,
 		Timeline: sim.Timeline{{Seq: 0, Retire: 123}},
 	}
-	c.store("k", job, res)
+	c.Store(context.Background(), "k", job, res)
 	if len(res.Timeline) != 1 {
 		t.Fatal("store mutated the caller's result")
 	}
-	loaded, ok := c.load("k")
+	loaded, ok := c.Load(context.Background(), "k", Job{})
 	if !ok {
 		t.Fatal("stored artifact did not load")
 	}

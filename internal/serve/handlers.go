@@ -76,11 +76,74 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, HealthResponse{
+	resp := HealthResponse{
 		Status:   status,
 		Inflight: len(s.admit),
 		Workers:  s.eng.Workers(),
-	})
+	}
+	if s.cfg.Backend != nil {
+		b := s.cfg.Backend(r.Context())
+		resp.Backend = &b
+		// An unreachable cache tier degrades the report (the server still
+		// works — every tier is fail-open) but keeps the 200: load balancers
+		// should not pull a node that merely lost its remote cache.
+		if status == "ok" {
+			for _, t := range b.CacheTiers {
+				if !t.OK {
+					resp.Status = "degraded"
+					break
+				}
+			}
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleCacheGet serves one artifact by content address — the read side of
+// the remote cache tier. A miss is a plain 404: the caller computes locally.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if err := grid.ValidateKey(key); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_key", err.Error())
+		return
+	}
+	if s.cfg.Cache == nil {
+		writeError(w, http.StatusNotFound, "no_cache", "this server has no cache configured")
+		return
+	}
+	res, ok := s.cfg.Cache.Load(r.Context(), key, grid.Job{})
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_cached", "no artifact for key "+key)
+		return
+	}
+	writeJSON(w, http.StatusOK, grid.Artifact{Schema: grid.SchemaVersion, Result: res})
+}
+
+// handleCachePut accepts one published artifact — the write side of the
+// remote cache tier. The schema must match exactly; correctness rests on
+// the key, so the body's job metadata is stored as-is for inspection.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if err := grid.ValidateKey(key); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_key", err.Error())
+		return
+	}
+	if s.cfg.Cache == nil {
+		writeError(w, http.StatusNotFound, "no_cache", "this server has no cache configured")
+		return
+	}
+	a, ok := decode[grid.Artifact](w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	if a.Schema != grid.SchemaVersion || a.Result == nil {
+		writeError(w, http.StatusBadRequest, "stale_schema",
+			fmt.Sprintf("artifact schema %d (want %d) or missing result", a.Schema, grid.SchemaVersion))
+		return
+	}
+	job := grid.Job{Workload: a.Workload, Select: a.Select, Config: a.Config}
+	s.cfg.Cache.Store(r.Context(), key, job, a.Result)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +50,15 @@ type Config struct {
 	ProgressInterval time.Duration
 	// MaxBodyBytes caps request bodies (0 = 1 MiB).
 	MaxBodyBytes int64
+	// Cache, when non-nil, backs GET/PUT /v1/cache/{key} so peers — remote
+	// cache tiers on workers, other mssrv instances — can probe and publish
+	// artifacts by content address. Wire the same cache the engine uses, or
+	// the peers' view diverges from local compute. Nil answers 404.
+	Cache grid.Cache
+	// Backend, when non-nil, contributes cache-tier reachability and dist
+	// worker counts to GET /healthz. It must be cheap — it runs on every
+	// health probe.
+	Backend func(ctx context.Context) BackendStatus
 	// Logger receives access lines and internal errors (nil = discard).
 	Logger *log.Logger
 }
@@ -119,6 +129,11 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/partition", s.admitted(s.handlePartition))
 	mux.Handle("POST /v1/simulate", s.admitted(s.handleSimulate))
 	mux.Handle("POST /v1/experiment", s.admitted(s.handleExperiment))
+	// Cache endpoints skip the admission gate: they are cheap key-value
+	// probes serving other machines' hot paths, and shedding them only
+	// converts a remote hit into a redundant local simulation.
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	// Catch-all: structured 404s, and structured 405s for known routes hit
 	// with the wrong method (a method mismatch falls through to this
 	// handler because the "/" pattern still matches the path).
@@ -134,6 +149,12 @@ func New(cfg Config) *Server {
 			w.Header().Set("Allow", want)
 			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
 				fmt.Sprintf("%s %s not allowed (use %s)", r.Method, r.URL.Path, want))
+			return
+		}
+		if strings.HasPrefix(r.URL.Path, "/v1/cache/") {
+			w.Header().Set("Allow", "GET, PUT")
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s %s not allowed (use GET or PUT)", r.Method, r.URL.Path))
 			return
 		}
 		writeError(w, http.StatusNotFound, "not_found",

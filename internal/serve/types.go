@@ -218,6 +218,28 @@ type HealthResponse struct {
 	Status   string `json:"status"`
 	Inflight int    `json:"inflight"`
 	Workers  int    `json:"workers"`
+	// Backend reports storage and fleet state when the server was wired
+	// with a Config.Backend probe (mssrv always wires one).
+	Backend *BackendStatus `json:"backend,omitempty"`
+}
+
+// BackendStatus describes the server's cache and fleet backends inside
+// HealthResponse, so operators see more than the drain state: which cache
+// tiers are reachable and how many distributed workers are registered.
+type BackendStatus struct {
+	CacheTiers []CacheTierStatus `json:"cache_tiers,omitempty"`
+	// DistWorkers counts registered remote workers (-1 = this server is not
+	// a dist leader, so there is no fleet to count).
+	DistWorkers int `json:"dist_workers"`
+}
+
+// CacheTierStatus is one cache tier's reachability snapshot. It mirrors
+// dist.TierHealth field-for-field without importing it: serve stays
+// agnostic of how the cache behind it is composed.
+type CacheTierStatus struct {
+	Tier string `json:"tier"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`
 }
 
 // ErrorBody is the structured error shape every non-2xx JSON response uses:

@@ -40,6 +40,13 @@
 // engine with request coalescing, load shedding, per-request deadlines, and
 // graceful drain. The cmd/mssrv binary is a thin main around NewServer; see
 // DESIGN.md §10.
+//
+// Sweeps fan out across processes with the distributed grid (internal/dist,
+// exported with the Dist prefix): a work-stealing shard scheduler plugs into
+// GridOptions.Dispatcher, DistWorker processes pull jobs over HTTP and
+// publish results through a tiered cache (in-memory LRU → disk → remote
+// peer), and lost workers are reassigned by lease expiry. Output stays
+// byte-identical to a serial run. See DESIGN.md §12.
 package multiscalar
 
 import (
@@ -47,6 +54,7 @@ import (
 
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
+	"multiscalar/internal/dist"
 	"multiscalar/internal/emu"
 	"multiscalar/internal/experiment"
 	"multiscalar/internal/grid"
@@ -304,3 +312,59 @@ type (
 // Server.Serve and stop it with Server.Shutdown, or mount Server.Handler in
 // an existing mux.
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// Distributed execution: multi-process fan-out over the grid (DESIGN.md §12).
+type (
+	// GridCache is the result-cache seam the engine loads and stores
+	// artifacts through; DiskCache, DistTiered, and DistRemoteCache all
+	// implement it.
+	GridCache = grid.Cache
+	// DistScheduler is the leader-side work-stealing shard scheduler. Set
+	// it as GridOptions.Dispatcher and the engine offers every job to the
+	// fleet instead of computing inline; Close fails pending jobs open so
+	// the engine falls back to local compute.
+	DistScheduler = dist.Scheduler
+	// DistSchedOptions configures NewDistScheduler (shards, lease).
+	DistSchedOptions = dist.SchedOptions
+	// DistLeader serves the scheduler and a shared cache over HTTP
+	// (/v1/dist/register|pull|report, /v1/cache/{key}, /healthz).
+	DistLeader = dist.Leader
+	// DistLeaderOptions configures NewDistLeader (cache, poll wait, logger).
+	DistLeaderOptions = dist.LeaderOptions
+	// DistWorker pulls jobs from a leader, executes them on its own grid
+	// engine, and publishes results back through its cache tiers.
+	DistWorker = dist.Worker
+	// DistWorkerOptions configures NewDistWorker. Leader and Engine are
+	// required; Concurrency defaults to the engine's worker count.
+	DistWorkerOptions = dist.WorkerOptions
+	// DistCacheConfig selects cache tiers for NewDistCache
+	// (LRU size, disk directory, remote peer URL).
+	DistCacheConfig = dist.CacheConfig
+	// DistTiered stacks cache tiers fastest-first with promotion on hit
+	// and write-through on store.
+	DistTiered = dist.Tiered
+	// DistRemoteCache is the HTTP cache tier: fail-open loads with bounded
+	// retries, detached stores, and a Ping health probe.
+	DistRemoteCache = dist.RemoteCache
+)
+
+// NewDistScheduler returns a work-stealing shard scheduler.
+func NewDistScheduler(opts DistSchedOptions) *DistScheduler { return dist.NewScheduler(opts) }
+
+// NewDistLeader returns the HTTP surface for a scheduler; mount its
+// Handler on a listener the workers can reach.
+func NewDistLeader(s *DistScheduler, opts DistLeaderOptions) *DistLeader {
+	return dist.NewLeader(s, opts)
+}
+
+// NewDistWorker returns a worker bound to a leader URL. Run blocks until
+// the context is canceled, the leader closes the run, or the leader stays
+// unreachable past the failure budget.
+func NewDistWorker(opts DistWorkerOptions) (*DistWorker, error) { return dist.NewWorker(opts) }
+
+// NewDistCache composes cache tiers from cfg. Both returns are nil when no
+// tier is configured; the remote tier is also returned separately so
+// callers can report its hit/miss/error counters.
+func NewDistCache(cfg DistCacheConfig) (*DistTiered, *DistRemoteCache) {
+	return dist.BuildCache(cfg)
+}
