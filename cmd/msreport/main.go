@@ -53,6 +53,7 @@ import (
 	"multiscalar/internal/experiment"
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/workloads"
 )
 
@@ -73,6 +74,8 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the grid metrics snapshot as JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		traceRun   = flag.Bool("trace", false, "trace the run end to end, spanning distributed workers (implied by -trace-out)")
+		traceOut   = flag.String("trace-out", "", "write the run's trace as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -118,6 +121,12 @@ func main() {
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
+	var tracer *span.Tracer
+	if *traceRun || *traceOut != "" {
+		// One report run is one trace: raise the span budget so a full sweep
+		// (hundreds of jobs, each contributing several hops) fits.
+		tracer = span.New(span.Options{Process: "msreport", MaxSpansPerTrace: 1 << 16, Metrics: reg})
+	}
 	// SIGINT/SIGTERM (and -timeout, if set) cancel the run's context: jobs
 	// still queued for a worker return immediately, simulations already
 	// executing finish, and the command exits with a clean diagnostic
@@ -151,7 +160,7 @@ func main() {
 	var d *distRun
 	if *distAddr != "" {
 		var err error
-		d, err = startLeader(ctx, *distAddr, *lease, cache, reg)
+		d, err = startLeader(ctx, *distAddr, *lease, cache, reg, tracer)
 		if err != nil {
 			fatal(err)
 		}
@@ -165,6 +174,10 @@ func main() {
 		go d.sched.RunLocal(ctx, eng.Workers(), eng.ComputeCtx)
 	}
 	defer distSummary(d, remoteTier)
+	// LIFO defers: the trace finishes (root span ends, file written) before
+	// distSummary closes the scheduler, so worker spans are already ingested.
+	ctx, rootSp := tracer.StartRoot(ctx, "experiment."+*which)
+	defer finishTrace(tracer, rootSp, *traceOut)
 	r := experiment.NewRunnerOn(eng).WithContext(ctx)
 	if *progress {
 		defer trackProgress(eng)()
@@ -383,11 +396,12 @@ type distRun struct {
 // startLeader listens for workers and mounts the scheduler + shared cache
 // on HTTP. The leader is up before any job is submitted, so workers can
 // register while the first experiment is still partitioning.
-func startLeader(ctx context.Context, addr string, lease time.Duration, cache grid.Cache, reg *obs.Registry) (*distRun, error) {
-	sched := dist.NewScheduler(dist.SchedOptions{Lease: lease, Metrics: reg})
+func startLeader(ctx context.Context, addr string, lease time.Duration, cache grid.Cache, reg *obs.Registry, tracer *span.Tracer) (*distRun, error) {
+	sched := dist.NewScheduler(dist.SchedOptions{Lease: lease, Metrics: reg, Tracer: tracer})
 	leader := dist.NewLeader(sched, dist.LeaderOptions{
 		Cache:  cache,
 		Logger: log.New(os.Stderr, "msreport ", log.LstdFlags),
+		Tracer: tracer,
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -432,6 +446,39 @@ func distSummary(d *distRun, remote *dist.RemoteCache) {
 		fmt.Fprintf(os.Stderr, "msreport: remote cache hits=%d misses=%d puts=%d errors=%d\n",
 			rs.Hits, rs.Misses, rs.Puts, rs.Errors)
 	}
+}
+
+// finishTrace ends the run's root span, prints a one-line trace summary, and
+// writes the Chrome trace-event export when -trace-out asked for one. A
+// leader's /debug routes stay useful only while the process lives, so the
+// export is how a CLI run keeps its trace.
+func finishTrace(tr *span.Tracer, root *span.Span, out string) {
+	if root == nil {
+		return
+	}
+	id := root.TraceID()
+	root.End(nil)
+	td := tr.Recorder().Get(id)
+	if td == nil {
+		fmt.Fprintln(os.Stderr, "msreport: trace was not retained")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "msreport: trace %s spans=%d dropped=%d wall=%s\n",
+		td.TraceID, len(td.Spans), td.Dropped, td.Duration().Round(time.Millisecond))
+	if out == "" {
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msreport: trace-out:", err)
+		return
+	}
+	defer f.Close()
+	if err := span.WriteChrome(f, td); err != nil {
+		fmt.Fprintln(os.Stderr, "msreport: trace-out:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "msreport: trace written to %s\n", out)
 }
 
 func fatal(err error) {

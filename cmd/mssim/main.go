@@ -31,6 +31,7 @@ import (
 	"multiscalar/internal/core"
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/workloads"
 )
@@ -47,6 +48,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory shared with msreport (default: no cache)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file (forces a live simulation)")
+		spanOut    = flag.String("span-out", "", "write the run's span trace (grid/cache hops, not the PU timeline) as Chrome trace-event JSON")
 		metrics    = flag.Bool("metrics", false, "print the metrics snapshot after the run (forces a live simulation)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -103,6 +105,13 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 	eng := grid.New(grid.Options{Workers: 1, CacheDir: *cacheDir, Metrics: reg})
+
+	var tracer *span.Tracer
+	var rootSp *span.Span
+	if *spanOut != "" {
+		tracer = span.New(span.Options{Process: "mssim", Metrics: reg})
+		ctx, rootSp = tracer.StartRoot(ctx, "mssim.run")
+	}
 
 	var res *sim.Result
 	var col *obs.Collector
@@ -163,6 +172,26 @@ func main() {
 		fmt.Print(sim.FormatTimeline(res.Timeline, *timeline))
 	}
 
+	if rootSp != nil {
+		id := rootSp.TraceID()
+		rootSp.End(nil)
+		td := tracer.Recorder().Get(id)
+		if td == nil {
+			fatal(errors.New("span trace was not retained"))
+		}
+		f, err := os.Create(*spanOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := span.WriteChrome(f, td); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nspans: %d -> %s (open in ui.perfetto.dev)\n", len(td.Spans), *spanOut)
+	}
 	if col != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {

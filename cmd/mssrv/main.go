@@ -39,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -49,6 +50,7 @@ import (
 	"multiscalar/internal/dist"
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/serve"
 )
 
@@ -65,11 +67,30 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline propagated into the engine")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		metricsOut   = flag.String("metrics-out", "", "write the final metrics snapshot (Prometheus text format) to this file on exit (default: stderr)")
+		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
+		traceRing    = flag.Int("trace-ring", 256, "flight-recorder capacity in completed traces; 0 disables tracing and the /debug surface")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "mssrv ", log.LstdFlags)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
+	logger := slog.New(handler)
+	// dist takes the stdlib logger; the bridge keeps its lines on the same
+	// handler (and therefore the same encoding) as everything else.
+	bridge := slog.NewLogLogger(handler, slog.LevelInfo)
 	reg := obs.NewRegistry()
+
+	var tracer *span.Tracer
+	if *traceRing > 0 {
+		tracer = span.New(span.Options{Process: "mssrv", Ring: *traceRing, Metrics: reg})
+	}
 
 	remote := *remoteCache
 	lru := *lruSize
@@ -91,7 +112,7 @@ func main() {
 		LRUSize:       lru,
 		Dir:           *cacheDir,
 		Remote:        remote,
-		RemoteOptions: dist.RemoteOptions{Metrics: reg},
+		RemoteOptions: dist.RemoteOptions{Metrics: reg, Logger: bridge},
 	})
 	opts := grid.Options{Workers: *workers, Metrics: reg}
 	if cache != nil {
@@ -103,7 +124,7 @@ func main() {
 	defer stop()
 
 	if *workerMode {
-		runWorker(ctx, eng, reg, remoteTier, *leaderURL, *metricsOut, logger)
+		runWorker(ctx, eng, reg, remoteTier, *leaderURL, *metricsOut, logger, bridge, tracer)
 		return
 	}
 
@@ -113,6 +134,7 @@ func main() {
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
 		Logger:         logger,
+		Tracer:         tracer,
 	}
 	if cache != nil {
 		cfg.Cache = cache
@@ -129,8 +151,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	logger.Printf("level=info msg=listening addr=%s workers=%d cache=%q lru=%d remote=%q",
-		ln.Addr(), eng.Workers(), *cacheDir, lru, remote)
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", eng.Workers(),
+		"cache", *cacheDir, "lru", lru, "remote", remote, "tracing", tracer != nil)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -142,11 +164,11 @@ func main() {
 	}
 	stop() // a second signal kills immediately instead of waiting for drain
 
-	logger.Printf("level=info msg=draining timeout=%s", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("level=warn msg=drain_incomplete err=%v", err)
+		logger.Warn("drain_incomplete", "err", err.Error())
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
@@ -154,17 +176,19 @@ func main() {
 
 	flushMetrics(reg, *metricsOut)
 	s := eng.Stats()
-	logger.Printf("level=info msg=exit jobs=%d sims=%d cache_hits=%d deduped=%d", s.Done, s.Sims, s.CacheHits, s.Deduped)
+	logger.Info("exit", "jobs", s.Done, "sims", s.Sims, "cache_hits", s.CacheHits, "deduped", s.Deduped)
 }
 
 // runWorker joins a distributed msreport run and blocks until the leader
 // ends it, a signal arrives, or the leader stays unreachable.
-func runWorker(ctx context.Context, eng *grid.Engine, reg *obs.Registry, remoteTier *dist.RemoteCache, leader, metricsOut string, logger *log.Logger) {
+func runWorker(ctx context.Context, eng *grid.Engine, reg *obs.Registry, remoteTier *dist.RemoteCache,
+	leader, metricsOut string, logger *slog.Logger, bridge *log.Logger, tracer *span.Tracer) {
 	w, err := dist.NewWorker(dist.WorkerOptions{
 		Leader:  leader,
 		Engine:  eng,
 		Metrics: reg,
-		Logger:  logger,
+		Logger:  bridge,
+		Tracer:  tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -172,13 +196,13 @@ func runWorker(ctx context.Context, eng *grid.Engine, reg *obs.Registry, remoteT
 	runErr := w.Run(ctx)
 	flushMetrics(reg, metricsOut)
 	st := w.Stats()
-	line := fmt.Sprintf("level=info msg=worker_exit worker=%s jobs=%d failures=%d", w.Name(), st.Jobs, st.Failures)
+	attrs := []any{"worker", w.Name(), "jobs", st.Jobs, "failures", st.Failures}
 	if remoteTier != nil {
 		rs := remoteTier.Stats()
-		line += fmt.Sprintf(" remote_hits=%d remote_misses=%d remote_puts=%d remote_errors=%d",
-			rs.Hits, rs.Misses, rs.Puts, rs.Errors)
+		attrs = append(attrs, "remote_hits", rs.Hits, "remote_misses", rs.Misses,
+			"remote_puts", rs.Puts, "remote_errors", rs.Errors)
 	}
-	logger.Print(line)
+	logger.Info("worker_exit", attrs...)
 	if runErr != nil && !errors.Is(runErr, context.Canceled) {
 		fatal(runErr)
 	}

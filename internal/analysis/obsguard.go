@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -20,25 +21,48 @@ import (
 // and copies of known-safe chains; it is lost on reassignment and never
 // flows out of loops or into goroutines.
 //
-// internal/obs itself is exempt (methods legitimately run on the receiver),
-// as is internal/serve, which resolves a non-nil registry at construction
-// time and treats it as mandatory thereafter.
+// The analyzer also enforces the span lifecycle of the request-tracing layer
+// (internal/obs/span): a *span.Span obtained from Start/StartRoot/StartLinked/
+// StartRemote must reach End on every return path of the function that owns
+// it — in practice via defer, since End(err) is nil-safe and the deferred
+// closure observes the named error. A span that is never ended keeps its
+// whole trace open forever (the flight recorder never retains it); an End
+// with a return statement before it silently leaks the trace on the early
+// path. Ownership transfers when the span escapes — returned, stored in a
+// struct, passed to a call — and spans borrowed via FromContext are never
+// owned. The span rule additionally covers internal/dist and internal/serve,
+// the cross-process hops.
+//
+// internal/obs and internal/obs/span themselves are exempt (methods
+// legitimately run on the receiver), as is internal/serve for the nil rule,
+// which resolves a non-nil registry at construction time and treats it as
+// mandatory thereafter.
 var Obsguard = &Analyzer{
 	Name: "obsguard",
 	Doc: "calls through obs.Tracer / obs.Registry values must be dominated " +
-		"by a nil check (nil means \"observability off\")",
+		"by a nil check (nil means \"observability off\"), and every owned " +
+		"*span.Span must be ended on all return paths (use defer)",
 	Run: runObsguard,
 }
 
 func runObsguard(pass *Pass) error {
 	path := pass.Pkg.Path()
-	inScope := false
+	if pathHasSuffix(path, "internal/obs") || pathHasSuffix(path, "internal/obs/span") {
+		return nil
+	}
+	nilScope := false
 	for _, suffix := range []string{"internal/sim", "internal/grid", "internal/experiment"} {
 		if pathHasSuffix(path, suffix) {
-			inScope = true
+			nilScope = true
 		}
 	}
-	if !inScope || pathHasSuffix(path, "internal/obs") {
+	spanScope := nilScope
+	for _, suffix := range []string{"internal/dist", "internal/serve"} {
+		if pathHasSuffix(path, suffix) {
+			spanScope = true
+		}
+	}
+	if !nilScope && !spanScope {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -47,7 +71,12 @@ func runObsguard(pass *Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			guardWalk(pass, fn.Body.List, map[string]bool{})
+			if nilScope {
+				guardWalk(pass, fn.Body.List, map[string]bool{})
+			}
+			if spanScope {
+				checkSpanBodies(pass, fn.Body)
+			}
 		}
 	}
 	return nil
@@ -367,4 +396,231 @@ func cloneSafe(safe map[string]bool) map[string]bool {
 		out[k] = v
 	}
 	return out
+}
+
+// checkSpanBodies runs the span-lifecycle rule over a function body and over
+// every function literal nested in it. Each literal is its own body: a span
+// started inside a closure must be ended by that closure (or escape it) —
+// the enclosing function's defers are no help to a goroutine.
+func checkSpanBodies(pass *Pass, body *ast.BlockStmt) {
+	checkSpanEnds(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkSpanEnds(pass, fl.Body)
+		}
+		return true
+	})
+}
+
+// spanVar tracks one owned *span.Span local from its assignment to its End.
+type spanVar struct {
+	pos      token.Pos // the assignment that created it
+	deferred bool      // an End reached through a defer in this body
+	firstEnd token.Pos // earliest non-deferred <var>.End call
+	escaped  bool      // ownership left this body (returned, stored, passed)
+}
+
+// spanScan is one body's walk state for the span-End rule.
+type spanScan struct {
+	pass    *Pass
+	vars    map[string]*spanVar
+	order   []string            // report in assignment order
+	benign  map[*ast.Ident]bool // idents that are not ownership transfers
+	returns []token.Pos         // this body's return statements
+}
+
+// checkSpanEnds flags spans assigned in this body that can finish the
+// function without their End running: never ended at all, or ended by a
+// plain call that an earlier return can skip. A deferred End (directly or
+// inside a deferred closure) always satisfies the rule; so does handing the
+// span off to someone else.
+func checkSpanEnds(pass *Pass, body *ast.BlockStmt) {
+	sc := &spanScan{pass: pass, vars: map[string]*spanVar{}, benign: map[*ast.Ident]bool{}}
+	sc.walk(body, false)
+	for _, name := range sc.order {
+		v := sc.vars[name]
+		if v.escaped || v.deferred {
+			continue
+		}
+		if v.firstEnd == token.NoPos {
+			pass.Reportf(v.pos, "span %q is never ended; its trace stays open forever — defer %s.End(err) right after Start",
+				name, name)
+			continue
+		}
+		for _, r := range sc.returns {
+			if r > v.pos && r < v.firstEnd {
+				pass.Reportf(v.pos, "span %q End is not guaranteed on all return paths (a return precedes the End call); use defer",
+					name)
+				break
+			}
+		}
+	}
+}
+
+// walk visits the body in syntactic order. inDefer marks that we are inside
+// a defer statement's call (including a deferred closure's body), where an
+// End counts as guaranteed and a return does not leave the function.
+func (sc *spanScan) walk(n ast.Node, inDefer bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// A non-deferred literal is its own body (checkSpanBodies analyzes
+		// it separately); a deferred one runs as part of this body's exit.
+		if inDefer {
+			sc.walkChildren(n.Body, true)
+		}
+		return
+	case *ast.DeferStmt:
+		sc.walk(n.Call, true)
+		return
+	case *ast.ReturnStmt:
+		if !inDefer {
+			sc.returns = append(sc.returns, n.Pos())
+		}
+	case *ast.AssignStmt:
+		sc.assign(n, inDefer)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				sc.benign[id] = true // a method call is use, not transfer
+				if v := sc.vars[id.Name]; v != nil && sel.Sel.Name == "End" && sc.spanIdent(id) {
+					if inDefer {
+						v.deferred = true
+					} else if v.firstEnd == token.NoPos {
+						v.firstEnd = n.Pos()
+					}
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		if op := n.Op.String(); op == "==" || op == "!=" {
+			if isNilIdent(n.Y) {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					sc.benign[id] = true
+				}
+			}
+			if isNilIdent(n.X) {
+				if id, ok := ast.Unparen(n.Y).(*ast.Ident); ok {
+					sc.benign[id] = true
+				}
+			}
+		}
+	case *ast.Ident:
+		// Any remaining span-typed use is an ownership transfer: returned,
+		// stored in a struct or map, passed as an argument, captured in a
+		// composite literal. The new owner is responsible for End.
+		if !sc.benign[n] && sc.spanIdent(n) {
+			if v := sc.vars[n.Name]; v != nil {
+				v.escaped = true
+			}
+		}
+		return
+	}
+	sc.walkChildren(n, inDefer)
+}
+
+// walkChildren recurses into n's immediate children, leaving descent control
+// to walk (which prunes function literals and defer subtrees).
+func (sc *spanScan) walkChildren(n ast.Node, inDefer bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		sc.walk(c, inDefer)
+		return false
+	})
+}
+
+// assign registers span-typed variables created by call results and flags
+// spans discarded into the blank identifier (a span nobody can End).
+func (sc *spanScan) assign(a *ast.AssignStmt, inDefer bool) {
+	for i, lhs := range a.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		sc.benign[id] = true // assignment targets are not uses
+		if inDefer {
+			continue
+		}
+		rhs := assignRHS(a, i)
+		if _, isCall := ast.Unparen(rhs).(*ast.CallExpr); !isCall {
+			continue // aliases and zero values create no new obligation
+		}
+		if t := assignType(sc.pass, a, i); t == nil || !isSpanPtr(t) {
+			continue
+		}
+		if calleeIsFromContext(rhs) {
+			continue // borrowed from the context, owned elsewhere
+		}
+		if id.Name == "_" {
+			sc.pass.Reportf(id.Pos(), "span result discarded into _; it is never ended and its trace stays open — assign it and defer End")
+			continue
+		}
+		if sc.vars[id.Name] == nil {
+			sc.order = append(sc.order, id.Name)
+		}
+		sc.vars[id.Name] = &spanVar{pos: id.Pos()}
+	}
+}
+
+// assignRHS returns the expression assigned into position i.
+func assignRHS(a *ast.AssignStmt, i int) ast.Expr {
+	if len(a.Rhs) == len(a.Lhs) {
+		return a.Rhs[i]
+	}
+	return a.Rhs[0]
+}
+
+// assignType resolves the type landing in position i, including positions of
+// a multi-value call (where the blank identifier has no object to ask).
+func assignType(pass *Pass, a *ast.AssignStmt, i int) types.Type {
+	if len(a.Rhs) == len(a.Lhs) {
+		return pass.Info.TypeOf(a.Rhs[i])
+	}
+	if tup, ok := pass.Info.TypeOf(a.Rhs[0]).(*types.Tuple); ok && i < tup.Len() {
+		return tup.At(i).Type()
+	}
+	return nil
+}
+
+// calleeIsFromContext reports whether rhs calls span.FromContext.
+func calleeIsFromContext(rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "FromContext"
+	case *ast.Ident:
+		return fun.Name == "FromContext"
+	}
+	return false
+}
+
+// spanIdent reports whether id resolves to a variable of type *span.Span.
+func (sc *spanScan) spanIdent(id *ast.Ident) bool {
+	obj := sc.pass.Info.Uses[id]
+	if obj == nil {
+		obj = sc.pass.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	return ok && isSpanPtr(v.Type())
+}
+
+// isSpanPtr reports whether t is *Span from the request-tracing layer
+// (a package whose import path ends in internal/obs/span).
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Span" && pathHasSuffix(n.Obj().Pkg().Path(), "internal/obs/span")
 }

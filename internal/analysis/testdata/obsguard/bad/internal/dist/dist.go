@@ -1,0 +1,49 @@
+// Package dist (path suffix internal/dist → in obsguard's span scope) holds
+// the span-lifecycle patterns the End rule must flag.
+package dist
+
+import (
+	"context"
+	"errors"
+
+	"fixtures/obsguard/internal/obs/span"
+)
+
+// NeverEnded starts a span and forgets it: the trace stays open forever and
+// the flight recorder never retains it.
+func NeverEnded(ctx context.Context) {
+	_, sp := span.Start(ctx, "dist.dispatch") // want "never ended"
+	sp.SetAttr("shard", "3")
+}
+
+// Discarded throws the span away at the call site, so nobody can End it.
+func Discarded(ctx context.Context) context.Context {
+	ctx, _ = span.Start(ctx, "dist.pull") // want "discarded into _"
+	return ctx
+}
+
+// EarlyReturn ends the span by a plain call that the error path skips.
+func EarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := span.Start(ctx, "dist.report") // want "not guaranteed on all return paths"
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End(nil)
+	return nil
+}
+
+// ClosureLeak starts a span inside a goroutine's closure and never ends it
+// there; the enclosing function's defers cannot help.
+func ClosureLeak(ctx context.Context, done chan struct{}) {
+	go func() {
+		_, sp := span.Start(ctx, "dist.steal") // want "never ended"
+		sp.Event("steal")
+		close(done)
+	}()
+}
+
+// RootNeverEnded applies the same rule to tracer-minted roots.
+func RootNeverEnded(ctx context.Context, t *span.Tracer) {
+	_, sp := t.StartRoot(ctx, "sweep") // want "never ended"
+	sp.SetAttr("kind", "fig5")
+}

@@ -1,0 +1,88 @@
+// Package dist holds the span-lifecycle patterns obsguard must accept: the
+// repository's deferred-End idioms and the legitimate ownership transfers.
+package dist
+
+import (
+	"context"
+
+	"fixtures/obsguard/internal/obs/span"
+)
+
+// DeferClosure is the repo idiom: named error, deferred closure, End
+// observes the final value of err.
+func DeferClosure(ctx context.Context) (err error) {
+	_, sp := span.Start(ctx, "dist.dispatch")
+	defer func() { sp.End(err) }()
+	return nil
+}
+
+// DeferDirect defers End directly when there is no error to observe.
+func DeferDirect(ctx context.Context) {
+	_, sp := span.Start(ctx, "cache.publish")
+	defer sp.End(nil)
+	sp.SetAttr("tiers", "2")
+}
+
+// StraightLine ends before any return — no defer needed when no return can
+// intervene.
+func StraightLine(ctx context.Context) {
+	_, sp := span.Start(ctx, "dist.report")
+	sp.SetAttr("worker", "w1")
+	sp.End(nil)
+}
+
+// LateBind assigns the span conditionally and ends it in a deferred closure
+// registered afterwards (the serve middleware shape); the nil guard inside
+// the defer is use, not transfer.
+func LateBind(ctx context.Context, t *span.Tracer, traced bool) {
+	var sp *span.Span
+	if traced {
+		_, sp = t.StartRoot(ctx, "serve.request")
+	}
+	defer func() {
+		if sp != nil {
+			sp.SetAttr("status", "200")
+		}
+		sp.End(nil)
+	}()
+}
+
+// Handoff transfers ownership by returning the span; the caller must End it.
+func Handoff(ctx context.Context) (context.Context, *span.Span) {
+	ctx, sp := span.Start(ctx, "dist.lease")
+	if sp == nil {
+		return ctx, nil
+	}
+	return ctx, sp
+}
+
+// task parks a span across calls; Report ends it later.
+type task struct{ sp *span.Span }
+
+// StoreField transfers ownership into the task struct.
+func (t *task) StoreField(ctx context.Context) {
+	_, sp := span.Start(ctx, "dist.dispatch")
+	t.sp = sp
+}
+
+// PassAlong transfers ownership to a callee.
+func PassAlong(ctx context.Context, finish func(*span.Span)) {
+	_, sp := span.Start(ctx, "dist.pull")
+	finish(sp)
+}
+
+// Borrowed spans come from the context and are owned elsewhere; observing
+// through them needs no End.
+func Borrowed(ctx context.Context) {
+	sp := span.FromContext(ctx)
+	sp.Event("observed")
+}
+
+// ClosureOwned starts and defers inside the same closure body.
+func ClosureOwned(ctx context.Context, done chan struct{}) {
+	go func() {
+		_, sp := span.Start(ctx, "dist.steal")
+		defer sp.End(nil)
+		close(done)
+	}()
+}

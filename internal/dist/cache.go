@@ -5,9 +5,11 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 
 	"multiscalar/internal/grid"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/sim"
 )
 
@@ -141,7 +143,7 @@ func NewTiered(tiers ...Tier) *Tiered {
 // Load implements grid.Cache with upward promotion.
 func (t *Tiered) Load(ctx context.Context, key string, job grid.Job) (*sim.Result, bool) {
 	for i, tier := range t.tiers {
-		res, ok := tier.Load(ctx, key, job)
+		res, ok := probeTier(ctx, tier, key, job)
 		if !ok {
 			continue
 		}
@@ -153,8 +155,24 @@ func (t *Tiered) Load(ctx context.Context, key string, job grid.Job) (*sim.Resul
 	return nil, false
 }
 
+// probeTier wraps one tier probe in a cache.<tier> span carrying the hit
+// outcome, so a trace shows which tier answered (and how long the remote
+// round trip took). Free when the context is untraced.
+func probeTier(ctx context.Context, tier Tier, key string, job grid.Job) (res *sim.Result, ok bool) {
+	ctx, sp := span.Start(ctx, "cache."+tier.Name())
+	defer func() {
+		if sp != nil {
+			sp.SetAttr("hit", strconv.FormatBool(ok))
+		}
+		sp.End(nil)
+	}()
+	return tier.Load(ctx, key, job)
+}
+
 // Store implements grid.Cache: write-through to every tier.
 func (t *Tiered) Store(ctx context.Context, key string, job grid.Job, res *sim.Result) {
+	ctx, sp := span.Start(ctx, "cache.publish")
+	defer sp.End(nil)
 	for _, tier := range t.tiers {
 		tier.Store(ctx, key, job, res)
 	}

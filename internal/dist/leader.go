@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"multiscalar/internal/grid"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/sim"
 )
 
@@ -35,20 +36,25 @@ type PullRequest struct {
 }
 
 // PullResponse is one of three answers: a job, "nothing right now", or
-// "the run is over — exit".
+// "the run is over — exit". Trace, when present, is the dispatching
+// request's span context: the worker parents its execution spans under it
+// so one trace covers the job end to end.
 type PullResponse struct {
-	Key    string    `json:"key,omitempty"`
-	Job    *grid.Job `json:"job,omitempty"`
-	None   bool      `json:"none,omitempty"`
-	Closed bool      `json:"closed,omitempty"`
+	Key    string            `json:"key,omitempty"`
+	Job    *grid.Job         `json:"job,omitempty"`
+	Trace  *span.SpanContext `json:"trace,omitempty"`
+	None   bool              `json:"none,omitempty"`
+	Closed bool              `json:"closed,omitempty"`
 }
 
-// ReportRequest delivers one finished job.
+// ReportRequest delivers one finished job, plus any trace spans the worker
+// recorded while executing it (empty when either side is untraced).
 type ReportRequest struct {
-	Worker string      `json:"worker"`
-	Key    string      `json:"key"`
-	Result *sim.Result `json:"result,omitempty"`
-	Error  string      `json:"error,omitempty"`
+	Worker string          `json:"worker"`
+	Key    string          `json:"key"`
+	Result *sim.Result     `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Spans  []span.SpanData `json:"spans,omitempty"`
 }
 
 // LeaderOptions configures a Leader.
@@ -63,6 +69,10 @@ type LeaderOptions struct {
 	PollWait time.Duration
 	// Logger receives protocol errors (nil = discard).
 	Logger *log.Logger
+	// Tracer, when non-nil, ingests worker-reported spans into their
+	// originating traces and mounts GET /debug/traces, /debug/traces/{id},
+	// and /debug/requests on the leader's handler.
+	Tracer *span.Tracer
 }
 
 // Leader mounts a Scheduler and a shared cache on HTTP for remote workers:
@@ -74,6 +84,7 @@ type Leader struct {
 	cache    grid.Cache
 	pollWait time.Duration
 	log      *log.Logger
+	tracer   *span.Tracer
 	mux      *http.ServeMux
 }
 
@@ -90,6 +101,7 @@ func NewLeader(s *Scheduler, opts LeaderOptions) *Leader {
 		cache:    opts.Cache,
 		pollWait: opts.PollWait,
 		log:      opts.Logger,
+		tracer:   opts.Tracer,
 		mux:      http.NewServeMux(),
 	}
 	l.mux.HandleFunc("POST /v1/dist/register", l.handleRegister)
@@ -98,6 +110,9 @@ func NewLeader(s *Scheduler, opts LeaderOptions) *Leader {
 	l.mux.HandleFunc("GET /v1/cache/{key}", l.handleCacheGet)
 	l.mux.HandleFunc("PUT /v1/cache/{key}", l.handleCachePut)
 	l.mux.HandleFunc("GET /healthz", l.handleHealthz)
+	if l.tracer != nil {
+		span.RegisterDebug(l.mux, l.tracer)
+	}
 	return l
 }
 
@@ -152,13 +167,17 @@ func (l *Leader) handlePull(w http.ResponseWriter, r *http.Request) {
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for {
-		key, job, ok, closed := l.sched.Pull(req.Worker)
+		key, job, sc, ok, closed := l.sched.Pull(req.Worker)
 		switch {
 		case closed:
 			l.writeJSON(w, http.StatusOK, PullResponse{Closed: true})
 			return
 		case ok:
-			l.writeJSON(w, http.StatusOK, PullResponse{Key: key, Job: &job})
+			resp := PullResponse{Key: key, Job: &job}
+			if sc.Valid() {
+				resp.Trace = &sc
+			}
+			l.writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		select {
@@ -185,6 +204,10 @@ func (l *Leader) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "report carries neither result nor error", http.StatusBadRequest)
 		return
 	}
+	// Ingest spans BEFORE completing the job: Report unblocks the Dispatch
+	// waiter, which ends the dispatch span and may finalize the whole trace
+	// — the worker's spans must already be merged by then.
+	l.tracer.Ingest(req.Spans)
 	l.sched.Report(req.Worker, req.Key, req.Result, req.Error)
 	w.WriteHeader(http.StatusNoContent)
 }

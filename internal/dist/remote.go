@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,10 @@ type RemoteOptions struct {
 	// Metrics, when non-nil, receives dist_remote_* counters and the RTT
 	// histogram.
 	Metrics *obs.Registry
+	// Logger receives one warning per abandoned request — the fail-open
+	// path — naming the key, attempt count, and last error, so silent
+	// degradation to local compute is diagnosable (nil = discard).
+	Logger *log.Logger
 }
 
 // RemoteStats snapshots a remote tier's counters.
@@ -57,6 +62,7 @@ type RemoteCache struct {
 	timeout time.Duration
 	retries int
 	backoff time.Duration
+	log     *log.Logger
 
 	hits, misses, errs, puts atomic.Int64
 	m                        *remoteMetrics
@@ -84,12 +90,16 @@ func NewRemoteCache(base string, opts RemoteOptions) *RemoteCache {
 	if opts.Client == nil {
 		opts.Client = &http.Client{}
 	}
+	if opts.Logger == nil {
+		opts.Logger = log.New(io.Discard, "", 0)
+	}
 	c := &RemoteCache{
 		base:    trimSlash(base),
 		hc:      opts.Client,
 		timeout: opts.Timeout,
 		retries: opts.Retries,
 		backoff: opts.Backoff,
+		log:     opts.Logger,
 	}
 	if r := opts.Metrics; r != nil {
 		c.m = &remoteMetrics{
@@ -145,6 +155,7 @@ func (c *RemoteCache) Ping(ctx context.Context) error {
 // open to a miss on any error.
 func (c *RemoteCache) Load(ctx context.Context, key string, _ grid.Job) (*sim.Result, bool) {
 	var res *sim.Result
+	var lastErr error
 	ok := c.retry(ctx, func(actx context.Context) (done bool) {
 		req, err := http.NewRequestWithContext(actx, http.MethodGet, c.keyURL(key), nil)
 		if err != nil {
@@ -152,6 +163,7 @@ func (c *RemoteCache) Load(ctx context.Context, key string, _ grid.Job) (*sim.Re
 		}
 		resp, err := c.do(req)
 		if err != nil {
+			lastErr = err
 			return false
 		}
 		defer func() {
@@ -169,6 +181,7 @@ func (c *RemoteCache) Load(ctx context.Context, key string, _ grid.Job) (*sim.Re
 			}
 			return true
 		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("remote cache: %s", resp.Status)
 			return false // transient server trouble: retry
 		default:
 			return true // 404 and friends: definitive miss
@@ -179,6 +192,8 @@ func (c *RemoteCache) Load(ctx context.Context, key string, _ grid.Job) (*sim.Re
 		if c.m != nil {
 			c.m.errs.Inc()
 		}
+		c.log.Printf("level=warn msg=remote_cache_failopen op=load key=%s attempts=%d err=%v",
+			key, c.retries+1, lastErr)
 	}
 	if res == nil {
 		c.misses.Add(1)
@@ -209,6 +224,7 @@ func (c *RemoteCache) Store(ctx context.Context, key string, job grid.Job, res *
 	if err != nil {
 		return
 	}
+	var lastErr error
 	ok := c.retry(context.WithoutCancel(ctx), func(actx context.Context) (done bool) {
 		req, err := http.NewRequestWithContext(actx, http.MethodPut, c.keyURL(key), bytes.NewReader(blob))
 		if err != nil {
@@ -217,11 +233,13 @@ func (c *RemoteCache) Store(ctx context.Context, key string, job grid.Job, res *
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := c.do(req)
 		if err != nil {
+			lastErr = err
 			return false
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode >= 500 {
+			lastErr = fmt.Errorf("remote cache: %s", resp.Status)
 			return false
 		}
 		if resp.StatusCode < 300 {
@@ -237,6 +255,8 @@ func (c *RemoteCache) Store(ctx context.Context, key string, job grid.Job, res *
 		if c.m != nil {
 			c.m.errs.Inc()
 		}
+		c.log.Printf("level=warn msg=remote_cache_failopen op=put key=%s attempts=%d err=%v",
+			key, c.retries+1, lastErr)
 	}
 }
 

@@ -1,10 +1,13 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -250,4 +253,36 @@ func mustJSON(t *testing.T, v any) []byte {
 		t.Fatal(err)
 	}
 	return blob
+}
+
+// TestRemoteFailOpenWarningNamesKey: satellite for the silent-degradation
+// bug — when the remote tier abandons a request and fails open, the warning
+// must name the key, the op, and how many attempts were burned, or a fleet
+// quietly recomputing everything locally looks healthy in the logs.
+func TestRemoteFailOpenWarningNamesKey(t *testing.T) {
+	var buf bytes.Buffer
+	rc := NewRemoteCache("http://127.0.0.1:1", RemoteOptions{
+		Retries: 1, Backoff: time.Millisecond, Timeout: 200 * time.Millisecond,
+		Logger: log.New(&buf, "", 0),
+	})
+	key := testKey(0)
+	if _, ok := rc.Load(context.Background(), key, grid.Job{}); ok {
+		t.Fatal("dead peer reported a hit")
+	}
+	line := buf.String()
+	for _, want := range []string{"level=warn", "msg=remote_cache_failopen", "op=load",
+		"key=" + key, "attempts=2", "connection refused"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("load warning %q missing %q", line, want)
+		}
+	}
+
+	buf.Reset()
+	rc.Store(context.Background(), key, grid.Job{}, testResult(1))
+	line = buf.String()
+	for _, want := range []string{"op=put", "key=" + key, "attempts=2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("put warning %q missing %q", line, want)
+		}
+	}
 }

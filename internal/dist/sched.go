@@ -10,6 +10,7 @@ import (
 
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/sim"
 )
 
@@ -27,6 +28,11 @@ type SchedOptions struct {
 	// Metrics, when non-nil, receives dist_* scheduler counters plus one
 	// jobs counter per registered worker.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, stitches the local loop's executions into the
+	// dispatching request's trace as worker.exec spans (remote workers carry
+	// their own tracer; see WorkerOptions.Tracer). Dispatch itself is traced
+	// off the caller's context and needs no tracer here.
+	Tracer *span.Tracer
 }
 
 // SchedStats snapshots scheduler counters.
@@ -60,6 +66,12 @@ type task struct {
 
 	worker string    // current lessee when leased
 	lease  time.Time // reassignment deadline when leased
+
+	// sp is the dispatching caller's dist.dispatch span (nil untraced); sc
+	// is its portable context, handed to whichever worker pulls the job so
+	// the worker's spans stitch into the same trace.
+	sp *span.Span
+	sc span.SpanContext
 
 	done chan struct{} // closed on completion
 	res  *sim.Result
@@ -103,8 +115,9 @@ type Scheduler struct {
 	steals    int64
 	reassigns int64
 
-	reg *obs.Registry
-	m   *schedMetrics
+	reg    *obs.Registry
+	m      *schedMetrics
+	tracer *span.Tracer
 }
 
 // NewScheduler returns an empty scheduler.
@@ -122,6 +135,7 @@ func NewScheduler(opts SchedOptions) *Scheduler {
 		tasks:   make(map[string]*task),
 		workers: make(map[string]*workerInfo),
 		reg:     opts.Metrics,
+		tracer:  opts.Tracer,
 	}
 	if r := opts.Metrics; r != nil {
 		s.m = &schedMetrics{
@@ -158,7 +172,9 @@ func (s *Scheduler) shardOf(key string) int {
 // join an already-scheduled copy) and wait for the first report. A closed
 // scheduler answers with an error wrapping grid.ErrDispatch, which sends
 // the engine back to in-process compute.
-func (s *Scheduler) Dispatch(ctx context.Context, key string, job grid.Job) (*sim.Result, error) {
+func (s *Scheduler) Dispatch(ctx context.Context, key string, job grid.Job) (res *sim.Result, err error) {
+	ctx, sp := span.Start(ctx, "dist.dispatch")
+	defer func() { sp.End(err) }()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -167,6 +183,13 @@ func (s *Scheduler) Dispatch(ctx context.Context, key string, job grid.Job) (*si
 	t, ok := s.tasks[key]
 	if !ok {
 		t = &task{key: key, job: job, shard: s.shardOf(key), done: make(chan struct{})}
+		if sp != nil {
+			// The first dispatcher's span parents the worker's spans; a
+			// joining duplicate still records its own wait below.
+			t.sp = sp
+			t.sc = sp.Context()
+			sp.SetAttr("shard", strconv.Itoa(t.shard))
+		}
 		s.tasks[key] = t
 		s.shards[t.shard] = append(s.shards[t.shard], t)
 		s.submitted++
@@ -215,9 +238,11 @@ func (s *Scheduler) Register(remote bool) (name string, home int, lease time.Dur
 
 // Pull hands worker its next job: the head of its home shard, else the tail
 // of the longest other queue (a steal, when that queue belongs to a live
-// worker). ok=false means no work right now; closed=true tells the worker
-// the run is over.
-func (s *Scheduler) Pull(worker string) (key string, job grid.Job, ok, closed bool) {
+// worker). The returned span context (zero when the dispatcher was
+// untraced) lets the worker stitch its execution spans into the
+// dispatcher's trace. ok=false means no work right now; closed=true tells
+// the worker the run is over.
+func (s *Scheduler) Pull(worker string) (key string, job grid.Job, sc span.SpanContext, ok, closed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -230,7 +255,7 @@ func (s *Scheduler) Pull(worker string) (key string, job grid.Job, ok, closed bo
 				s.m.workers.Set(int64(len(s.workers)))
 			}
 		}
-		return "", grid.Job{}, false, true
+		return "", grid.Job{}, span.SpanContext{}, false, true
 	}
 	now := time.Now()
 	s.reapLocked(now)
@@ -258,10 +283,10 @@ func (s *Scheduler) Pull(worker string) (key string, job grid.Job, ok, closed bo
 			}
 		}
 		if best < 0 {
-			return "", grid.Job{}, false, false
+			return "", grid.Job{}, span.SpanContext{}, false, false
 		}
 		if t = s.popLocked(best, true); t == nil {
-			return "", grid.Job{}, false, false
+			return "", grid.Job{}, span.SpanContext{}, false, false
 		}
 		for _, other := range s.workers {
 			if other.name != worker && other.home == best {
@@ -269,6 +294,7 @@ func (s *Scheduler) Pull(worker string) (key string, job grid.Job, ok, closed bo
 				if s.m != nil {
 					s.m.steals.Inc()
 				}
+				t.sp.Event("dist.steal", "worker", worker, "shard", strconv.Itoa(best))
 				break
 			}
 		}
@@ -278,7 +304,7 @@ func (s *Scheduler) Pull(worker string) (key string, job grid.Job, ok, closed bo
 	t.lease = now.Add(s.lease)
 	w.leased[t.key] = t
 	s.gaugeQueuedLocked()
-	return t.key, t.job, true, false
+	return t.key, t.job, t.sc, true, false
 }
 
 // popLocked removes the next still-queued task from one shard, discarding
@@ -336,6 +362,7 @@ func (s *Scheduler) Report(worker, key string, res *sim.Result, errMsg string) {
 		return
 	}
 	t.state = taskDone
+	t.sp.SetAttr("worker", worker)
 	t.res = res
 	if errMsg != "" {
 		t.err = errors.New(errMsg)
@@ -369,6 +396,7 @@ func (s *Scheduler) reapLocked(now time.Time) {
 				if s.m != nil {
 					s.m.reassigned.Inc()
 				}
+				t.sp.Event("dist.lease-reassign", "worker", name)
 				delete(w.leased, key)
 			}
 		}
@@ -487,7 +515,7 @@ func (s *Scheduler) localLoop(ctx context.Context, worker string, compute func(c
 	}
 	defer idle.Stop()
 	for ctx.Err() == nil {
-		key, job, ok, closed := s.Pull(worker)
+		key, job, sc, ok, closed := s.Pull(worker)
 		if closed {
 			return
 		}
@@ -500,7 +528,7 @@ func (s *Scheduler) localLoop(ctx context.Context, worker string, compute func(c
 			}
 			continue
 		}
-		res, err := compute(ctx, job)
+		res, err := s.localCompute(ctx, sc, job, compute)
 		if err != nil && ctx.Err() != nil {
 			// The run is being canceled; don't report the cancellation as a
 			// job failure — Close will unwind every waiter.
@@ -512,4 +540,18 @@ func (s *Scheduler) localLoop(ctx context.Context, worker string, compute func(c
 		}
 		s.Report(worker, key, res, errMsg)
 	}
+}
+
+// localCompute runs one pulled job. When the scheduler has a tracer and the
+// job carries a span context, the execution records as a worker.exec span in
+// the dispatching request's trace — the local loop is a fleet member like
+// any remote worker, and its share of the work should be just as visible.
+func (s *Scheduler) localCompute(ctx context.Context, sc span.SpanContext, job grid.Job,
+	compute func(context.Context, grid.Job) (*sim.Result, error)) (res *sim.Result, err error) {
+	ctx, sp := s.tracer.StartRemote(ctx, sc, "worker.exec")
+	if sp != nil {
+		sp.SetAttr("worker", "local")
+	}
+	defer func() { sp.End(err) }()
+	return compute(ctx, job)
 }

@@ -45,7 +45,7 @@ func TestDispatchPullReport(t *testing.T) {
 
 	var gotKey string
 	waitForCond(t, "job on the queue", func() bool {
-		k, _, ok, _ := s.Pull(worker)
+		k, _, _, ok, _ := s.Pull(worker)
 		gotKey = k
 		return ok
 	})
@@ -80,10 +80,10 @@ func TestShardAffinityAndStealing(t *testing.T) {
 	d1b := dispatchAsync(ctx, s, k1b, testJob(4))
 	waitForCond(t, "3 queued", func() bool { return s.Stats().Queued == 3 })
 
-	if k, _, ok, _ := s.Pull(w1); !ok || k != k0 {
+	if k, _, _, ok, _ := s.Pull(w1); !ok || k != k0 {
 		t.Fatalf("w1 pulled %q, want home-shard job %q", k, k0)
 	}
-	if k, _, ok, _ := s.Pull(w2); !ok || k != k1 {
+	if k, _, _, ok, _ := s.Pull(w2); !ok || k != k1 {
 		t.Fatalf("w2 pulled %q, want home-shard job %q", k, k1)
 	}
 	if st := s.Stats(); st.Steals != 0 {
@@ -91,7 +91,7 @@ func TestShardAffinityAndStealing(t *testing.T) {
 	}
 	// w1's home shard is dry; the remaining job on w2's home shard must be
 	// stolen rather than left waiting.
-	if k, _, ok, _ := s.Pull(w1); !ok || k != k1b {
+	if k, _, _, ok, _ := s.Pull(w1); !ok || k != k1b {
 		t.Fatalf("w1 stole %q, want %q", k, k1b)
 	}
 	if st := s.Stats(); st.Steals != 1 {
@@ -122,14 +122,14 @@ func TestLostWorkerReassignment(t *testing.T) {
 	done := dispatchAsync(context.Background(), s, key, testJob(4))
 	waitForCond(t, "job queued", func() bool { return s.Stats().Queued == 1 })
 
-	if k, _, ok, _ := s.Pull(lost); !ok || k != key {
+	if k, _, _, ok, _ := s.Pull(lost); !ok || k != key {
 		t.Fatalf("lost worker pulled (%q, %v), want the job", k, ok)
 	}
 	// The lost worker never reports. The live worker polls until the lease
 	// expires and the job is reassigned to it.
 	var got string
 	waitForCond(t, "reassignment", func() bool {
-		k, _, ok, _ := s.Pull(alive)
+		k, _, _, ok, _ := s.Pull(alive)
 		got = k
 		return ok
 	})
@@ -162,7 +162,7 @@ func TestFirstReportWins(t *testing.T) {
 		out <- res
 	}()
 	waitForCond(t, "job queued", func() bool {
-		k, _, ok, _ := s.Pull(w)
+		k, _, _, ok, _ := s.Pull(w)
 		return ok && k == key
 	})
 	s.Report(w, key, testResult(1), "")
@@ -178,7 +178,7 @@ func TestReportErrorPropagates(t *testing.T) {
 	key := shardKey(0, 1)
 	done := dispatchAsync(context.Background(), s, key, testJob(4))
 	waitForCond(t, "job queued", func() bool {
-		_, _, ok, _ := s.Pull(w)
+		_, _, _, ok, _ := s.Pull(w)
 		return ok
 	})
 	s.Report(w, key, nil, "workload exploded")
@@ -239,7 +239,7 @@ func TestCloseUnblocksWaiters(t *testing.T) {
 			t.Errorf("waiter %d: err = %v, want grid.ErrDispatch", i, err)
 		}
 	}
-	if _, _, _, closed := s.Pull(w); !closed {
+	if _, _, _, _, closed := s.Pull(w); !closed {
 		t.Error("post-Close pull did not say closed")
 	}
 	if s.RemoteWorkers() != 0 {
@@ -256,7 +256,7 @@ func TestDispatchJoinsDuplicate(t *testing.T) {
 	d1 := dispatchAsync(context.Background(), s, key, testJob(4))
 	d2 := dispatchAsync(context.Background(), s, key, testJob(4))
 	waitForCond(t, "job queued", func() bool {
-		_, _, ok, _ := s.Pull(w)
+		_, _, _, ok, _ := s.Pull(w)
 		return ok
 	})
 	if st := s.Stats(); st.Submitted != 1 {

@@ -13,6 +13,7 @@ import (
 
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/sim"
 )
 
@@ -42,6 +43,10 @@ type WorkerOptions struct {
 	Metrics *obs.Registry
 	// Logger receives lifecycle lines (nil = discard).
 	Logger *log.Logger
+	// Tracer, when non-nil, records worker.pull and worker.exec spans under
+	// the trace context each pulled job carries and ships them back to the
+	// leader on the job's report, stitching one cross-process trace.
+	Tracer *span.Tracer
 }
 
 // WorkerStats snapshots a worker's counters.
@@ -65,6 +70,7 @@ type Worker struct {
 	poll     time.Duration
 	timeout  time.Duration
 	log      *log.Logger
+	tracer   *span.Tracer
 	name     string
 	jobs     atomic.Int64
 	failures atomic.Int64
@@ -105,6 +111,7 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 		poll:    opts.PollInterval,
 		timeout: opts.Timeout,
 		log:     opts.Logger,
+		tracer:  opts.Tracer,
 	}
 	if r := opts.Metrics; r != nil {
 		w.rtt = r.Histogram("dist_pull_rtt_us", "us",
@@ -163,7 +170,7 @@ func (w *Worker) loop(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		pull, err := w.pull(ctx)
+		pull, rtt, err := w.pull(ctx)
 		if err != nil {
 			failures++
 			if failures >= maxConsecutiveFailures {
@@ -185,7 +192,14 @@ func (w *Worker) loop(ctx context.Context) error {
 			}
 			continue
 		}
-		res, runErr := w.eng.RunCtx(ctx, *pull.Job)
+		var sc span.SpanContext
+		if pull.Trace != nil {
+			sc = *pull.Trace
+		}
+		// Backdate the pull span by the measured round trip so the trace
+		// shows the hand-off latency between leader and worker.
+		w.tracer.Record(sc, "worker.pull", time.Now().Add(-rtt), rtt, nil)
+		res, runErr := w.exec(ctx, sc, *pull.Job)
 		if runErr != nil && ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -201,7 +215,7 @@ func (w *Worker) loop(ctx context.Context) error {
 				w.mErrors.Inc()
 			}
 		}
-		if err := w.report(ctx, pull.Key, res, errMsg); err != nil {
+		if err := w.report(ctx, pull.Key, res, errMsg, w.tracer.Collect(sc.TraceID)); err != nil {
 			// The lease will expire and the job will be reassigned; the
 			// result is already published through the cache tiers, so the
 			// retry is cheap.
@@ -220,6 +234,9 @@ func (w *Worker) register(ctx context.Context) error {
 				return fmt.Errorf("dist: leader assigned empty worker name")
 			}
 			w.name = resp.Worker
+			// Spans this worker records should carry its fleet identity,
+			// not whatever placeholder the tracer was built with.
+			w.tracer.SetProcess(w.name)
 			return nil
 		}
 		if attempt+1 >= maxConsecutiveFailures {
@@ -232,21 +249,33 @@ func (w *Worker) register(ctx context.Context) error {
 	}
 }
 
-func (w *Worker) pull(ctx context.Context) (PullResponse, error) {
+// exec runs one pulled job under a worker.exec span parented to the
+// leader-supplied trace context (a no-op when the pull carried none).
+func (w *Worker) exec(ctx context.Context, sc span.SpanContext, job grid.Job) (res *sim.Result, err error) {
+	ctx, sp := w.tracer.StartRemote(ctx, sc, "worker.exec")
+	if sp != nil {
+		sp.SetAttr("worker", w.name)
+	}
+	defer func() { sp.End(err) }()
+	return w.eng.RunCtx(ctx, job)
+}
+
+func (w *Worker) pull(ctx context.Context) (PullResponse, time.Duration, error) {
 	var resp PullResponse
 	t0 := time.Now()
 	err := w.post(ctx, "/v1/dist/pull", PullRequest{Worker: w.name}, &resp)
+	rtt := time.Since(t0)
 	if w.rtt != nil {
-		w.rtt.Observe(time.Since(t0).Microseconds())
+		w.rtt.Observe(rtt.Microseconds())
 	}
-	return resp, err
+	return resp, rtt, err
 }
 
-func (w *Worker) report(ctx context.Context, key string, res *sim.Result, errMsg string) error {
+func (w *Worker) report(ctx context.Context, key string, res *sim.Result, errMsg string, spans []span.SpanData) error {
 	// Detach from cancellation (but keep the deadline): a finished result
 	// should reach the leader even if this worker is shutting down.
 	return w.post(context.WithoutCancel(ctx), "/v1/dist/report", ReportRequest{
-		Worker: w.name, Key: key, Result: grid.StripTimeline(res), Error: errMsg,
+		Worker: w.name, Key: key, Result: grid.StripTimeline(res), Error: errMsg, Spans: spans,
 	}, nil)
 }
 

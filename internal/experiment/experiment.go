@@ -11,6 +11,7 @@ import (
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/grid"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/sim"
 )
 
@@ -95,6 +96,17 @@ func (r *Runner) context() context.Context {
 
 // Engine exposes the underlying grid engine (for stats and direct jobs).
 func (r *Runner) Engine() *grid.Engine { return r.eng }
+
+// traced wraps a named sweep in a child span of the runner's context — an
+// untraced context makes this free and returns the receiver unchanged. The
+// caller must End the returned span (nil-safe).
+func (r *Runner) traced(name string) (*Runner, *span.Span) {
+	ctx, sp := span.Start(r.context(), name)
+	if sp == nil {
+		return r, nil
+	}
+	return r.WithContext(ctx), sp
+}
 
 // Partition returns (building and caching on demand) the partition for one
 // workload and variant with the given hardware target limit (0 = paper's 4).

@@ -26,14 +26,15 @@ type Fig5Cell struct {
 // suite, workload, PU count, pipeline, then variant. All cells execute
 // concurrently on the runner's engine; the cell order (and therefore any
 // formatted output) is independent of completion order.
-func Figure5(r *Runner, pus []int, names []string) ([]Fig5Cell, error) {
+func Figure5(r *Runner, pus []int, names []string) (cells []Fig5Cell, err error) {
+	r, sp := r.traced("experiment.fig5")
+	defer func() { sp.End(err) }()
 	if len(pus) == 0 {
 		pus = []int{4, 8}
 	}
 	if len(names) == 0 {
 		names = workloads.Names()
 	}
-	var cells []Fig5Cell
 	for _, name := range names {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -50,7 +51,7 @@ func Figure5(r *Runner, pus []int, names []string) ([]Fig5Cell, error) {
 			}
 		}
 	}
-	err := grid.RunAll(r.context(), len(cells), func(i int) error {
+	err = grid.RunAll(r.context(), len(cells), func(i int) error {
 		c := &cells[i]
 		res, err := r.Run(c.Workload, c.Variant, SimConfig{PUs: c.PUs, InOrder: c.InOrder})
 		if err != nil {

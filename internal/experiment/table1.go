@@ -50,13 +50,15 @@ func brMisp(taskMisp, ctPerTask float64) float64 {
 // window-span configuration). The compress and fpppp rows use the task-size
 // augmented variants, as the paper does. Rows execute concurrently on the
 // runner's engine and land in workload order.
-func Table1(r *Runner, names []string) ([]T1Row, error) {
+func Table1(r *Runner, names []string) (rows []T1Row, err error) {
+	r, sp := r.traced("experiment.table1")
+	defer func() { sp.End(err) }()
 	if len(names) == 0 {
 		names = workloads.Names()
 	}
 	mc := SimConfig{PUs: 8}
-	rows := make([]T1Row, len(names))
-	err := grid.RunAll(r.context(), len(names), func(i int) error {
+	rows = make([]T1Row, len(names))
+	err = grid.RunAll(r.context(), len(names), func(i int) error {
 		name := names[i]
 		w, err := workloads.ByName(name)
 		if err != nil {

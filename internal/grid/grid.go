@@ -17,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/workloads"
 )
@@ -227,10 +229,8 @@ func flight[T any](ctx context.Context, e *Engine, m map[string]*call[T], key st
 				if e.m != nil {
 					e.m.dedups.Inc()
 				}
-				select {
-				case <-c.done:
-				case <-ctx.Done():
-					return zero, ctx.Err()
+				if err := waitFlight(ctx, c.done); err != nil {
+					return zero, err
 				}
 			}
 			if isCtxErr(c.err) {
@@ -257,6 +257,21 @@ func flight[T any](ctx context.Context, e *Engine, m map[string]*call[T], key st
 	}
 }
 
+// waitFlight blocks until the in-flight leader for a key finishes or ctx
+// ends. The wait is recorded as a grid.singleflight-wait span when the
+// caller is traced — coalescing is invisible in logs, and exactly the kind
+// of "where did my latency go" answer a trace exists to give.
+func waitFlight(ctx context.Context, done <-chan struct{}) (err error) {
+	_, sp := span.Start(ctx, "grid.singleflight-wait")
+	defer func() { sp.End(err) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // acquire takes a worker slot, or gives up when ctx ends first — this is
 // what lets a queued job cancel cleanly without ever running.
 func (e *Engine) acquire(ctx context.Context) error {
@@ -277,8 +292,11 @@ func (e *Engine) release() { <-e.sem }
 
 // acquireObserved is acquire plus queue-wait and occupancy accounting; it
 // falls through to the bare channel send when metrics are off, so the
-// unobserved hot path never calls time.Now.
-func (e *Engine) acquireObserved(ctx context.Context) error {
+// unobserved hot path never calls time.Now. A traced caller additionally
+// gets a grid.queue-wait span covering the time spent waiting for a slot.
+func (e *Engine) acquireObserved(ctx context.Context) (err error) {
+	_, sp := span.Start(ctx, "grid.queue-wait")
+	defer func() { sp.End(err) }()
 	if e.m == nil {
 		return e.acquire(ctx)
 	}
@@ -300,20 +318,22 @@ func (e *Engine) releaseObserved() {
 	}
 }
 
-// timed runs fn inside a worker slot, recording exec wall time when metrics
-// are attached. Cancellation is only honored while waiting for the slot:
-// once fn starts it runs to completion (sim.Run is not preemptible).
-func timed[T any](ctx context.Context, e *Engine, fn func() (T, error)) (T, error) {
-	var zero T
-	if err := e.acquireObserved(ctx); err != nil {
-		return zero, err
+// timed runs fn inside a worker slot as a span named name, recording exec
+// wall time when metrics are attached. Cancellation is only honored while
+// waiting for the slot: once fn starts it runs to completion (sim.Run is not
+// preemptible).
+func timed[T any](ctx context.Context, e *Engine, name string, fn func() (T, error)) (v T, err error) {
+	if err = e.acquireObserved(ctx); err != nil {
+		return v, err
 	}
 	defer e.releaseObserved()
+	_, sp := span.Start(ctx, name)
+	defer func() { sp.End(err) }()
 	if e.m == nil {
 		return fn()
 	}
 	t0 := time.Now()
-	v, err := fn()
+	v, err = fn()
 	e.m.execWall.Observe(time.Since(t0).Microseconds())
 	return v, err
 }
@@ -337,7 +357,7 @@ func (e *Engine) PartitionCtx(ctx context.Context, workload string, opts core.Op
 		if err != nil {
 			return nil, err
 		}
-		p, err := timed(ctx, e, func() (*core.Partition, error) {
+		p, err := timed(ctx, e, "grid.partition", func() (*core.Partition, error) {
 			e.nParts.Add(1)
 			if e.m != nil {
 				e.m.parts.Inc()
@@ -373,11 +393,18 @@ func (e *Engine) Run(job Job) (*sim.Result, error) {
 // already executing runs to completion (its result is still memoized for the
 // next caller). Context errors are never memoized: the next request for the
 // same key simply recomputes.
-func (e *Engine) RunCtx(ctx context.Context, job Job) (*sim.Result, error) {
+func (e *Engine) RunCtx(ctx context.Context, job Job) (res *sim.Result, err error) {
 	if job.Workload == "" {
 		return nil, errors.New("grid: empty workload name")
 	}
 	key := Key(job)
+	ctx, sp := span.Start(ctx, "grid.run")
+	if sp != nil {
+		sp.SetAttr("workload", job.Workload)
+		sp.SetAttr("pus", strconv.Itoa(job.Config.NumPUs))
+		sp.SetAttr("key", key)
+	}
+	defer func() { sp.End(err) }()
 	return flight(ctx, e, e.sims, key, func() (*sim.Result, error) {
 		e.jobs.Add(1)
 		defer e.done.Add(1)
@@ -389,7 +416,7 @@ func (e *Engine) RunCtx(ctx context.Context, job Job) (*sim.Result, error) {
 			cache = nil
 		}
 		if cache != nil {
-			if res, ok := cache.Load(ctx, key, job); ok {
+			if res, ok := cacheProbe(ctx, cache, key, job); ok {
 				e.cacheHits.Add(1)
 				if e.m != nil {
 					e.m.cacheHits.Inc()
@@ -428,6 +455,20 @@ func (e *Engine) RunCtx(ctx context.Context, job Job) (*sim.Result, error) {
 	})
 }
 
+// cacheProbe is Cache.Load under a grid.cache-lookup span carrying the
+// outcome; tiered caches (internal/dist) add one child probe span per tier,
+// so a trace shows exactly which tier answered.
+func cacheProbe(ctx context.Context, cache Cache, key string, job Job) (res *sim.Result, ok bool) {
+	ctx, sp := span.Start(ctx, "grid.cache-lookup")
+	defer func() {
+		if sp != nil {
+			sp.SetAttr("hit", strconv.FormatBool(ok))
+		}
+		sp.End(nil)
+	}()
+	return cache.Load(ctx, key, job)
+}
+
 // ComputeCtx executes one job in this process unconditionally: the
 // partition dependency resolves through the shared single-flight (so jobs
 // on the same selection still select once), then the simulation runs in a
@@ -443,7 +484,7 @@ func (e *Engine) ComputeCtx(ctx context.Context, job Job) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := timed(ctx, e, func() (*sim.Result, error) {
+	res, err := timed(ctx, e, "grid.sim-exec", func() (*sim.Result, error) {
 		e.nSims.Add(1)
 		if e.m != nil {
 			e.m.sims.Inc()

@@ -7,11 +7,13 @@ import (
 	"sort"
 )
 
-// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// ChromeEvent is one entry of the Chrome trace-event format (the JSON
 // "traceEvents" array), which ui.perfetto.dev and chrome://tracing both
-// ingest. Timestamps are in microseconds; the exporter maps one simulated
-// cycle to one microsecond so cycle numbers read directly off the ruler.
-type chromeEvent struct {
+// ingest. Timestamps are in microseconds; the cycle exporter below maps one
+// simulated cycle to one microsecond so cycle numbers read directly off the
+// ruler, and the span exporter (internal/obs/span) reuses the type for real
+// wall-clock microseconds.
+type ChromeEvent struct {
 	Name  string         `json:"name"`
 	Ph    string         `json:"ph"`
 	Ts    int64          `json:"ts"`
@@ -23,8 +25,15 @@ type chromeEvent struct {
 }
 
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeEvents wraps an already-built event list in the trace-event
+// envelope. It is the low-level half of WriteChromeTrace, shared with the
+// distributed-span exporter.
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"})
 }
 
 // taskSpan accumulates the lifetime edges of one dynamic task until its
@@ -44,18 +53,18 @@ func WriteChromeTrace(w io.Writer, events []Event, numPUs int) error {
 	if numPUs <= 0 {
 		return fmt.Errorf("obs: WriteChromeTrace wants a positive PU count, got %d", numPUs)
 	}
-	out := make([]chromeEvent, 0, len(events)+2*numPUs+1)
-	out = append(out, chromeEvent{
+	out := make([]ChromeEvent, 0, len(events)+2*numPUs+1)
+	out = append(out, ChromeEvent{
 		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
 		Args: map[string]any{"name": "multiscalar"},
 	})
 	for pu := 0; pu < numPUs; pu++ {
 		out = append(out,
-			chromeEvent{
+			ChromeEvent{
 				Name: "thread_name", Ph: "M", Pid: 0, Tid: pu,
 				Args: map[string]any{"name": fmt.Sprintf("PU %d", pu)},
 			},
-			chromeEvent{
+			ChromeEvent{
 				Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: pu,
 				Args: map[string]any{"sort_index": pu},
 			})
@@ -87,7 +96,7 @@ func WriteChromeTrace(w io.Writer, events []Event, numPUs int) error {
 			if dur < 1 {
 				dur = 1
 			}
-			out = append(out, chromeEvent{
+			out = append(out, ChromeEvent{
 				Name: fmt.Sprintf("task %d", sp.task),
 				Ph:   "X", Ts: sp.assign, Dur: dur, Pid: 0, Tid: sp.pu,
 				Args: map[string]any{
@@ -100,7 +109,7 @@ func WriteChromeTrace(w io.Writer, events []Event, numPUs int) error {
 			})
 		case EvSquash, EvRestart, EvARBOverflow, EvMispredict, EvSyncWait,
 			EvRegForward, EvRegRelease:
-			out = append(out, chromeEvent{
+			out = append(out, ChromeEvent{
 				Name: e.Kind.String(),
 				Ph:   "i", Ts: e.Cycle, Pid: 0, Tid: e.PU, Scope: "t",
 				Args: map[string]any{"seq": e.Seq, "task": e.Task, "arg": e.Arg},
@@ -123,12 +132,11 @@ func WriteChromeTrace(w io.Writer, events []Event, numPUs int) error {
 		if dur < 1 {
 			dur = 1
 		}
-		out = append(out, chromeEvent{
+		out = append(out, ChromeEvent{
 			Name: fmt.Sprintf("task %d (open)", sp.task),
 			Ph:   "X", Ts: sp.assign, Dur: dur, Pid: 0, Tid: sp.pu,
 		})
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"})
+	return WriteChromeEvents(w, out)
 }

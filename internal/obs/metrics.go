@@ -68,6 +68,7 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 type Histogram struct {
 	name, unit, help string
 	bounds           []int64
+	scale            float64        // exposition multiplier; 0 = render raw int64s
 	buckets          []atomic.Int64 // len(bounds)+1
 	count, sum       atomic.Int64
 	min, max         atomic.Int64
@@ -157,6 +158,15 @@ func (r *Registry) Gauge(name, unit, help string) *Gauge {
 // given bucket bounds (ascending). Bounds are fixed at creation; later calls
 // ignore the bounds argument.
 func (r *Registry) Histogram(name, unit, help string, bounds []int64) *Histogram {
+	return r.HistogramScale(name, unit, help, bounds, 0)
+}
+
+// HistogramScale is Histogram with an exposition scale: observations stay
+// cheap int64s internally (e.g. nanoseconds), but snapshots and the
+// Prometheus rendering multiply bounds and sum by scale — nanosecond
+// observations with scale 1e-9 expose as seconds, matching the
+// `_seconds` naming convention without a float on the hot path.
+func (r *Registry) HistogramScale(name, unit, help string, bounds []int64, scale float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h, ok := r.hs[name]; ok {
@@ -171,6 +181,7 @@ func (r *Registry) Histogram(name, unit, help string, bounds []int64) *Histogram
 	h := &Histogram{
 		name: name, unit: unit, help: help,
 		bounds:  append([]int64(nil), bounds...),
+		scale:   scale,
 		buckets: make([]atomic.Int64, len(bounds)+1),
 	}
 	h.min.Store(math.MaxInt64)
@@ -215,6 +226,10 @@ type MetricSnapshot struct {
 	Min     int64    `json:"min,omitempty"`
 	Max     int64    `json:"max,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+
+	// Scale, when non-zero, is the multiplier applied to Sum and bucket
+	// bounds at exposition time (see HistogramScale).
+	Scale float64 `json:"scale,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every registered metric, sorted by
@@ -243,7 +258,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, h := range r.hs {
 		ms := MetricSnapshot{
 			Name: h.name, Type: "histogram", Unit: h.unit, Help: h.help,
-			Count: h.count.Load(), Sum: h.sum.Load(),
+			Count: h.count.Load(), Sum: h.sum.Load(), Scale: h.scale,
 		}
 		if ms.Count > 0 {
 			ms.Min, ms.Max = h.min.Load(), h.max.Load()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -12,38 +13,60 @@ import (
 // as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Metrics
 // appear in name order, so the same registry contents always render the same
 // bytes — suitable for golden tests and for scrape endpoints alike.
+//
+// A metric registered with labels baked into its name — `base{k="v"}` — is
+// rendered as one series of the `base` family: HELP and TYPE are emitted
+// once per family (name order keeps same-family series adjacent), and for
+// histograms the labels merge with the `le` label on every bucket line.
+// Histograms registered via HistogramScale render bounds and sum multiplied
+// by their scale.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
 	for _, m := range s.Metrics {
-		help := m.Help
-		if m.Unit != "" {
-			help += " (" + m.Unit + ")"
-		}
-		if help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(help)); err != nil {
+		base, labels := splitLabels(m.Name)
+		if base != lastFamily {
+			lastFamily = base
+			help := m.Help
+			if m.Unit != "" {
+				help += " (" + m.Unit + ")"
+			}
+			if help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
+			typ := m.Type
+			if typ == "" {
+				typ = "untyped"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ); err != nil {
 				return err
 			}
 		}
 		switch m.Type {
 		case "counter", "gauge":
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.Name, m.Type, m.Name, *m.Value); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", sample(base, labels), *m.Value); err != nil {
 				return err
 			}
 		case "histogram":
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.Name); err != nil {
-				return err
-			}
 			cum := int64(0)
 			for _, b := range m.Buckets {
 				cum += b.Count
 				le := "+Inf"
 				if b.Le != math.MaxInt64 {
-					le = fmt.Sprintf("%d", b.Le)
+					le = scaled(b.Le, m.Scale)
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, le, cum); err != nil {
+				bucketLabels := `le="` + le + `"`
+				if labels != "" {
+					bucketLabels = labels + "," + bucketLabels
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, bucketLabels, cum); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m.Name, m.Sum, m.Name, m.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+				sample(base+"_sum", labels), scaled(m.Sum, m.Scale),
+				sample(base+"_count", labels), m.Count); err != nil {
 				return err
 			}
 		}
@@ -55,6 +78,33 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 // text exposition format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	return r.Snapshot().WritePrometheus(w)
+}
+
+// splitLabels separates `base{k="v"}` into base and the label body; a plain
+// name comes back with empty labels.
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+func sample(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// scaled renders an int64 observation for exposition: raw when scale is
+// zero, otherwise multiplied into a float with the shortest round-trip
+// representation.
+func scaled(v int64, scale float64) string {
+	if scale == 0 {
+		return strconv.FormatInt(v, 10)
+	}
+	return strconv.FormatFloat(float64(v)*scale, 'g', -1, 64)
 }
 
 // escapeHelp escapes the two characters the exposition format reserves in

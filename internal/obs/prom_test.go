@@ -47,6 +47,46 @@ serve_requests_total 7
 	}
 }
 
+// TestWritePrometheusLabeledScaled pins the label-in-name family rendering:
+// two series of one histogram family share a single HELP/TYPE header, labels
+// merge with le on bucket lines, and a 1e-9 scale renders nanosecond
+// observations as seconds.
+func TestWritePrometheusLabeledScaled(t *testing.T) {
+	r := NewRegistry()
+	a := r.HistogramScale(`ms_span_duration_seconds{span="grid.run"}`, "s", "span duration by hop",
+		[]int64{1_000_000, 1_000_000_000}, 1e-9)
+	a.Observe(500_000)       // 0.5ms
+	a.Observe(2_000_000_000) // 2s
+	b := r.HistogramScale(`ms_span_duration_seconds{span="sim.exec"}`, "s", "span duration by hop",
+		[]int64{1_000_000, 1_000_000_000}, 1e-9)
+	b.Observe(250_000_000) // 0.25s
+	r.Counter(`worker_jobs_total{worker="w1"}`, "", "jobs by worker").Add(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ms_span_duration_seconds span duration by hop (s)
+# TYPE ms_span_duration_seconds histogram
+ms_span_duration_seconds_bucket{span="grid.run",le="0.001"} 1
+ms_span_duration_seconds_bucket{span="grid.run",le="1"} 1
+ms_span_duration_seconds_bucket{span="grid.run",le="+Inf"} 2
+ms_span_duration_seconds_sum{span="grid.run"} 2.0005
+ms_span_duration_seconds_count{span="grid.run"} 2
+ms_span_duration_seconds_bucket{span="sim.exec",le="0.001"} 0
+ms_span_duration_seconds_bucket{span="sim.exec",le="1"} 1
+ms_span_duration_seconds_bucket{span="sim.exec",le="+Inf"} 1
+ms_span_duration_seconds_sum{span="sim.exec"} 0.25
+ms_span_duration_seconds_count{span="sim.exec"} 1
+# HELP worker_jobs_total jobs by worker
+# TYPE worker_jobs_total counter
+worker_jobs_total{worker="w1"} 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 func TestWritePrometheusEscapesHelp(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x_total", "", "line one\nline \\ two").Inc()

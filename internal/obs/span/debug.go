@@ -1,0 +1,135 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RegisterDebug mounts the live introspection surface on mux:
+//
+//	GET /debug/traces              list retained traces (?status=, ?min_ms=, ?limit=)
+//	GET /debug/traces/{id}         one trace as a span tree (?format=chrome for trace-event JSON)
+//	GET /debug/requests            in-flight traces with age and current span
+//
+// Both mssrv and the msreport leader call this when tracing is enabled; an
+// untraced process never mounts the routes, so /debug 404s exactly like any
+// other unknown path.
+func RegisterDebug(mux *http.ServeMux, t *Tracer) {
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		f := Filter{Status: r.URL.Query().Get("status")}
+		if f.Status != "" && f.Status != StatusOK && f.Status != StatusError {
+			debugError(w, http.StatusBadRequest, `status must be "ok" or "error"`)
+			return
+		}
+		if v := r.URL.Query().Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil || ms < 0 {
+				debugError(w, http.StatusBadRequest, "min_ms must be a non-negative number")
+				return
+			}
+			f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+		}
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				debugError(w, http.StatusBadRequest, "limit must be a positive integer")
+				return
+			}
+			f.Limit = n
+		}
+		tds := t.Recorder().List(f)
+		sums := make([]Summary, len(tds))
+		for i, td := range tds {
+			sums[i] = td.summary()
+		}
+		debugJSON(w, map[string]any{"traces": sums})
+	})
+
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := TraceID(r.PathValue("id"))
+		td := t.Recorder().Get(id)
+		if td == nil {
+			debugError(w, http.StatusNotFound, "trace not retained (expired from the flight recorder, or never finished)")
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="trace-`+string(id)+`.json"`)
+			if err := WriteChrome(w, td); err != nil {
+				// Headers are gone; nothing useful left to send.
+				return
+			}
+			return
+		}
+		debugJSON(w, map[string]any{
+			"trace_id":      td.TraceID,
+			"status":        td.Status(),
+			"duration_ms":   float64(td.Root.Duration) / 1e6,
+			"dropped_spans": td.Dropped,
+			"tree":          spanTree(td),
+		})
+	})
+
+	mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		debugJSON(w, map[string]any{"requests": t.InFlight()})
+	})
+}
+
+// treeNode is one span plus its children, for the JSON tree view.
+type treeNode struct {
+	SpanData
+	Children []*treeNode `json:"children,omitempty"`
+}
+
+// spanTree links spans by parent ID. Spans whose parent is not in the trace
+// (the root, plus anything orphaned by drops) become top-level nodes.
+// Children sort by start time.
+func spanTree(td *TraceData) []*treeNode {
+	nodes := make(map[SpanID]*treeNode, len(td.Spans))
+	for _, s := range td.Spans {
+		nodes[s.SpanID] = &treeNode{SpanData: s}
+	}
+	var roots []*treeNode
+	for _, s := range td.Spans {
+		n := nodes[s.SpanID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortKids func(ns []*treeNode)
+	sortKids = func(ns []*treeNode) {
+		sortByStart(ns)
+		for _, n := range ns {
+			sortKids(n.Children)
+		}
+	}
+	sortKids(roots)
+	return roots
+}
+
+func sortByStart(ns []*treeNode) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].Start < ns[j-1].Start; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func debugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error here means the client went away mid-write; there is
+	// no channel left to report on.
+	_ = enc.Encode(v)
+}
+
+func debugError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": map[string]any{"code": code, "message": msg}})
+}

@@ -1,0 +1,196 @@
+package span
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceData is a completed trace as retained by the flight recorder.
+type TraceData struct {
+	TraceID TraceID    `json:"trace_id"`
+	Root    SpanData   `json:"root"`
+	Spans   []SpanData `json:"spans"` // completion order; includes the root
+	Dropped int        `json:"dropped_spans,omitempty"`
+	Errored bool       `json:"errored"`
+}
+
+// Duration is the root span's wall time.
+func (td *TraceData) Duration() time.Duration {
+	return time.Duration(td.Root.Duration)
+}
+
+// Status is the root's status, promoted to error if ANY span errored — a
+// request that succeeded after an internal retry still shows where it bled.
+func (td *TraceData) Status() string {
+	if td.Errored {
+		return StatusError
+	}
+	return StatusOK
+}
+
+// Summary is the list-view projection of a TraceData.
+type Summary struct {
+	TraceID    TraceID `json:"trace_id"`
+	Name       string  `json:"name"`
+	Process    string  `json:"process"`
+	Start      int64   `json:"start_unix_ns"`
+	DurationMS float64 `json:"duration_ms"`
+	Status     string  `json:"status"`
+	Spans      int     `json:"spans"`
+	Dropped    int     `json:"dropped_spans,omitempty"`
+}
+
+func (td *TraceData) summary() Summary {
+	return Summary{
+		TraceID:    td.TraceID,
+		Name:       td.Root.Name,
+		Process:    td.Root.Process,
+		Start:      td.Root.Start,
+		DurationMS: float64(td.Root.Duration) / 1e6,
+		Status:     td.Status(),
+		Spans:      len(td.Spans),
+		Dropped:    td.Dropped,
+	}
+}
+
+// Filter selects traces from the recorder.
+type Filter struct {
+	Status      string        // "", "ok", or "error"
+	MinDuration time.Duration // keep traces at least this long
+	Limit       int           // max results (default 100)
+}
+
+// Recorder is the flight recorder: a fixed ring of recently completed
+// traces, plus two retention sets that survive ring churn — the slowest N
+// by root duration and the most recent N errored. Everything is bounded;
+// Add never blocks and never grows without limit.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []*TraceData // circular, next is the write cursor
+	next  int
+	slow  []*TraceData // sorted by duration, descending; cap slowN
+	slowN int
+	errs  []*TraceData // newest first; cap errN
+	errN  int
+	adds  int64
+}
+
+func newRecorder(ring, slowN, errN int) *Recorder {
+	return &Recorder{
+		ring:  make([]*TraceData, ring),
+		slowN: slowN,
+		errs:  make([]*TraceData, 0, errN),
+		errN:  errN,
+	}
+}
+
+// Add retains a completed trace.
+func (r *Recorder) Add(td *TraceData) {
+	if r == nil || td == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.adds++
+	r.ring[r.next] = td
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+	}
+	// Slowest-N: insertion sort into a tiny slice.
+	i := sort.Search(len(r.slow), func(i int) bool {
+		return r.slow[i].Root.Duration < td.Root.Duration
+	})
+	if i < r.slowN {
+		r.slow = append(r.slow, nil)
+		copy(r.slow[i+1:], r.slow[i:])
+		r.slow[i] = td
+		if len(r.slow) > r.slowN {
+			r.slow = r.slow[:r.slowN]
+		}
+	}
+	if td.Errored {
+		r.errs = append([]*TraceData{td}, r.errs...)
+		if len(r.errs) > r.errN {
+			r.errs = r.errs[:r.errN]
+		}
+	}
+}
+
+// Get returns a retained trace by ID, or nil.
+func (r *Recorder) Get(id TraceID) *TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, td := range r.ring {
+		if td != nil && td.TraceID == id {
+			return td
+		}
+	}
+	for _, td := range r.slow {
+		if td.TraceID == id {
+			return td
+		}
+	}
+	for _, td := range r.errs {
+		if td.TraceID == id {
+			return td
+		}
+	}
+	return nil
+}
+
+// List returns retained traces matching f, newest first.
+func (r *Recorder) List(f Filter) []*TraceData {
+	if r == nil {
+		return nil
+	}
+	if f.Limit <= 0 {
+		f.Limit = 100
+	}
+	r.mu.Lock()
+	seen := make(map[TraceID]bool)
+	var all []*TraceData
+	collect := func(tds []*TraceData) {
+		for _, td := range tds {
+			if td == nil || seen[td.TraceID] {
+				continue
+			}
+			seen[td.TraceID] = true
+			all = append(all, td)
+		}
+	}
+	collect(r.ring)
+	collect(r.slow)
+	collect(r.errs)
+	r.mu.Unlock()
+
+	out := all[:0]
+	for _, td := range all {
+		if f.Status != "" && td.Status() != f.Status {
+			continue
+		}
+		if td.Duration() < f.MinDuration {
+			continue
+		}
+		out = append(out, td)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Root.Start > out[j].Root.Start })
+	if len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Len reports how many traces have ever been added.
+func (r *Recorder) Len() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.adds
+}

@@ -1,0 +1,440 @@
+package span
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"multiscalar/internal/obs"
+)
+
+// Options configures a Tracer. The zero value gets sensible defaults.
+type Options struct {
+	// Process names this process on cross-process timelines ("mssrv",
+	// "msreport", a worker's leader-assigned name). Default "proc".
+	Process string
+
+	// Ring is the flight-recorder capacity in completed traces (default
+	// 128). Slowest/errored retention is separate — see SlowN/ErrN.
+	Ring int
+
+	// SlowN completed traces with the longest root duration are retained
+	// even after the ring has recycled them (default 16).
+	SlowN int
+
+	// ErrN most recent errored traces are retained likewise (default 64).
+	ErrN int
+
+	// MaxSpansPerTrace caps the spans recorded for one trace; excess spans
+	// still run (and still feed metrics) but are counted as dropped rather
+	// than stored (default 512).
+	MaxSpansPerTrace int
+
+	// MaxActive caps concurrently in-flight traces; beyond it the oldest
+	// is evicted unfinished (default 1024).
+	MaxActive int
+
+	// Metrics, when set, receives per-hop span latency histograms
+	// (ms_span_duration_seconds{span="<name>"}).
+	Metrics *obs.Registry
+}
+
+// activeTrace accumulates spans for one in-flight trace.
+type activeTrace struct {
+	seq      uint64 // admission order, for eviction
+	root     bool   // a finalizing span has been claimed in this process
+	rootName string
+	start    int64 // unix ns of the earliest registered span
+	spans    []SpanData
+	open     int // started-but-not-ended spans
+	dropped  int
+	current  string // name of the most recently started still-open span
+	curID    SpanID
+}
+
+// Tracer creates spans, accumulates in-flight traces, and hands completed
+// ones to the flight recorder. A nil *Tracer is valid and disables
+// everything. On worker processes the same type accumulates trace fragments
+// that Collect ships back to the leader.
+type Tracer struct {
+	maxSpans  int
+	maxActive int
+	rec       *Recorder
+	metrics   *obs.Registry
+
+	procMu  sync.Mutex
+	process string
+
+	mu      sync.Mutex
+	active  map[TraceID]*activeTrace
+	seq     uint64
+	dropped int64 // spans that arrived for unknown or evicted traces
+
+	histMu sync.Mutex
+	hists  map[string]*obs.Histogram
+}
+
+// spanBuckets spans 1µs to ~17s exponentially — wide enough for a queue-wait
+// blip and a full experiment sweep on one scale.
+var spanBuckets = obs.ExpBuckets(1000, 8, 10)
+
+// New builds a Tracer. Returns a working tracer even for Options{}.
+func New(o Options) *Tracer {
+	if o.Process == "" {
+		o.Process = "proc"
+	}
+	if o.Ring <= 0 {
+		o.Ring = 128
+	}
+	if o.SlowN <= 0 {
+		o.SlowN = 16
+	}
+	if o.ErrN <= 0 {
+		o.ErrN = 64
+	}
+	if o.MaxSpansPerTrace <= 0 {
+		o.MaxSpansPerTrace = 512
+	}
+	if o.MaxActive <= 0 {
+		o.MaxActive = 1024
+	}
+	return &Tracer{
+		maxSpans:  o.MaxSpansPerTrace,
+		maxActive: o.MaxActive,
+		rec:       newRecorder(o.Ring, o.SlowN, o.ErrN),
+		metrics:   o.Metrics,
+		process:   o.Process,
+		active:    make(map[TraceID]*activeTrace),
+		hists:     make(map[string]*obs.Histogram),
+	}
+}
+
+// Process returns the tracer's process name ("" on nil).
+func (t *Tracer) Process() string {
+	if t == nil {
+		return ""
+	}
+	t.procMu.Lock()
+	defer t.procMu.Unlock()
+	return t.process
+}
+
+// SetProcess renames the process — used by workers once the leader assigns
+// their fleet name, so trace tracks read "w1"/"w2" instead of a local guess.
+func (t *Tracer) SetProcess(name string) {
+	if t == nil || name == "" {
+		return
+	}
+	t.procMu.Lock()
+	t.process = name
+	t.procMu.Unlock()
+}
+
+// Recorder exposes the flight recorder (nil on a nil tracer).
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Dropped returns how many spans were discarded because their trace was
+// unknown, evicted, or over the per-trace cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.dropped
+	for _, at := range t.active {
+		n += int64(at.dropped)
+	}
+	return n
+}
+
+// StartRoot opens a new trace and its root span. Ending the returned span
+// completes the trace and hands it to the recorder.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.register(NewTraceID(), "", name, true)
+	return ContextWith(ctx, s), s
+}
+
+// StartLinked opens a root-like span parented to a remote span context —
+// the serve middleware uses it when a request arrives with X-Ms-Trace, so
+// the caller's trace ID is kept but this process still records (and
+// finalizes) its own view of the request. An invalid parent degrades to
+// StartRoot.
+func (t *Tracer) StartLinked(ctx context.Context, parent SpanContext, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if !parent.Valid() {
+		return t.StartRoot(ctx, name)
+	}
+	s := t.register(parent.TraceID, parent.SpanID, name, true)
+	return ContextWith(ctx, s), s
+}
+
+// StartRemote opens a span under a remote parent WITHOUT claiming trace
+// completion — the worker side of a dispatched job. The spans accumulate as
+// a fragment until Collect ships them back. An invalid parent means the
+// leader isn't tracing; nothing is recorded.
+func (t *Tracer) StartRemote(ctx context.Context, parent SpanContext, name string) (context.Context, *Span) {
+	if t == nil || !parent.Valid() {
+		return ctx, nil
+	}
+	s := t.register(parent.TraceID, parent.SpanID, name, false)
+	return ContextWith(ctx, s), s
+}
+
+// Record writes an already-measured span under a remote parent — for hops
+// whose extent is only known after the fact, like the pull RTT that
+// delivered a job.
+func (t *Tracer) Record(parent SpanContext, name string, start time.Time, dur time.Duration, err error) {
+	if t == nil || !parent.Valid() {
+		return
+	}
+	d := SpanData{
+		TraceID:  parent.TraceID,
+		SpanID:   newSpanID(),
+		Parent:   parent.SpanID,
+		Name:     name,
+		Process:  t.Process(),
+		Start:    start.UnixNano(),
+		Duration: int64(dur),
+		Status:   StatusOK,
+	}
+	if err != nil {
+		d.Status = StatusError
+		d.Error = err.Error()
+	}
+	t.observe(d)
+	t.append(d, true)
+}
+
+// Collect drains and returns the accumulated span fragment for a trace —
+// the worker calls it after a job ends to ship spans back on the report.
+// Spans still open (a concurrent job of the same trace mid-execution) keep
+// the trace entry alive; they ship with their own job's report.
+func (t *Tracer) Collect(id TraceID) []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at := t.active[id]
+	if at == nil {
+		return nil
+	}
+	spans := at.spans
+	at.spans = nil
+	if at.open <= 0 {
+		delete(t.active, id)
+	}
+	return spans
+}
+
+// Ingest merges remotely-recorded spans into their still-active local
+// traces. Spans for traces this tracer isn't tracking are dropped — that
+// bounds memory against late or stray reports.
+func (t *Tracer) Ingest(spans []SpanData) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, d := range spans {
+		at := t.active[d.TraceID]
+		if at == nil {
+			t.dropped++
+			continue
+		}
+		t.storeLocked(at, d)
+	}
+}
+
+// InFlightTrace describes one currently-open trace for /debug/requests.
+type InFlightTrace struct {
+	TraceID   TraceID `json:"trace_id"`
+	Root      string  `json:"root"`
+	AgeMS     float64 `json:"age_ms"`
+	OpenSpans int     `json:"open_spans"`
+	Spans     int     `json:"spans"`
+	Current   string  `json:"current_span,omitempty"`
+}
+
+// InFlight lists open traces that have claimed a root here, oldest first.
+func (t *Tracer) InFlight() []InFlightTrace {
+	if t == nil {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	out := make([]InFlightTrace, 0, len(t.active))
+	for id, at := range t.active {
+		if !at.root {
+			continue // worker-side fragment, not a request we own
+		}
+		out = append(out, InFlightTrace{
+			TraceID:   id,
+			Root:      at.rootName,
+			AgeMS:     float64(now-at.start) / 1e6,
+			OpenSpans: at.open,
+			Spans:     len(at.spans),
+			Current:   at.current,
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].AgeMS > out[j].AgeMS })
+	return out
+}
+
+// newSpan creates a live child span and registers it with the trace.
+func (t *Tracer) newSpan(trace TraceID, parent SpanID, name string, wantRoot bool) *Span {
+	return t.register(trace, parent, name, wantRoot)
+}
+
+func (t *Tracer) register(trace TraceID, parent SpanID, name string, wantRoot bool) *Span {
+	now := time.Now()
+	s := &Span{tr: t, start: now}
+	s.data = SpanData{
+		TraceID: trace,
+		SpanID:  newSpanID(),
+		Parent:  parent,
+		Name:    name,
+		Process: t.Process(),
+		Start:   now.UnixNano(),
+	}
+	t.mu.Lock()
+	at := t.active[trace]
+	if at == nil {
+		t.evictLocked()
+		t.seq++
+		at = &activeTrace{seq: t.seq, start: s.data.Start, rootName: name}
+		t.active[trace] = at
+	}
+	if wantRoot && !at.root {
+		// First root-claiming span wins; concurrent claims (can't happen in
+		// practice — one middleware span per request) would nest under it.
+		at.root = true
+		at.rootName = name
+		at.start = s.data.Start
+		s.final = true
+	}
+	at.open++
+	at.current, at.curID = name, s.data.SpanID
+	t.mu.Unlock()
+	return s
+}
+
+// evictLocked makes room for a new active trace by dropping the oldest.
+func (t *Tracer) evictLocked() {
+	if len(t.active) < t.maxActive {
+		return
+	}
+	var oldest TraceID
+	var oldestSeq uint64
+	for id, at := range t.active {
+		if oldest == "" || at.seq < oldestSeq {
+			oldest, oldestSeq = id, at.seq
+		}
+	}
+	if oldest != "" {
+		t.dropped += int64(len(t.active[oldest].spans))
+		delete(t.active, oldest)
+	}
+}
+
+// finish records a completed live span; final means the trace is done in
+// this process and moves to the recorder.
+func (t *Tracer) finish(d SpanData, final bool) {
+	t.observe(d)
+	t.mu.Lock()
+	at := t.active[d.TraceID]
+	if at == nil {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.storeLocked(at, d)
+	at.open--
+	if at.curID == d.SpanID {
+		at.current, at.curID = "", ""
+	}
+	if !final {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.active, d.TraceID)
+	spans, dropped := at.spans, at.dropped
+	t.mu.Unlock()
+	t.rec.Add(buildTrace(d, spans, dropped))
+}
+
+// append records an already-complete SpanData (Event/Record). createFragment
+// controls whether an unknown trace starts a fragment (worker-side Record
+// before any live span) or is dropped (Event on a dead trace).
+func (t *Tracer) append(d SpanData, createFragment bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at := t.active[d.TraceID]
+	if at == nil {
+		if !createFragment {
+			t.dropped++
+			return
+		}
+		t.evictLocked()
+		t.seq++
+		at = &activeTrace{seq: t.seq, start: d.Start, rootName: d.Name}
+		t.active[d.TraceID] = at
+	}
+	t.storeLocked(at, d)
+}
+
+func (t *Tracer) storeLocked(at *activeTrace, d SpanData) {
+	if len(at.spans) >= t.maxSpans {
+		at.dropped++
+		return
+	}
+	at.spans = append(at.spans, d)
+}
+
+// observe feeds the per-hop latency histogram. Metric names carry the hop
+// as a Prometheus label baked into the name; obs.WritePrometheus renders
+// label-in-name series as one metric family.
+func (t *Tracer) observe(d SpanData) {
+	if t.metrics == nil {
+		return
+	}
+	t.histMu.Lock()
+	h := t.hists[d.Name]
+	if h == nil {
+		h = t.metrics.HistogramScale(
+			`ms_span_duration_seconds{span="`+d.Name+`"}`,
+			"s", "span duration by hop", spanBuckets, 1e-9)
+		t.hists[d.Name] = h
+	}
+	t.histMu.Unlock()
+	h.Observe(d.Duration)
+}
+
+func buildTrace(root SpanData, spans []SpanData, dropped int) *TraceData {
+	td := &TraceData{
+		TraceID: root.TraceID,
+		Root:    root,
+		Spans:   spans,
+		Dropped: dropped,
+	}
+	for _, s := range spans {
+		if s.Status == StatusError {
+			td.Errored = true
+			break
+		}
+	}
+	return td
+}

@@ -64,9 +64,9 @@ func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err er
 			fmt.Sprintf("request deadline (%s) exceeded before the job finished", s.cfg.RequestTimeout))
 	case errors.Is(err, context.Canceled):
 		// The client disconnected; log only.
-		s.log.Printf("level=info msg=client_gone method=%s path=%s", r.Method, r.URL.Path)
+		s.log.Info("client_gone", "method", r.Method, "path", r.URL.Path)
 	default:
-		s.log.Printf("level=error msg=engine_error path=%s err=%v", r.URL.Path, err)
+		s.log.Error("engine_error", "path", r.URL.Path, "err", err.Error())
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
@@ -149,7 +149,7 @@ func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
-		s.log.Printf("level=error msg=metrics_write err=%v", err)
+		s.log.Error("metrics_write", "err", err.Error())
 	}
 }
 
@@ -319,7 +319,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 				if errors.Is(o.err, context.DeadlineExceeded) {
 					code, status = "deadline_exceeded", "request deadline exceeded"
 				}
-				s.log.Printf("level=error msg=experiment_error name=%s err=%v", req.Name, o.err)
+				s.log.Error("experiment_error", "name", req.Name, "err", o.err.Error())
 				sse.event("error", ErrorBody{Error: ErrorDetail{Code: code, Message: status + ": " + o.err.Error()}})
 				return
 			}

@@ -19,16 +19,18 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/obs/span"
 )
 
 // Config configures a Server. Engine is required; everything else defaults.
@@ -59,8 +61,15 @@ type Config struct {
 	// worker counts to GET /healthz. It must be cheap — it runs on every
 	// health probe.
 	Backend func(ctx context.Context) BackendStatus
-	// Logger receives access lines and internal errors (nil = discard).
-	Logger *log.Logger
+	// Logger receives structured access lines and internal errors (nil =
+	// discard). Handing it a JSON handler makes every line machine-parseable;
+	// traced requests carry a trace_id attribute either way.
+	Logger *slog.Logger
+	// Tracer, when non-nil, opens a serve.request span per /v1 request —
+	// honoring an incoming X-Ms-Trace header and always echoing the span
+	// context back on the response — and mounts GET /debug/traces,
+	// /debug/traces/{id}, and /debug/requests.
+	Tracer *span.Tracer
 }
 
 // serveMetrics holds the server's registry handles, resolved once at New.
@@ -75,7 +84,8 @@ type Server struct {
 	cfg      Config
 	eng      *grid.Engine
 	reg      *obs.Registry
-	log      *log.Logger
+	log      *slog.Logger
+	tracer   *span.Tracer
 	admit    chan struct{}
 	hs       *http.Server
 	draining atomic.Bool
@@ -104,14 +114,15 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 1 << 20
 	}
 	if cfg.Logger == nil {
-		cfg.Logger = log.New(io.Discard, "", 0)
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		cfg:   cfg,
-		eng:   cfg.Engine,
-		reg:   cfg.Metrics,
-		log:   cfg.Logger,
-		admit: make(chan struct{}, cfg.MaxInFlight),
+		cfg:    cfg,
+		eng:    cfg.Engine,
+		reg:    cfg.Metrics,
+		log:    cfg.Logger,
+		tracer: cfg.Tracer,
+		admit:  make(chan struct{}, cfg.MaxInFlight),
 	}
 	r := cfg.Metrics
 	s.m = serveMetrics{
@@ -134,6 +145,9 @@ func New(cfg Config) *Server {
 	// converts a remote hit into a redundant local simulation.
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	if s.tracer != nil {
+		span.RegisterDebug(mux, s.tracer)
+	}
 	// Catch-all: structured 404s, and structured 405s for known routes hit
 	// with the wrong method (a method mismatch falls through to this
 	// handler because the "/" pattern still matches the path).
@@ -143,6 +157,10 @@ func New(cfg Config) *Server {
 		"/v1/experiment": http.MethodPost,
 		"/healthz":       http.MethodGet,
 		"/metrics":       http.MethodGet,
+	}
+	if s.tracer != nil {
+		methods["/debug/traces"] = http.MethodGet
+		methods["/debug/requests"] = http.MethodGet
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if want, ok := methods[r.URL.Path]; ok {
@@ -183,16 +201,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // middleware wraps every request with panic recovery, request counting,
-// latency observation, and one structured access-log line.
+// latency observation, one structured access-log line, and — on /v1 routes
+// of a traced server — the request's root span. An incoming X-Ms-Trace
+// header links this process's span tree into the caller's trace; the span
+// context always echoes back on the response header so the client can fetch
+// the finished trace from /debug/traces/{id}.
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		rw := &responseWriter{ResponseWriter: w}
 		s.m.requests.Inc()
+		var sp *span.Span
+		if s.tracer != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+			parent, _ := span.ParseHeader(r.Header.Get(span.Header))
+			var ctx context.Context
+			ctx, sp = s.tracer.StartLinked(r.Context(), parent, "serve.request")
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("path", r.URL.Path)
+			rw.Header().Set(span.Header, span.FormatHeader(sp.Context()))
+			r = r.WithContext(ctx)
+		}
 		defer func() {
 			if p := recover(); p != nil {
-				s.log.Printf("level=error msg=panic method=%s path=%s panic=%v\n%s",
-					r.Method, r.URL.Path, p, debug.Stack())
+				s.log.Error("panic", "method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				if !rw.wrote {
 					writeError(rw, http.StatusInternalServerError, "internal", "internal server error")
 				}
@@ -202,8 +234,21 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			if rw.status() >= 500 {
 				s.m.errors.Inc()
 			}
-			s.log.Printf("level=info msg=access method=%s path=%s status=%d bytes=%d dur_ms=%.1f remote=%s",
-				r.Method, r.URL.Path, rw.status(), rw.bytes, float64(dur.Microseconds())/1000, r.RemoteAddr)
+			attrs := []any{
+				"method", r.Method, "path", r.URL.Path, "status", rw.status(),
+				"bytes", rw.bytes, "dur_ms", float64(dur.Microseconds()) / 1000,
+				"remote", r.RemoteAddr,
+			}
+			if sp != nil {
+				attrs = append(attrs, "trace_id", string(sp.TraceID()))
+				sp.SetAttr("status", strconv.Itoa(rw.status()))
+			}
+			var spanErr error
+			if st := rw.status(); st >= 500 {
+				spanErr = fmt.Errorf("http %d", st)
+			}
+			sp.End(spanErr)
+			s.log.Info("access", attrs...)
 		}()
 		next.ServeHTTP(rw, r)
 	})

@@ -47,10 +47,20 @@
 // publish results through a tiered cache (in-memory LRU → disk → remote
 // peer), and lost workers are reassigned by lease expiry. Output stays
 // byte-identical to a serial run. See DESIGN.md §12.
+//
+// Every hop of that distributed machinery can be traced end to end with the
+// span layer (internal/obs/span, exported with the Span prefix): a
+// SpanTracer propagates trace context over HTTP and the dist wire protocol,
+// retains finished traces in a flight recorder, serves a live /debug
+// introspection surface (RegisterTraceDebug), and exports any trace as
+// Chrome trace-event JSON with one track per process (WriteSpanTrace). A nil
+// tracer is inert, so an untraced run is byte-identical. See DESIGN.md §13.
 package multiscalar
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
@@ -60,6 +70,7 @@ import (
 	"multiscalar/internal/grid"
 	"multiscalar/internal/ir"
 	"multiscalar/internal/obs"
+	"multiscalar/internal/obs/span"
 	"multiscalar/internal/serve"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/verify"
@@ -368,3 +379,53 @@ func NewDistWorker(opts DistWorkerOptions) (*DistWorker, error) { return dist.Ne
 func NewDistCache(cfg DistCacheConfig) (*DistTiered, *DistRemoteCache) {
 	return dist.BuildCache(cfg)
 }
+
+// Request tracing: wall-clock spans across serve, grid, and dist hops, with
+// an in-process flight recorder and a /debug introspection surface
+// (DESIGN.md §13). This is distinct from the cycle-level Tracer above: spans
+// time the distributed machinery, not the simulated machine.
+type (
+	// SpanTracer mints spans, stitches cross-process fragments together,
+	// and retains finished traces in a flight recorder. A nil *SpanTracer
+	// is fully inert, so tracing is strictly pay-for-use.
+	SpanTracer = span.Tracer
+	// SpanTracerOptions configures NewSpanTracer (process name, recorder
+	// retention, per-trace span cap, optional Metrics registry for
+	// ms_span_duration_seconds histograms).
+	SpanTracerOptions = span.Options
+	// Span is one timed operation within a trace. All methods are
+	// nil-receiver safe; End(err) records the outcome.
+	Span = span.Span
+	// SpanContext is the propagated (trace ID, span ID) pair — the value
+	// carried on the X-Ms-Trace header and the dist wire protocol.
+	SpanContext = span.SpanContext
+	// SpanData is one finished span as stored by the recorder.
+	SpanData = span.SpanData
+	// SpanTrace is a finished trace: root, spans, and drop count.
+	SpanTrace = span.TraceData
+	// SpanFilter selects recorder traces by name, status, or duration.
+	SpanFilter = span.Filter
+)
+
+// SpanHeader is the HTTP header carrying a SpanContext between processes.
+const SpanHeader = span.Header
+
+// NewSpanTracer returns a tracer with a flight recorder sized by o. Pass it
+// to ServerConfig.Tracer, DistSchedOptions.Tracer, DistLeaderOptions.Tracer,
+// and DistWorkerOptions.Tracer to trace every hop of a distributed sweep.
+func NewSpanTracer(o SpanTracerOptions) *SpanTracer { return span.New(o) }
+
+// StartSpan opens a child span under the span already in ctx; with no
+// traced ancestor it is free and returns (ctx, nil).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return span.Start(ctx, name)
+}
+
+// RegisterTraceDebug mounts the tracer's introspection surface on mux:
+// GET /debug/traces (list + filter), /debug/traces/{id} (tree, or Chrome
+// trace-event JSON with ?format=chrome), and /debug/requests (in-flight).
+func RegisterTraceDebug(mux *http.ServeMux, t *SpanTracer) { span.RegisterDebug(mux, t) }
+
+// WriteSpanTrace writes one finished trace as Chrome trace-event JSON (one
+// track per process). Open the output at ui.perfetto.dev.
+func WriteSpanTrace(w io.Writer, td *SpanTrace) error { return span.WriteChrome(w, td) }
