@@ -9,6 +9,14 @@
 //	mslint -asm prog.s -heuristic cf
 //	mslint -all
 //	mslint -all -json > findings.json
+//	mslint -corpus 50 -seed 1
+//
+// -corpus N lints a generated corpus instead: N property-based programs
+// (gen.CorpusParams from -seed) are verified directly (IR000–IR005) and
+// then partitioned by every heuristic and every registered policy, with
+// each partition checked against PT001–PT010. This is the CI gen-smoke
+// gate: any invalid generated program or contract-violating policy fails
+// the run.
 //
 // Exit status is 0 when no error-severity findings exist, 1 when at least
 // one does, and 2 on usage errors. -min controls which findings print;
@@ -28,8 +36,10 @@ import (
 
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
+	"multiscalar/internal/gen"
 	"multiscalar/internal/ir"
 	"multiscalar/internal/lintout"
+	_ "multiscalar/internal/policy" // register the policy zoo for -corpus
 	"multiscalar/internal/verify"
 	"multiscalar/internal/workloads"
 )
@@ -42,6 +52,8 @@ func main() {
 		taskSize  = flag.Bool("tasksize", false, "apply the task-size heuristic (unrolling, call inclusion)")
 		targets   = flag.Int("targets", 4, "hardware target limit N")
 		all       = flag.Bool("all", false, "lint every workload under every heuristic, with and without -tasksize")
+		corpus    = flag.Int("corpus", 0, "lint N generated programs under every heuristic and policy (0 = off)")
+		seed      = flag.Int64("seed", 1, "generator corpus seed for -corpus")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 		min       = flag.String("min", "warn", "lowest severity to print: info, warn, or error")
 		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array on stdout (shared lint format)")
@@ -60,10 +72,17 @@ func main() {
 	}
 	out := &output{json: *jsonOut}
 	if *all {
-		if *workload != "" || *asmFile != "" {
-			usage(fmt.Errorf("-all cannot be combined with -workload or -asm"))
+		if *workload != "" || *asmFile != "" || *corpus > 0 {
+			usage(fmt.Errorf("-all cannot be combined with -workload, -asm, or -corpus"))
 		}
 		code := lintAll(out, minSev, *targets)
+		out.flush(code)
+	}
+	if *corpus > 0 {
+		if *workload != "" || *asmFile != "" {
+			usage(fmt.Errorf("-corpus cannot be combined with -workload or -asm"))
+		}
+		code := lintCorpus(out, minSev, *targets, *seed, *corpus)
 		out.flush(code)
 	}
 	prog, err := loadProgram(*workload, *asmFile)
@@ -142,19 +161,22 @@ func lintOne(out *output, name string, prog *ir.Program, opts core.Options, minS
 	}
 	fs := verify.Partition(part)
 	shown := fs.MinSeverity(minSev)
-	ts := ""
+	label := fmt.Sprintf("%v", opts.Heuristic)
+	if opts.Policy != "" {
+		label = "policy:" + opts.Policy
+	}
 	if opts.TaskSize {
-		ts = " +tasksize"
+		label += " +tasksize"
 	}
 	if out.json {
-		out.collect(fmt.Sprintf("%s[%v%s]", name, opts.Heuristic, ts), shown)
+		out.collect(fmt.Sprintf("%s[%s]", name, label), shown)
 		return fs.Errors(), nil
 	}
 	if len(shown) > 0 {
 		fmt.Print(shown)
 	}
-	fmt.Printf("%s [%v%s]: %d tasks, %d errors, %d warnings, %d findings\n",
-		name, opts.Heuristic, ts, len(part.Tasks), fs.Errors(), fs.Warnings(), len(fs))
+	fmt.Printf("%s [%s]: %d tasks, %d errors, %d warnings, %d findings\n",
+		name, label, len(part.Tasks), fs.Errors(), fs.Warnings(), len(fs))
 	return fs.Errors(), nil
 }
 
@@ -180,6 +202,53 @@ func lintAll(out *output, minSev verify.Severity, targets int) int {
 	}
 	if !out.json {
 		fmt.Printf("\n%d configurations linted, %d error findings\n", configs, totalErrs)
+	}
+	if totalErrs > 0 {
+		return 1
+	}
+	return 0
+}
+
+// lintCorpus verifies n generated programs and lints every (program ×
+// strategy) partition: the three paper heuristics plus every registered
+// policy. Program-level findings (a generator bug) and partition-level
+// findings (a selection-contract violation) both count as errors.
+func lintCorpus(out *output, minSev verify.Severity, targets int, seed int64, n int) int {
+	strategies := []core.Options{
+		{Heuristic: core.BasicBlock},
+		{Heuristic: core.ControlFlow},
+		{Heuristic: core.DataDependence},
+	}
+	for _, p := range core.PolicyNames() {
+		strategies = append(strategies, core.Options{Heuristic: core.ControlFlow, Policy: p})
+	}
+	totalErrs, configs := 0, 0
+	for i := 0; i < n; i++ {
+		p := gen.CorpusParams(seed, i)
+		prog := gen.Generate(p)
+		name := p.Key()
+		if fs := verify.Program(prog); fs.Errors() > 0 {
+			shown := fs.MinSeverity(minSev)
+			if out.json {
+				out.collect(name, shown)
+			} else if len(shown) > 0 {
+				fmt.Print(shown)
+			}
+			totalErrs += fs.Errors()
+		}
+		for _, opts := range strategies {
+			opts.MaxTargets = targets
+			errs, err := lintOne(out, name, prog, opts, minSev)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mslint:", err)
+				return 1
+			}
+			totalErrs += errs
+			configs++
+		}
+	}
+	if !out.json {
+		fmt.Printf("\n%d generated programs, %d configurations linted, %d error findings\n", n, configs, totalErrs)
 	}
 	if totalErrs > 0 {
 		return 1

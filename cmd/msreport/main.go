@@ -20,6 +20,16 @@
 //	msreport -experiment ablations -workloads compress,tomcatv
 //	msreport -experiment all -cache-dir ~/.cache/msgrid
 //	msreport -experiment all -metrics-out metrics.json -cpuprofile cpu.pprof
+//	msreport -corpus seed:100 -j 4 -cache-dir ~/.cache/msgrid
+//
+// -corpus <seed>:<n> replaces the paper experiments with the generated-
+// corpus sweep: n property-based programs derived from the seed, each
+// partitioned by the three paper heuristics plus every -policies entry and
+// simulated on the headline 4-PU machine. The literal word "seed" means
+// seed 1, so the documented `-corpus seed:100` works as written. The
+// scoreboard goes to stdout; a one-line accounting summary (jobs, sims,
+// cache hits) goes to stderr, so a warm-cache rerun is greppable for
+// "0 simulated".
 //
 //	# distributed: start the leader, then any number of workers
 //	msreport -experiment fig5 -workers 127.0.0.1:9090
@@ -54,12 +64,15 @@ import (
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
 	"multiscalar/internal/obs/span"
+	_ "multiscalar/internal/policy" // register the policy zoo for -corpus
 	"multiscalar/internal/workloads"
 )
 
 func main() {
 	var (
 		which      = flag.String("experiment", "all", "fig5, chart, table1, summary, ablations, or all")
+		corpus     = flag.String("corpus", "", "generated-corpus sweep \"<seed>:<n>\" instead of a paper experiment (e.g. seed:100)")
+		policyList = flag.String("policies", "greedy,roundrobin,knapsack", "comma-separated policy arms for -corpus")
 		wls        = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
 		pus        = flag.String("pus", "", "comma-separated PU counts (default: 4,8)")
 		workers    = flag.Int("j", 0, "max concurrent partition/simulation jobs (default GOMAXPROCS)")
@@ -176,7 +189,11 @@ func main() {
 	defer distSummary(d, remoteTier)
 	// LIFO defers: the trace finishes (root span ends, file written) before
 	// distSummary closes the scheduler, so worker spans are already ingested.
-	ctx, rootSp := tracer.StartRoot(ctx, "experiment."+*which)
+	runName := *which
+	if *corpus != "" {
+		runName = "corpus"
+	}
+	ctx, rootSp := tracer.StartRoot(ctx, "experiment."+runName)
 	defer finishTrace(tracer, rootSp, *traceOut)
 	r := experiment.NewRunnerOn(eng).WithContext(ctx)
 	if *progress {
@@ -192,6 +209,21 @@ func main() {
 				fatal(err)
 			}
 		}()
+	}
+
+	if *corpus != "" {
+		seed, n, err := parseCorpus(*corpus)
+		if err != nil {
+			fatal(err)
+		}
+		spec := experiment.CorpusSpec{Seed: seed, N: n, Policies: splitList(*policyList)}
+		rows, err := r.Corpus(spec)
+		if err != nil {
+			fatalRun(ctx, err)
+		}
+		fmt.Print(experiment.FormatCorpus(spec, rows))
+		fmt.Fprintln(os.Stderr, corpusSummary(spec, eng.Stats()))
+		return
 	}
 
 	needFig5 := *which == "fig5" || *which == "chart" || *which == "summary" || *which == "all"
@@ -227,6 +259,36 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *which))
 	}
+}
+
+// parseCorpus parses the -corpus argument "<seed>:<n>". The seed field is a
+// signed integer or the literal word "seed" (meaning 1); n must be a
+// positive integer. Trailing junk in either field is an error, not
+// truncated.
+func parseCorpus(s string) (seed int64, n int, err error) {
+	head, tail, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -corpus %q (want <seed>:<n>, e.g. seed:100 or 42:50)", s)
+	}
+	if head == "seed" {
+		seed = 1
+	} else if seed, err = strconv.ParseInt(head, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad -corpus seed %q (want an integer or the word \"seed\")", head)
+	}
+	if n, err = strconv.Atoi(tail); err != nil || n <= 0 {
+		return 0, 0, fmt.Errorf("bad -corpus size %q (want a positive integer)", tail)
+	}
+	return seed, n, nil
+}
+
+// corpusSummary renders the one-line accounting printed to stderr after the
+// corpus scoreboard. The "N simulated" figure is the warm-cache acceptance
+// signal: a rerun on a populated cache must say "0 simulated". The live
+// progress line during the sweep comes from -progress via trackProgress,
+// sharing fitStatus with this line's consumers.
+func corpusSummary(spec experiment.CorpusSpec, s grid.Stats) string {
+	return fmt.Sprintf("corpus: %d programs x %d arms = %d jobs (%d simulated, %d cache hits)",
+		spec.N, 3+len(spec.Policies), s.Done, s.Sims, s.CacheHits)
 }
 
 // parsePUs parses PU counts strictly: "4x" or "8.5" is an error, not 4.

@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"multiscalar/internal/experiment"
+	"multiscalar/internal/grid"
 )
 
 func TestParsePUs(t *testing.T) {
@@ -23,6 +26,54 @@ func TestParsePUs(t *testing.T) {
 		} else if !strings.Contains(err.Error(), bad) {
 			t.Errorf("parsePUs(%q) error does not quote the token: %v", bad, err)
 		}
+	}
+}
+
+func TestParseCorpus(t *testing.T) {
+	cases := []struct {
+		in   string
+		seed int64
+		n    int
+	}{
+		{"seed:100", 1, 100},
+		{"42:50", 42, 50},
+		{"-7:1", -7, 1},
+	}
+	for _, c := range cases {
+		seed, n, err := parseCorpus(c.in)
+		if err != nil || seed != c.seed || n != c.n {
+			t.Errorf("parseCorpus(%q) = %d, %d, %v; want %d, %d", c.in, seed, n, err, c.seed, c.n)
+		}
+	}
+	for _, bad := range []string{"", "100", "seed", "seed:", ":100", "seed:0", "seed:-5", "1:2:3", "s1:10", "seed:10x", "4x:10"} {
+		if _, _, err := parseCorpus(bad); err == nil {
+			t.Errorf("parseCorpus(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCorpusSummary pins the stderr accounting line — the CI gen-smoke job
+// greps it for "0 simulated" on the warm rerun — and checks it composes
+// with fitStatus like every other status line msreport emits.
+func TestCorpusSummary(t *testing.T) {
+	spec := experiment.CorpusSpec{Seed: 1, N: 50, Policies: []string{"greedy", "knapsack"}}
+	s := grid.Stats{Jobs: 250, Done: 250, Sims: 0, CacheHits: 250}
+	line := corpusSummary(spec, s)
+	want := "corpus: 50 programs x 5 arms = 250 jobs (0 simulated, 250 cache hits)"
+	if line != want {
+		t.Errorf("corpusSummary = %q, want %q", line, want)
+	}
+	// The summary line passes through fitStatus unharmed on a normal
+	// terminal, and truncates instead of wrapping on a narrow one.
+	if got := fitStatus(line, 0, 120); got != line {
+		t.Errorf("fitStatus(wide) altered the line: %q", got)
+	}
+	if got := fitStatus(line, 0, 20); got != line[:19] {
+		t.Errorf("fitStatus(narrow) = %q, want %q", got, line[:19])
+	}
+	// Clearing a previous longer progress line pads with spaces.
+	if got := fitStatus(line, len(line)+4, 120); got != line+"    " {
+		t.Errorf("fitStatus(clear) = %q", got)
 	}
 }
 

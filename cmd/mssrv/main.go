@@ -1,8 +1,9 @@
 // Command mssrv serves the Multiscalar pipeline over HTTP: task selection
-// (POST /v1/partition), simulation (POST /v1/simulate), the paper's
-// experiment grids with SSE progress (POST /v1/experiment), a shared result
-// cache (GET/PUT /v1/cache/{key}), plus /healthz and a Prometheus /metrics
-// scrape. All requests share one grid engine, so identical concurrent
+// (POST /v1/partition), simulation (POST /v1/simulate), property-based
+// workload generation (POST /v1/generate), the paper's experiment grids and
+// the generated-corpus sweep with SSE progress (POST /v1/experiment), a
+// shared result cache (GET/PUT /v1/cache/{key}), plus /healthz and a
+// Prometheus /metrics scrape. All requests share one grid engine, so identical concurrent
 // requests coalesce into a single simulation and warm results are served
 // from the cache tiers without touching a worker.
 //
@@ -51,6 +52,7 @@ import (
 	"multiscalar/internal/grid"
 	"multiscalar/internal/obs"
 	"multiscalar/internal/obs/span"
+	_ "multiscalar/internal/policy" // register the policy zoo for select.policy
 	"multiscalar/internal/serve"
 )
 

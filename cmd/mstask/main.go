@@ -1,11 +1,19 @@
 // Command mstask runs the paper's task selection over a benchmark (or an
-// assembly file) and prints the resulting partition: every task with its
-// member blocks, targets, create mask, and static size.
+// assembly file, or a generated workload) and prints the resulting
+// partition: every task with its member blocks, targets, create mask, and
+// static size.
 //
 // Usage:
 //
 //	mstask -workload compress -heuristic dd -tasksize
 //	mstask -asm prog.s -heuristic cf
+//	mstask -gen -seed 42 -policy knapsack -verify
+//	mstask -workload gen:v1:s42:f3:b24:br40:ld2:cd20:rd50:mw64
+//
+// -gen partitions a generated program (default parameters at -seed); for
+// full parameter control pass a canonical gen: name to -workload. -policy
+// replaces the heuristic's growth decisions with a registered selection
+// policy (greedy, roundrobin, knapsack).
 package main
 
 import (
@@ -15,7 +23,9 @@ import (
 	"sort"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/gen"
 	"multiscalar/internal/ir"
+	_ "multiscalar/internal/policy" // register the policy zoo
 	"multiscalar/internal/verify"
 	"multiscalar/internal/workloads"
 
@@ -24,12 +34,15 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "", "benchmark name (see -list)")
+		workload  = flag.String("workload", "", "benchmark name or canonical gen: name (see -list)")
 		asmFile   = flag.String("asm", "", "assembly file to partition instead of a workload")
+		genFlag   = flag.Bool("gen", false, "partition a generated program (default gen.Params at -seed)")
+		seed      = flag.Int64("seed", 1, "generator seed for -gen")
 		heuristic = flag.String("heuristic", "cf", "task selection heuristic: bb, cf, or dd")
+		policyN   = flag.String("policy", "", "selection policy replacing heuristic growth (see -list)")
 		taskSize  = flag.Bool("tasksize", false, "apply the task-size heuristic (unrolling, call inclusion)")
 		targets   = flag.Int("targets", 4, "hardware target limit N")
-		list      = flag.Bool("list", false, "list available workloads and exit")
+		list      = flag.Bool("list", false, "list available workloads and policies, then exit")
 		verifyP   = flag.Bool("verify", false, "run the static invariant checker on the partition (exit 1 on error findings)")
 	)
 	flag.Parse()
@@ -42,9 +55,10 @@ func main() {
 			}
 			fmt.Printf("%-10s (%s)\n", w.Name, suite)
 		}
+		fmt.Printf("policies: %v\n", core.PolicyNames())
 		return
 	}
-	prog, err := loadProgram(*workload, *asmFile)
+	prog, err := loadProgram(*workload, *asmFile, *genFlag, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,7 +66,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	part, err := core.Select(prog, core.Options{Heuristic: h, TaskSize: *taskSize, MaxTargets: *targets})
+	part, err := core.Select(prog, core.Options{Heuristic: h, Policy: *policyN, TaskSize: *taskSize, MaxTargets: *targets})
 	if err != nil {
 		fatal(err)
 	}
@@ -71,10 +85,20 @@ func main() {
 	}
 }
 
-func loadProgram(workload, asmFile string) (*ir.Program, error) {
+func loadProgram(workload, asmFile string, genFlag bool, seed int64) (*ir.Program, error) {
+	sources := 0
+	for _, set := range []bool{workload != "", asmFile != "", genFlag} {
+		if set {
+			sources++
+		}
+	}
 	switch {
-	case workload != "" && asmFile != "":
-		return nil, fmt.Errorf("use either -workload or -asm, not both")
+	case sources > 1:
+		return nil, fmt.Errorf("use exactly one of -workload, -asm, or -gen")
+	case genFlag:
+		p := gen.Default()
+		p.Seed = seed
+		return gen.Generate(p), nil
 	case asmFile != "":
 		src, err := os.ReadFile(asmFile)
 		if err != nil {
@@ -88,7 +112,7 @@ func loadProgram(workload, asmFile string) (*ir.Program, error) {
 		}
 		return w.Build(), nil
 	}
-	return nil, fmt.Errorf("one of -workload or -asm is required (try -list)")
+	return nil, fmt.Errorf("one of -workload, -asm, or -gen is required (try -list)")
 }
 
 func parseHeuristic(s string) (core.Heuristic, error) {
@@ -104,8 +128,12 @@ func parseHeuristic(s string) (core.Heuristic, error) {
 }
 
 func printPartition(part *core.Partition) {
-	fmt.Printf("program %s: %d tasks under the %s heuristic\n\n",
-		part.Prog.Name, len(part.Tasks), part.Heuristic)
+	strategy := fmt.Sprintf("%s heuristic", part.Heuristic)
+	if part.Opts.Policy != "" {
+		strategy = fmt.Sprintf("%s policy", part.Opts.Policy)
+	}
+	fmt.Printf("program %s: %d tasks under the %s\n\n",
+		part.Prog.Name, len(part.Tasks), strategy)
 	fmt.Print(core.ComputeStats(part))
 	fmt.Println()
 	for _, t := range part.Tasks {

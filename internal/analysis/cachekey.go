@@ -27,9 +27,10 @@ import (
 //     forces the person adding the field to look at the key.
 //
 // The analyzer applies to any package that derives cache keys (declares a
-// *Key function and imports the config structs). It walks every field of
-// core.Options and sim.Config — recursively through nested structs such as
-// mem.Config — and reports marshal-hostile fields; it requires a
+// *Key function and imports — or, for internal/gen, declares — the config
+// structs). It walks every field of core.Options, sim.Config, and
+// gen.Params — recursively through nested structs such as mem.Config — and
+// reports marshal-hostile fields; it requires a
 // SchemaVersion constant, referenced by every *Key function; and it pins the
 // struct shapes with a fingerprint: the package must declare
 //
@@ -111,16 +112,28 @@ func collectKeyFuncs(pass *Pass) []*ast.FuncDecl {
 	return out
 }
 
-// configRoots locates core.Options and sim.Config among the package's direct
-// imports, paired with the import declaration to anchor findings about
-// types declared elsewhere.
+// configRoots locates core.Options, sim.Config, and gen.Params among the
+// package's direct imports — or, for gen.Params, in the package itself:
+// internal/gen derives its own canonical names from Params, so the
+// fingerprint discipline applies to it without a self-import. Imported roots
+// anchor findings at the import declaration; a self root anchors at the
+// type's declaration.
 func configRoots(pass *Pass) []keyRoot {
 	want := []struct{ suffix, typ, label string }{
 		{"internal/core", "Options", "core.Options"},
 		{"internal/sim", "Config", "sim.Config"},
+		{"internal/gen", "Params", "gen.Params"},
 	}
 	var roots []keyRoot
 	for _, w := range want {
+		if pathHasSuffix(pass.Pkg.Path(), w.suffix) {
+			if obj, ok := pass.Pkg.Scope().Lookup(w.typ).(*types.TypeName); ok {
+				if strct, ok := obj.Type().Underlying().(*types.Struct); ok {
+					roots = append(roots, keyRoot{label: w.label, strct: strct, impPos: obj.Pos()})
+					continue
+				}
+			}
+		}
 		for _, imp := range pass.Pkg.Imports() {
 			if !pathHasSuffix(imp.Path(), w.suffix) {
 				continue
@@ -241,7 +254,7 @@ func checkFingerprint(pass *Pass, roots []keyRoot, anchor token.Pos) {
 	}
 	got := constant.StringVal(obj.Val())
 	if got != want {
-		pass.Reportf(anchor, "schemaFingerprint %q is stale: sim.Config/core.Options changed shape (want %q); audit the cache key, bump SchemaVersion if encoding changed, and update the constant",
+		pass.Reportf(anchor, "schemaFingerprint %q is stale: the key's config structs changed shape (want %q); audit the cache key, bump SchemaVersion if encoding changed, and update the constant",
 			got, want)
 	}
 }

@@ -23,15 +23,22 @@ import (
 //  2. time.Now/Since/Until and math/rand are banned in internal/sim (the
 //     timing model is a pure function of its inputs) and inside any
 //     key-derivation function (name containing "Key", or keyOf) anywhere.
+//  3. internal/gen and internal/policy carry the seed→program stability
+//     guarantee: the same purity rules apply to every function, except that
+//     rand.New and rand.NewSource are allowed — an explicit seeded source is
+//     the contract; the global math/rand functions (Intn, Int63, Shuffle,
+//     ...) and time-seeded sources are exactly the drift being banned.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "flag map-iteration order escaping into output and wall-clock/randomness " +
-		"on pure simulation or cache-key paths",
+		"on pure simulation, generator, policy, or cache-key paths",
 	Run: runDeterminism,
 }
 
 func runDeterminism(pass *Pass) error {
 	simPkg := pathHasSuffix(pass.Pkg.Path(), "internal/sim")
+	seededPkg := pathHasSuffix(pass.Pkg.Path(), "internal/gen") ||
+		pathHasSuffix(pass.Pkg.Path(), "internal/policy")
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -39,8 +46,11 @@ func runDeterminism(pass *Pass) error {
 				continue
 			}
 			checkMapRanges(pass, fn.Body)
-			if simPkg || isKeyFunc(fn.Name.Name) {
-				checkPureBody(pass, fn)
+			switch {
+			case simPkg || isKeyFunc(fn.Name.Name):
+				checkPureBody(pass, fn, false)
+			case seededPkg:
+				checkPureBody(pass, fn, true)
 			}
 		}
 	}
@@ -51,8 +61,21 @@ func isKeyFunc(name string) bool {
 	return strings.Contains(name, "Key") || strings.Contains(name, "key")
 }
 
+// randConstructor names the math/rand selectors a seeded package may use:
+// building a generator from an explicit source is the contract; everything
+// else on the package (Intn, Shuffle, Seed, ...) touches the global source.
+func randConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+		return true
+	}
+	return false
+}
+
 // checkPureBody bans wall-clock and randomness inside a pure function.
-func checkPureBody(pass *Pass, fn *ast.FuncDecl) {
+// allowSeeded permits explicit rand constructors (rand.New, rand.NewSource)
+// while still flagging the global-source selectors and all wall-clock reads.
+func checkPureBody(pass *Pass, fn *ast.FuncDecl, allowSeeded bool) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
@@ -66,6 +89,14 @@ func checkPureBody(pass *Pass, fn *ast.FuncDecl) {
 				if pkg, isPkg := pass.Info.Uses[x].(*types.PkgName); isPkg {
 					p := pkg.Imported().Path()
 					if p == "math/rand" || p == "math/rand/v2" {
+						if allowSeeded && randConstructor(n.Sel.Name) {
+							return false
+						}
+						if allowSeeded {
+							pass.Reportf(n.Pos(), "%s uses the global %s source; seeded packages must draw from an explicit rand.New(rand.NewSource(seed))",
+								fn.Name.Name, p)
+							return false
+						}
 						pass.Reportf(n.Pos(), "%s uses %s; the simulation and cache-key paths must be deterministic",
 							fn.Name.Name, p)
 						return false

@@ -1,0 +1,23 @@
+// Package gen is a self-rooted key-deriving package whose Params hides an
+// unexported field from the canonical name and whose fingerprint was never
+// updated; findings anchor at the type declaration, not an import.
+package gen
+
+import "fmt"
+
+// SchemaVersion versions the canonical name grammar.
+const SchemaVersion = 1
+
+// schemaFingerprint predates the seed field's rename.
+const schemaFingerprint = "000000000000"
+
+// Params hides part of the program identity in an unexported field.
+type Params struct { // want "unexported field gen.Params.seed"
+	seed  int64
+	Funcs int
+}
+
+// Key renders the canonical name; the seed never makes it in.
+func (p Params) Key() string { // want "schemaFingerprint .* is stale"
+	return fmt.Sprintf("gen:v%d:f%d", SchemaVersion, p.Funcs)
+}

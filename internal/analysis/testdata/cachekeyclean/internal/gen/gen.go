@@ -1,0 +1,24 @@
+// Package gen is a self-rooted key-deriving package: it declares Params and
+// renders canonical names from it, so the fingerprint discipline applies
+// without importing the struct from anywhere.
+package gen
+
+import "fmt"
+
+// SchemaVersion versions the canonical name grammar.
+const SchemaVersion = 1
+
+// schemaFingerprint pins the shape of Params; msvet's cachekey analyzer
+// reports the expected value whenever it goes stale.
+const schemaFingerprint = "721ac4810261"
+
+// Params describes one generated program.
+type Params struct {
+	Seed  int64
+	Funcs int
+}
+
+// Key renders the canonical name, folding the schema version in.
+func (p Params) Key() string {
+	return fmt.Sprintf("gen:v%d:s%d:f%d", SchemaVersion, p.Seed, p.Funcs)
+}

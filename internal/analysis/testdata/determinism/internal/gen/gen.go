@@ -1,0 +1,32 @@
+// Package gen carries the internal/gen path suffix, so the seeded-package
+// purity rules apply to every function: explicit rand constructors are the
+// allowed idiom, global-source draws and wall-clock reads are violations.
+package gen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Generate draws from an explicit seeded source (allowed) but also leaks a
+// global-source draw and a wall-clock read.
+func Generate(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	n := r.Intn(10)
+	n += rand.Intn(3) // want "global math/rand source"
+	if time.Now().Unix()%2 == 0 { // want "must be pure functions of their inputs"
+		n++
+	}
+	return n
+}
+
+// TimeSeeded builds its source from the wall clock; the constructor itself
+// is fine, the time.Now read feeding it is the nondeterminism.
+func TimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "must be pure functions of their inputs"
+}
+
+// Shuffle permutes through the global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand source"
+}

@@ -1,0 +1,28 @@
+// Package policy carries the internal/policy path suffix: selection
+// policies feed grid cache keys, so randomness and wall-clock reads are
+// banned the same way as in the generator.
+package policy
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Pick breaks ties through the global source; two runs over the same
+// frontier would partition differently.
+func Pick(n int) int {
+	if n > 1 {
+		return rand.Intn(n) // want "global math/rand source"
+	}
+	return 0
+}
+
+// Deadline keys a growth decision off the wall clock.
+func Deadline(budget int) bool {
+	return time.Now().Unix()%2 == 0 // want "must be pure functions of their inputs"
+}
+
+// Seeded tie-breaking from an explicit source is allowed.
+func Seeded(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}

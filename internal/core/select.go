@@ -50,6 +50,13 @@ func Select(prog *ir.Program, opts Options) (*Partition, error) {
 		ByEntry:   make(map[EntryKey]*Task),
 	}
 	sel := &selector{part: part, opts: opts, profile: profile}
+	if opts.Policy != "" {
+		pol, err := NewPolicy(opts.Policy, PolicyConfig{SizeBudget: opts.SizeBudget, CommBudget: opts.CommBudget})
+		if err != nil {
+			return nil, err
+		}
+		sel.policy = pol
+	}
 	sel.markInclusions()
 	sel.run()
 	computeRegComm(part, sel.facts)
@@ -73,6 +80,9 @@ type selector struct {
 
 	// includeCall marks call blocks (per function) whose callee is included.
 	includeCall map[EntryKey]bool
+
+	// policy, when non-nil, replaces heuristic growth (see policy.go).
+	policy Policy
 
 	cfgs  []*cfganal.CFG
 	facts []*dataflow.Facts
@@ -139,6 +149,13 @@ func (s *selector) run() {
 		fn := ir.FnID(i)
 		if s.part.FnIncluded[i] {
 			continue // never starts a task
+		}
+		if s.policy != nil {
+			// A policy replaces heuristic growth wholesale: seeds come from
+			// the same coverage worklist the control-flow heuristic uses,
+			// growth decisions from the policy (via growSeed).
+			s.coverFunction(fn, nil)
+			continue
 		}
 		switch s.opts.Heuristic {
 		case BasicBlock:
@@ -374,7 +391,7 @@ func (s *selector) coverFunction(fn ir.FnID, owned map[ir.BlockID]bool) {
 		}
 		t := s.part.ByEntry[EntryKey{Fn: fn, Blk: seed}]
 		if t == nil {
-			blocks := s.grow(fn, seed, map[ir.BlockID]bool{seed: true}, nil)
+			blocks := s.growSeed(fn, seed, map[ir.BlockID]bool{seed: true}, nil)
 			t = s.newTask(fn, seed, blocks)
 			if owned != nil {
 				for b := range blocks {
@@ -485,13 +502,13 @@ func (s *selector) finishTargets() {
 			switch tgt.Kind {
 			case TargetBlock:
 				if s.part.ByEntry[EntryKey{Fn: t.Fn, Blk: tgt.Blk}] == nil {
-					nt := s.newTask(t.Fn, tgt.Blk, s.grow(t.Fn, tgt.Blk, map[ir.BlockID]bool{tgt.Blk: true}, nil))
+					nt := s.newTask(t.Fn, tgt.Blk, s.growSeed(t.Fn, tgt.Blk, map[ir.BlockID]bool{tgt.Blk: true}, nil))
 					_ = nt
 				}
 			case TargetCall:
 				callee := s.prog().Fn(tgt.Fn)
 				if s.part.ByEntry[EntryKey{Fn: tgt.Fn, Blk: callee.Entry}] == nil {
-					s.newTask(tgt.Fn, callee.Entry, s.grow(tgt.Fn, callee.Entry, map[ir.BlockID]bool{callee.Entry: true}, nil))
+					s.newTask(tgt.Fn, callee.Entry, s.growSeed(tgt.Fn, callee.Entry, map[ir.BlockID]bool{callee.Entry: true}, nil))
 				}
 			}
 		}
@@ -501,7 +518,7 @@ func (s *selector) finishTargets() {
 			blk := f.Block(b)
 			if blk.Term.Kind == ir.TermCall && !t.IncludeCall[b] {
 				if s.part.ByEntry[EntryKey{Fn: t.Fn, Blk: blk.Term.Fall}] == nil {
-					s.newTask(t.Fn, blk.Term.Fall, s.grow(t.Fn, blk.Term.Fall, map[ir.BlockID]bool{blk.Term.Fall: true}, nil))
+					s.newTask(t.Fn, blk.Term.Fall, s.growSeed(t.Fn, blk.Term.Fall, map[ir.BlockID]bool{blk.Term.Fall: true}, nil))
 				}
 			}
 		}

@@ -247,6 +247,17 @@ type Options struct {
 	// ProfileBudget caps the profiling run's dynamic instructions
 	// (default 50M).
 	ProfileBudget uint64
+	// Policy, when non-empty, replaces heuristic task growth with the named
+	// registered Policy (see RegisterPolicy); Heuristic still selects the
+	// profile-independent machinery but growth decisions come from the
+	// policy. Policy names are part of grid cache keys.
+	Policy string
+	// SizeBudget is the per-task static-instruction budget policies see
+	// (default 48 when a policy is set, ignored otherwise).
+	SizeBudget int
+	// CommBudget is the per-task distinct-defined-register budget policies
+	// see (default 8 when a policy is set, ignored otherwise).
+	CommBudget int
 }
 
 func (o Options) withDefaults() Options {
@@ -261,6 +272,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProfileBudget == 0 {
 		o.ProfileBudget = 50_000_000
+	}
+	if o.Policy != "" {
+		if o.SizeBudget == 0 {
+			o.SizeBudget = 48
+		}
+		if o.CommBudget == 0 {
+			o.CommBudget = 8
+		}
 	}
 	return o
 }

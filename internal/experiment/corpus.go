@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/gen"
+	"multiscalar/internal/grid"
+)
+
+// CorpusSpec describes a generated-corpus sweep: N programs derived from a
+// seed (gen.CorpusParams), each partitioned by every arm — the paper's
+// heuristics plus the named policies — and simulated on one machine point.
+// Every (program × arm) pair is a fully-resolved grid job, so the sweep
+// inherits the engine's dedup, worker pool, disk cache, dist tier, and span
+// instrumentation; the generated workload's canonical name embeds seed and
+// params, and Options embeds the policy, so cache keys cover the whole
+// configuration and a warm rerun simulates nothing.
+type CorpusSpec struct {
+	// Seed roots the corpus; program i uses gen.CorpusParams(Seed, i).
+	Seed int64
+	// N is the corpus size (number of generated programs).
+	N int
+	// Policies are registered policy names raced against the heuristics
+	// (nil = none; msreport passes the full zoo).
+	Policies []string
+	// Machine is the simulated machine point (zero value = 4 out-of-order
+	// PUs, the paper's headline configuration).
+	Machine SimConfig
+}
+
+func (spec CorpusSpec) withDefaults() CorpusSpec {
+	if spec.Machine.PUs == 0 {
+		spec.Machine.PUs = 4
+	}
+	return spec
+}
+
+// CorpusArm is one column family of the scoreboard.
+type corpusArm struct {
+	label string
+	opts  core.Options
+}
+
+// corpusArms lists the heuristic arms then the policy arms, in scoreboard
+// order. Policies ride the control-flow heuristic's machinery but growth
+// decisions are theirs alone.
+func corpusArms(policies []string) []corpusArm {
+	arms := []corpusArm{
+		{"basic block", core.Options{Heuristic: core.BasicBlock}},
+		{"control flow", core.Options{Heuristic: core.ControlFlow}},
+		{"data dependence", core.Options{Heuristic: core.DataDependence}},
+	}
+	for _, p := range policies {
+		arms = append(arms, corpusArm{"policy:" + p, core.Options{Heuristic: core.ControlFlow, Policy: p}})
+	}
+	return arms
+}
+
+// CorpusRow aggregates one arm over the whole corpus.
+type CorpusRow struct {
+	Arm      string
+	Programs int
+	// Tasks is the total static task count across the corpus.
+	Tasks int
+	// AvgTaskSize is dynamic instructions per task instance (simulated).
+	AvgTaskSize float64
+	// AvgCreateRegs is create-mask registers per static task — the register
+	// ring traffic the arm signs the hardware up for.
+	AvgCreateRegs float64
+	// AvgTargets is successors per static task.
+	AvgTargets float64
+	// Cycles is the summed simulated cycle count (lower = faster corpus).
+	Cycles int64
+	// IPC is the aggregate instructions-per-cycle over the corpus.
+	IPC float64
+}
+
+// Corpus runs the sweep. Results are collected into index-addressed slots
+// and aggregated in arm-major order, so the scoreboard is byte-identical
+// whatever the engine's worker count — same golden-determinism contract as
+// Figure5/Table1.
+func (r *Runner) Corpus(spec CorpusSpec) (rows []CorpusRow, err error) {
+	spec = spec.withDefaults()
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("experiment: corpus size %d, want > 0", spec.N)
+	}
+	tr, sp := r.traced("experiment.corpus")
+	defer func() { sp.End(err) }()
+	arms := corpusArms(spec.Policies)
+	names := make([]string, spec.N)
+	for i := range names {
+		names[i] = gen.CorpusParams(spec.Seed, i).Key()
+	}
+	type slot struct {
+		stats core.Stats
+		cyc   int64
+		inst  uint64
+		tasks uint64 // dynamic task instances
+	}
+	slots := make([]slot, len(arms)*spec.N)
+	err = grid.RunAll(tr.context(), len(slots), func(idx int) error {
+		arm, prog := arms[idx/spec.N], idx%spec.N
+		job := spec.Machine.job(names[prog], CF)
+		job.Select = arm.opts
+		job.Select.MaxTargets = spec.Machine.Targets
+		res, err := tr.eng.RunCtx(tr.context(), job)
+		if err != nil {
+			return fmt.Errorf("corpus %s/%s: %w", arm.label, names[prog], err)
+		}
+		part, err := tr.eng.PartitionCtx(tr.context(), names[prog], job.Select)
+		if err != nil {
+			return fmt.Errorf("corpus %s/%s: %w", arm.label, names[prog], err)
+		}
+		slots[idx] = slot{stats: core.ComputeStats(part), cyc: res.Cycles, inst: res.Instrs, tasks: res.TaskInstances}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = make([]CorpusRow, len(arms))
+	for a, arm := range arms {
+		row := CorpusRow{Arm: arm.label, Programs: spec.N}
+		var createRegs, targets float64
+		var instrs, instances uint64
+		for i := 0; i < spec.N; i++ {
+			s := slots[a*spec.N+i]
+			row.Tasks += s.stats.Tasks
+			createRegs += s.stats.AvgCreateRegs * float64(s.stats.Tasks)
+			targets += s.stats.AvgTargets * float64(s.stats.Tasks)
+			row.Cycles += s.cyc
+			instrs += s.inst
+			instances += s.tasks
+		}
+		if row.Tasks > 0 {
+			row.AvgCreateRegs = createRegs / float64(row.Tasks)
+			row.AvgTargets = targets / float64(row.Tasks)
+		}
+		if instances > 0 {
+			row.AvgTaskSize = float64(instrs) / float64(instances)
+		}
+		if row.Cycles > 0 {
+			row.IPC = float64(instrs) / float64(row.Cycles)
+		}
+		rows[a] = row
+	}
+	return rows, nil
+}
+
+// FormatCorpus renders the policy-vs-heuristic scoreboard.
+func FormatCorpus(spec CorpusSpec, rows []CorpusRow) string {
+	spec = spec.withDefaults()
+	var sb strings.Builder
+	ord := "out-of-order"
+	if spec.Machine.InOrder {
+		ord = "in-order"
+	}
+	fmt.Fprintf(&sb, "Generated corpus seed=%d n=%d (%d %s PUs)\n", spec.Seed, spec.N, spec.Machine.PUs, ord)
+	fmt.Fprintf(&sb, "%-18s %6s %10s %12s %9s %12s %7s\n",
+		"arm", "tasks", "task size", "create regs", "targets", "cycles", "IPC")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %6d %10.2f %12.2f %9.2f %12d %7.3f\n",
+			r.Arm, r.Tasks, r.AvgTaskSize, r.AvgCreateRegs, r.AvgTargets, r.Cycles, r.IPC)
+	}
+	return sb.String()
+}

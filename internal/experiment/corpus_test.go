@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/grid"
+	_ "multiscalar/internal/policy" // register the policy zoo
+)
+
+var corpusSpec = CorpusSpec{Seed: 5, N: 4, Policies: []string{"greedy", "knapsack"}}
+
+// TestCorpusByteIdentical extends the PR 2 golden-determinism contract to
+// the generated-corpus sweep: serial and wide-parallel runs must format
+// byte-for-byte identically (generation, selection, and aggregation order
+// are all decoupled from completion order).
+func TestCorpusByteIdentical(t *testing.T) {
+	serial := NewRunnerOn(grid.New(grid.Options{Workers: 1}))
+	par := NewRunnerOn(grid.New(grid.Options{Workers: 8}))
+	sc, err := serial.Corpus(corpusSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := par.Corpus(corpusSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, p := FormatCorpus(corpusSpec, sc), FormatCorpus(corpusSpec, pc)
+	if s != p {
+		t.Errorf("corpus scoreboard differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+	for _, arm := range []string{"basic block", "control flow", "data dependence", "policy:greedy", "policy:knapsack"} {
+		if !strings.Contains(s, arm) {
+			t.Errorf("scoreboard missing arm %q:\n%s", arm, s)
+		}
+	}
+}
+
+// TestCorpusWarmCache asserts the acceptance criterion: a warm rerun of the
+// corpus sweep on the same cache directory hits the cache for 100% of jobs
+// and simulates nothing — generated workload names and policy options are
+// both inside the key, so keys are stable across processes.
+func TestCorpusWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	cold := NewRunnerOn(grid.New(grid.Options{CacheDir: dir}))
+	cc, err := cold.Corpus(corpusSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Engine().Stats(); s.Sims == 0 {
+		t.Fatalf("cold run simulated nothing: %+v", s)
+	}
+
+	warm := NewRunnerOn(grid.New(grid.Options{CacheDir: dir}))
+	wc, err := warm.Corpus(corpusSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := warm.Engine().Stats()
+	if s.Sims != 0 {
+		t.Errorf("warm run simulated %d jobs, want 0: %+v", s.Sims, s)
+	}
+	if want := int64(5 * corpusSpec.N); s.CacheHits != want {
+		t.Errorf("cache hits = %d, want %d (all jobs)", s.CacheHits, want)
+	}
+	if c, w := FormatCorpus(corpusSpec, cc), FormatCorpus(corpusSpec, wc); c != w {
+		t.Errorf("warm output differs from cold:\n--- cold ---\n%s--- warm ---\n%s", c, w)
+	}
+}
+
+// TestCorpusRejectsBadSpec covers the error paths: empty corpus and unknown
+// policy names.
+func TestCorpusRejectsBadSpec(t *testing.T) {
+	r := NewRunner()
+	if _, err := r.Corpus(CorpusSpec{Seed: 1}); err == nil {
+		t.Error("zero-size corpus accepted")
+	}
+	_, err := r.Corpus(CorpusSpec{Seed: 1, N: 1, Policies: []string{"bogus"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("err = %v, want unknown policy", err)
+	}
+}

@@ -1,0 +1,42 @@
+package gen_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/emu"
+	"multiscalar/internal/gen"
+	"multiscalar/internal/ir"
+	"multiscalar/internal/verify"
+)
+
+// FuzzGen drives the raw parameter cube (Clamp absorbs any values the
+// fuzzer invents) through the generator's validity and termination
+// properties. The checked-in corpus under testdata/fuzz/FuzzGen pins the
+// cube corners and a corpus slice; `go test -fuzz=FuzzGen ./internal/gen`
+// explores from there.
+func FuzzGen(f *testing.F) {
+	f.Add(int64(1), 3, 24, 40, 2, 20, 50, 64)
+	f.Add(int64(-9), 0, 0, 0, 0, 0, 0, 0)
+	f.Add(int64(7), 99, 999, 999, 99, 999, 999, 99999)
+	for i := 0; i < 8; i++ {
+		p := gen.CorpusParams(1, i)
+		f.Add(p.Seed, p.Funcs, p.Blocks, p.Branchiness, p.LoopDepth, p.CallDensity, p.RegDensity, p.MemWords)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, funcs, blocks, br, ld, cd, rd, mw int) {
+		p := gen.Params{Seed: seed, Funcs: funcs, Blocks: blocks, Branchiness: br,
+			LoopDepth: ld, CallDensity: cd, RegDensity: rd, MemWords: mw}
+		prog := gen.Generate(p)
+		if err := ir.Validate(prog); err != nil {
+			t.Fatalf("%s: invalid: %v", p.Key(), err)
+		}
+		if fs := verify.Program(prog); fs.Errors() > 0 {
+			t.Fatalf("%s: findings:\n%v", p.Key(), fs)
+		}
+		if err := emu.New(prog).Run(emuLimit); err != nil {
+			t.Fatalf("%s: did not halt: %v", p.Key(), err)
+		}
+		if got, err := gen.ParseName(p.Key()); err != nil || got != p.Clamp() {
+			t.Fatalf("%s: name round-trip: %+v, %v", p.Key(), got, err)
+		}
+	})
+}

@@ -1,0 +1,284 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multiscalar/internal/ir"
+)
+
+// Register plan. Pool registers hold generated values; everything the
+// generator needs for control to stay structured lives outside the pool so
+// no random instruction can clobber it:
+//
+//	r8..r19   value pool (instruction destinations and most sources)
+//	r24..r27  loop counters, one per active nesting level
+//	r28       address/condition temporary
+//	r23       scratch-array base (re-materialized after every call)
+//
+// Loop counters are written only by their own loop's init and increment, so
+// every counted loop terminates. Around a call the live counters are saved
+// to a per-function spill slot in the data segment and reloaded after the
+// return; the call graph is acyclic (helpers call only earlier helpers), so
+// at most one frame per function is ever active and slots never collide.
+const (
+	poolBase  = 8
+	poolSize  = 12
+	ctrBase   = 24
+	regTmp    = ir.Reg(28)
+	regBase   = ir.Reg(23)
+	maxLevels = 4
+)
+
+// budgetPerFn caps the worst-case dynamic instruction count any single
+// invocation of a generated function can execute (loop bodies are charged
+// at their full trip-count multiplicity, calls at the callee's recorded
+// cost). With at most 8 functions the whole program stays far below the
+// profiler's 50M-instruction budget.
+const budgetPerFn = 60_000
+
+type generator struct {
+	p    Params
+	rng  *rand.Rand
+	b    *ir.Builder
+	mask int64
+
+	helpers []ir.FnID
+	cost    map[ir.FnID]int64 // worst-case dynamic instrs of one invocation
+	label   int
+
+	// Per-function state, reset by fn.
+	spent      int64
+	blocksLeft int
+	recent     []ir.Reg
+	level      int
+	curSlot    int64
+}
+
+// Generate builds the program addressed by p (clamped). The mapping from
+// (clamped) Params to program bytes is pure: the only entropy source is a
+// rand.Source seeded with p.Seed, so equal Keys yield byte-identical
+// programs on every platform and run. The output always passes ir.Validate
+// (Build panics otherwise) and halts within Funcs×60k dynamic instructions.
+func Generate(p Params) *ir.Program {
+	p = p.Clamp()
+	g := &generator{
+		p:    p,
+		rng:  rand.New(rand.NewSource(p.Seed)),
+		b:    ir.NewBuilder(p.Key()),
+		mask: int64(p.MemWords - 1),
+		cost: make(map[ir.FnID]int64),
+	}
+	g.b.Zeros(p.MemWords)                   // scratch array, masked addressing keeps all traffic inside
+	spill := g.b.Zeros(maxLevels * p.Funcs) // counter spill slots, one per function
+	for i := 0; i < p.Funcs-1; i++ {
+		g.fn(fmt.Sprintf("helper%d", i), false, int64(spill)+int64(i)*maxLevels*ir.WordBytes)
+	}
+	g.fn("main", true, int64(spill)+int64(p.Funcs-1)*maxLevels*ir.WordBytes)
+	return g.b.Build()
+}
+
+func (g *generator) fresh(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s_%d", prefix, g.label)
+}
+
+func (g *generator) fn(name string, isMain bool, spillSlot int64) {
+	g.spent = 0
+	g.blocksLeft = g.p.Blocks
+	g.recent = g.recent[:0]
+	g.level = 0
+	g.curSlot = spillSlot
+	f := g.b.Func(name)
+	bb := f.Block(g.fresh("entry"))
+	bb.MovI(regBase, int64(ir.DataBase))
+	for i := 0; i < 4; i++ {
+		d := g.pool()
+		bb.MovI(d, int64(g.rng.Intn(1<<12)))
+		g.defined(d)
+	}
+	g.charge(5, 1)
+	nseg := 2 + g.p.Blocks/5
+	bb = g.segs(f, bb, nseg, g.p.LoopDepth, 2, 1)
+	if isMain {
+		// Publish a checksum of the pool so simulators have a final state to
+		// compare, then halt.
+		bb.Store(g.src(), regBase, 0)
+		bb.Halt()
+	} else {
+		bb.Ret()
+	}
+	id := f.End()
+	g.cost[id] = g.spent
+	if !isMain {
+		g.helpers = append(g.helpers, id)
+	}
+}
+
+// afford reports whether n more instructions at the given loop multiplicity
+// fit the function's dynamic budget; charge records them.
+func (g *generator) afford(n, mult int64) bool { return g.spent+n*mult <= budgetPerFn }
+func (g *generator) charge(n, mult int64)      { g.spent += n * mult }
+
+// pool returns a uniform pool register; src biases toward recently defined
+// registers with probability RegDensity, packing def-use chains tighter.
+func (g *generator) pool() ir.Reg { return ir.R(poolBase + g.rng.Intn(poolSize)) }
+
+func (g *generator) src() ir.Reg {
+	if len(g.recent) > 0 && g.rng.Intn(100) < g.p.RegDensity {
+		return g.recent[g.rng.Intn(len(g.recent))]
+	}
+	return g.pool()
+}
+
+func (g *generator) defined(d ir.Reg) {
+	g.recent = append(g.recent, d)
+	if len(g.recent) > 4 {
+		g.recent = g.recent[1:]
+	}
+}
+
+// segs appends n segments to the open block and returns the new open block.
+// depth bounds loop nesting, nest bounds structural (if/segment) recursion,
+// mult is the product of enclosing trip counts (for budget accounting).
+func (g *generator) segs(f *ir.FuncBuilder, bb *ir.BlockBuilder, n, depth, nest int, mult int64) *ir.BlockBuilder {
+	for i := 0; i < n; i++ {
+		switch {
+		case g.blocksLeft >= 3 && nest > 0 && g.afford(16, mult) && g.rng.Intn(100) < g.p.Branchiness:
+			bb = g.ifElse(f, bb, depth, nest, mult)
+		case g.blocksLeft >= 3 && depth > 0 && g.rng.Intn(100) < 35:
+			bb = g.loop(f, bb, depth, nest, mult)
+		case g.blocksLeft >= 1 && len(g.helpers) > 0 && g.rng.Intn(100) < g.p.CallDensity:
+			bb = g.call(f, bb, mult)
+		default:
+			g.straightLine(bb, mult)
+		}
+	}
+	return bb
+}
+
+// straightLine emits 2..5 random ALU/memory ops into the open block.
+func (g *generator) straightLine(bb *ir.BlockBuilder, mult int64) {
+	n := 2 + g.rng.Intn(4)
+	emitted := int64(0)
+	for i := 0; i < n; i++ {
+		d := g.pool()
+		switch g.rng.Intn(10) {
+		case 0:
+			bb.MovI(d, int64(g.rng.Intn(1<<12)))
+		case 1:
+			bb.Add(d, g.src(), g.src())
+		case 2:
+			bb.Sub(d, g.src(), g.src())
+		case 3:
+			bb.Mul(d, g.src(), g.src())
+		case 4:
+			bb.Xor(d, g.src(), g.src())
+		case 5:
+			bb.AddI(d, g.src(), int64(1+g.rng.Intn(64)))
+		case 6:
+			bb.SltI(d, g.src(), int64(g.rng.Intn(256)))
+		case 7:
+			bb.ShlI(d, g.src(), int64(g.rng.Intn(8)))
+		case 8: // masked store into the scratch array
+			bb.AndI(regTmp, g.src(), g.mask).
+				ShlI(regTmp, regTmp, 3).
+				Add(regTmp, regTmp, regBase).
+				Store(g.src(), regTmp, 0)
+			emitted += 3
+		default: // masked load from the scratch array
+			bb.AndI(regTmp, g.src(), g.mask).
+				ShlI(regTmp, regTmp, 3).
+				Add(regTmp, regTmp, regBase).
+				Load(d, regTmp, 0)
+			emitted += 3
+		}
+		emitted++
+		g.defined(d)
+	}
+	g.charge(emitted, mult)
+}
+
+// ifElse closes the open block with a branch over two arms that reconverge;
+// the then-arm may nest further segments.
+func (g *generator) ifElse(f *ir.FuncBuilder, bb *ir.BlockBuilder, depth, nest int, mult int64) *ir.BlockBuilder {
+	thenL, elseL, joinL := g.fresh("then"), g.fresh("else"), g.fresh("join")
+	g.blocksLeft -= 3
+	bb.Br(g.src(), thenL, elseL)
+	tb := f.Block(thenL)
+	g.straightLine(tb, mult)
+	if nest > 0 && g.rng.Intn(2) == 0 {
+		tb = g.segs(f, tb, 1, depth, nest-1, mult)
+	}
+	tb.Goto(joinL)
+	eb := f.Block(elseL)
+	g.straightLine(eb, mult)
+	eb.Goto(joinL)
+	g.charge(2, mult)
+	return f.Block(joinL)
+}
+
+// loop closes the open block with a counted loop. The counter register is
+// dedicated to the nesting level and never a pool register, so the body
+// cannot perturb it and the loop always runs exactly `trips` iterations.
+func (g *generator) loop(f *ir.FuncBuilder, bb *ir.BlockBuilder, depth, nest int, mult int64) *ir.BlockBuilder {
+	trips := int64(2 + g.rng.Intn(5))
+	if depth <= 0 || g.level >= maxLevels || !g.afford(trips*24+6, mult) {
+		g.straightLine(bb, mult)
+		return bb
+	}
+	rc := ir.R(ctrBase + g.level)
+	headL, bodyL, exitL := g.fresh("head"), g.fresh("body"), g.fresh("exit")
+	g.blocksLeft -= 3
+	bb.MovI(rc, 0).Goto(headL)
+	hb := f.Block(headL)
+	hb.SltI(regTmp, rc, trips).Br(regTmp, bodyL, exitL)
+	g.charge(2+2*(trips+1), mult)
+	body := f.Block(bodyL)
+	g.level++
+	g.straightLine(body, mult*trips)
+	if nest > 0 && g.rng.Intn(2) == 0 {
+		body = g.segs(f, body, 1, depth-1, nest-1, mult*trips)
+	}
+	g.level--
+	body.AddI(rc, rc, 1).Goto(headL)
+	g.charge(2*trips, mult)
+	return f.Block(exitL)
+}
+
+// call closes the open block with a call to an earlier helper whose recorded
+// cost fits the remaining budget, spilling live loop counters around it.
+func (g *generator) call(f *ir.FuncBuilder, bb *ir.BlockBuilder, mult int64) *ir.BlockBuilder {
+	var fits []ir.FnID
+	for _, h := range g.helpers {
+		if g.afford(g.cost[h]+int64(8+2*g.level), mult) {
+			fits = append(fits, h)
+		}
+	}
+	if len(fits) == 0 {
+		g.straightLine(bb, mult)
+		return bb
+	}
+	callee := fits[g.rng.Intn(len(fits))]
+	if g.level > 0 {
+		bb.MovI(regTmp, g.curSlot)
+		for l := 0; l < g.level; l++ {
+			bb.Store(ir.R(ctrBase+l), regTmp, int64(l)*ir.WordBytes)
+		}
+	}
+	bb.MovI(ir.RegArg0, int64(g.rng.Intn(256)))
+	retL := g.fresh("ret")
+	g.blocksLeft--
+	bb.Call(callee, retL)
+	nb := f.Block(retL)
+	if g.level > 0 {
+		nb.MovI(regTmp, g.curSlot)
+		for l := 0; l < g.level; l++ {
+			nb.Load(ir.R(ctrBase+l), regTmp, int64(l)*ir.WordBytes)
+		}
+	}
+	// The callee owns the pool and base registers during its run; re-seed.
+	nb.MovI(regBase, int64(ir.DataBase))
+	g.charge(g.cost[callee]+int64(4+4*g.level), mult)
+	return nb
+}

@@ -1,0 +1,212 @@
+// Package gen is the property-based workload generator: a seeded PRNG
+// (always an explicit rand.Source, never the global generator) emits valid,
+// terminating ir programs whose shape is swept by a small Params struct —
+// branchiness, loop depth and nesting, call density, register-dependence
+// density, and scratch-memory footprint. Programs are rejection-free by
+// construction: every output passes ir.Validate, halts within a bounded
+// dynamic instruction count, and partitions cleanly under every heuristic
+// and policy (the PT001–PT010 contract in internal/verify).
+//
+// A Params value has a canonical string form (Key) of the shape
+//
+//	gen:v1:s42:f3:b24:br40:ld2:cd20:rd50:mw64
+//
+// which doubles as a workload name: internal/workloads resolves any
+// "gen:"-prefixed name through ParseName, so generated programs flow through
+// the grid engine, its disk cache, and the dist tier exactly like the 18
+// hand-built benchmarks — and because the full parameter vector (seed
+// included) is inside the name, grid cache keys cover it with no schema
+// change. The embedded version is SchemaVersion: any change to the
+// generator's emission logic that alters the seed→program mapping must bump
+// it, which rewrites every canonical name and therefore every cache key.
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion stamps every canonical generator name (the "v1" field).
+// Bump it whenever Generate's seed→program mapping changes — a new opcode
+// mix, different shape weights, a changed register plan — so stale cache
+// entries keyed by old names can never be served for new programs. Param
+// range changes that only affect Clamp do not require a bump.
+const SchemaVersion = 1
+
+// schemaFingerprint pins the recursive field shape of Params (msvet's
+// cachekey analyzer recomputes it on every run). Params is the root of the
+// generator's key schema the same way core.Options and sim.Config are roots
+// of the grid's: adding, removing, renaming, or retyping a field changes the
+// canonical name grammar, so msvet fails until the constant is updated and
+// SchemaVersion is bumped when the encoding changed.
+const schemaFingerprint = "b088c1cc6d05"
+
+var _ = schemaFingerprint
+
+// Params sweeps the generator. All fields are clamped into their documented
+// ranges by Clamp (which Key and Generate apply), so any value is usable.
+type Params struct {
+	// Seed selects the program within the family the other fields define.
+	Seed int64
+	// Funcs is the total function count including main (1..8). Helpers call
+	// only earlier helpers, so the call graph is acyclic.
+	Funcs int
+	// Blocks is the approximate basic-block budget per function (4..96).
+	Blocks int
+	// Branchiness is the percentage of segments emitted as if-else diamonds
+	// (0..100).
+	Branchiness int
+	// LoopDepth is the maximum counted-loop nesting (0..4).
+	LoopDepth int
+	// CallDensity is the percentage of segments emitted as helper calls when
+	// helpers exist (0..100).
+	CallDensity int
+	// RegDensity is the percentage chance an operand reuses a recently
+	// defined register instead of a uniform pool register (0..100) — higher
+	// values pack def-use chains tighter, exercising the data-dependence
+	// heuristic and the register ring.
+	RegDensity int
+	// MemWords is the scratch-array size in 8-byte words, rounded up to a
+	// power of two (8..4096); loads and stores mask their index to it.
+	MemWords int
+}
+
+// Default returns the baseline parameter point: a medium-sized three-function
+// program with moderate branching and one level of loop nesting.
+func Default() Params {
+	return Params{
+		Seed:        1,
+		Funcs:       3,
+		Blocks:      24,
+		Branchiness: 40,
+		LoopDepth:   2,
+		CallDensity: 20,
+		RegDensity:  50,
+		MemWords:    64,
+	}
+}
+
+// Clamp returns a copy with every field forced into its documented range
+// and MemWords rounded up to a power of two.
+func (p Params) Clamp() Params {
+	p.Funcs = clampInt(p.Funcs, 1, 8)
+	p.Blocks = clampInt(p.Blocks, 4, 96)
+	p.Branchiness = clampInt(p.Branchiness, 0, 100)
+	p.LoopDepth = clampInt(p.LoopDepth, 0, 4)
+	p.CallDensity = clampInt(p.CallDensity, 0, 100)
+	p.RegDensity = clampInt(p.RegDensity, 0, 100)
+	p.MemWords = ceilPow2(clampInt(p.MemWords, 8, 4096))
+	return p
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func ceilPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// Prefix marks generated-workload names; workloads.ByName routes any name
+// carrying it through ParseName.
+const Prefix = "gen:"
+
+// Key returns the canonical workload name of the (clamped) parameter point.
+// The name embeds SchemaVersion and the full parameter vector, so it is a
+// complete content address for the generated program: equal names generate
+// byte-identical programs, and grid cache keys built over the name cover
+// seed, params, and generator version.
+func (p Params) Key() string {
+	p = p.Clamp()
+	return fmt.Sprintf("%sv%d:s%d:f%d:b%d:br%d:ld%d:cd%d:rd%d:mw%d",
+		Prefix, SchemaVersion, p.Seed, p.Funcs, p.Blocks, p.Branchiness,
+		p.LoopDepth, p.CallDensity, p.RegDensity, p.MemWords)
+}
+
+// IsName reports whether name addresses a generated workload.
+func IsName(name string) bool { return strings.HasPrefix(name, Prefix) }
+
+// ParseName parses a canonical generator name back into its Params. It is
+// strict: the version must match SchemaVersion and the name must be exactly
+// the canonical (clamped) form — re-encoding the parsed params must
+// reproduce the input — so one program never hides behind two names and
+// cache keys stay one-to-one with programs.
+func ParseName(name string) (Params, error) {
+	var p Params
+	if !IsName(name) {
+		return p, fmt.Errorf("gen: %q is not a generator name (want %q prefix)", name, Prefix)
+	}
+	fields := strings.Split(strings.TrimPrefix(name, Prefix), ":")
+	if len(fields) != 9 {
+		return p, fmt.Errorf("gen: %q has %d fields, want 9", name, len(fields))
+	}
+	if fields[0] != fmt.Sprintf("v%d", SchemaVersion) {
+		return p, fmt.Errorf("gen: %q has generator version %q, this build speaks v%d", name, fields[0], SchemaVersion)
+	}
+	specs := []struct {
+		prefix string
+		dst    *int
+	}{
+		{"f", &p.Funcs}, {"b", &p.Blocks}, {"br", &p.Branchiness},
+		{"ld", &p.LoopDepth}, {"cd", &p.CallDensity}, {"rd", &p.RegDensity},
+		{"mw", &p.MemWords},
+	}
+	seed, err := parseField(fields[1], "s")
+	if err != nil {
+		return p, fmt.Errorf("gen: %q: %w", name, err)
+	}
+	p.Seed = seed
+	for i, spec := range specs {
+		v, err := parseField(fields[i+2], spec.prefix)
+		if err != nil {
+			return p, fmt.Errorf("gen: %q: %w", name, err)
+		}
+		*spec.dst = int(v)
+	}
+	if canon := p.Key(); canon != name {
+		return Params{}, fmt.Errorf("gen: %q is not canonical (want %q)", name, canon)
+	}
+	return p, nil
+}
+
+func parseField(field, prefix string) (int64, error) {
+	rest, ok := strings.CutPrefix(field, prefix)
+	if !ok {
+		return 0, fmt.Errorf("field %q does not start with %q", field, prefix)
+	}
+	v, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("field %q: %v", field, err)
+	}
+	return v, nil
+}
+
+// CorpusParams derives the i-th parameter point of the corpus rooted at
+// seed. The derivation is pure integer arithmetic (no PRNG), so a corpus is
+// identified by (seed, size) alone and any index can be regenerated in
+// isolation. The sweep covers the full parameter cube: function count,
+// block budget, branchiness, loop depth, call density, register density,
+// and memory footprint all vary with coprime strides.
+func CorpusParams(seed int64, i int) Params {
+	p := Default()
+	p.Seed = seed*1_000_003 + int64(i)
+	p.Funcs = 1 + i%5
+	p.Blocks = 8 + (i*7)%57
+	p.Branchiness = (i * 13) % 101
+	p.LoopDepth = i % 4
+	p.CallDensity = (i * 29) % 71
+	p.RegDensity = (i * 17) % 101
+	p.MemWords = 16 << (i % 4)
+	return p.Clamp()
+}

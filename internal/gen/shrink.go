@@ -1,0 +1,90 @@
+package gen
+
+import "multiscalar/internal/ir"
+
+// ShrinkParams minimizes a failing parameter point: given a predicate that
+// reports whether the program generated from p still exhibits a failure, it
+// greedily drives every size-like field toward its minimum (binary search
+// per field) while the failure persists. The result is the smallest point in
+// the lattice below p — start bug reports here, then ShrinkProgram the
+// generated program for an instruction-level minimum.
+//
+// fails must be deterministic (generated programs are, so a pure property of
+// the program always is). The original p is returned unchanged if it does
+// not fail.
+func ShrinkParams(p Params, fails func(Params) bool) Params {
+	p = p.Clamp()
+	if !fails(p) {
+		return p
+	}
+	fields := []struct {
+		get func(*Params) *int
+		min int
+	}{
+		{func(q *Params) *int { return &q.Funcs }, 1},
+		{func(q *Params) *int { return &q.Blocks }, 4},
+		{func(q *Params) *int { return &q.LoopDepth }, 0},
+		{func(q *Params) *int { return &q.CallDensity }, 0},
+		{func(q *Params) *int { return &q.Branchiness }, 0},
+		{func(q *Params) *int { return &q.RegDensity }, 0},
+		{func(q *Params) *int { return &q.MemWords }, 8},
+	}
+	// Iterate to a fixed point: lowering one field can unlock another.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fields {
+			lo, hi := f.min, *f.get(&p) // fails at hi; probe toward lo
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				q := p
+				*f.get(&q) = mid
+				q = q.Clamp()
+				if fails(q) {
+					p, hi = q, mid
+					changed = true
+				} else {
+					lo = mid + 1
+				}
+			}
+		}
+	}
+	return p
+}
+
+// ShrinkProgram minimizes a failing program at the instruction level: it
+// repeatedly tries to delete one non-terminator instruction at a time
+// (scanning back to front so indices stay stable), keeping a deletion only
+// when the candidate still validates and still fails. The result is
+// 1-minimal — removing any single remaining instruction either breaks
+// validity or makes the failure disappear.
+//
+// The input program is never mutated. Terminators and block structure are
+// preserved, so the shrunk program keeps the CFG shape that provoked the
+// failure; use ShrinkParams first to shrink the shape itself.
+func ShrinkProgram(prog *ir.Program, fails func(*ir.Program) bool) *ir.Program {
+	cur := ir.Clone(prog)
+	if ir.Validate(cur) != nil || !fails(cur) {
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi := len(cur.Fns) - 1; fi >= 0; fi-- {
+			for bi := len(cur.Fns[fi].Blocks) - 1; bi >= 0; bi-- {
+				for ii := len(cur.Fns[fi].Blocks[bi].Instrs) - 1; ii >= 0; ii-- {
+					cand := ir.Clone(cur)
+					blk := cand.Fns[fi].Blocks[bi]
+					blk.Instrs = append(blk.Instrs[:ii:ii], blk.Instrs[ii+1:]...)
+					if ir.Validate(cand) != nil {
+						continue
+					}
+					cand.Layout()
+					if fails(cand) {
+						cur = cand
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,74 @@
+package gen_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/gen"
+	"multiscalar/internal/ir"
+)
+
+// countOp tallies instructions with the given opcode.
+func countOp(p *ir.Program, op ir.Opcode) int {
+	n := 0
+	for _, f := range p.Fns {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestShrinkParams(t *testing.T) {
+	start := gen.Params{Seed: 9, Funcs: 8, Blocks: 96, Branchiness: 90, LoopDepth: 4, CallDensity: 80, RegDensity: 90, MemWords: 1024}
+	// "Failure": the generated program has more than one function. The
+	// minimum over the lattice is Funcs=2 with everything else floored.
+	fails := func(p gen.Params) bool {
+		return len(gen.Generate(p).Fns) > 1
+	}
+	small := gen.ShrinkParams(start, fails)
+	if !fails(small) {
+		t.Fatal("shrunk params no longer fail")
+	}
+	if small.Funcs != 2 {
+		t.Errorf("Funcs = %d, want 2", small.Funcs)
+	}
+	if small.Blocks != 4 || small.LoopDepth != 0 || small.Branchiness != 0 || small.CallDensity != 0 || small.RegDensity != 0 || small.MemWords != 8 {
+		t.Errorf("unrelated fields not floored: %+v", small)
+	}
+	// A predicate that never fails returns the input unchanged.
+	same := gen.ShrinkParams(start, func(gen.Params) bool { return false })
+	if same != start.Clamp() {
+		t.Errorf("non-failing input changed: %+v", same)
+	}
+}
+
+func TestShrinkProgram(t *testing.T) {
+	prog := gen.Generate(gen.Params{Seed: 2, Funcs: 2, Blocks: 24, Branchiness: 50, LoopDepth: 2, CallDensity: 30, RegDensity: 50, MemWords: 64})
+	fails := func(p *ir.Program) bool { return countOp(p, ir.OpMul) >= 1 }
+	if !fails(prog) {
+		t.Skip("seed produced no Mul; pick another seed")
+	}
+	before := prog.NumInstrs()
+	small := gen.ShrinkProgram(prog, fails)
+	if err := ir.Validate(small); err != nil {
+		t.Fatalf("shrunk program invalid: %v", err)
+	}
+	if !fails(small) {
+		t.Fatal("shrunk program no longer fails")
+	}
+	if got := small.NumInstrs(); got >= before {
+		t.Errorf("no shrinkage: %d -> %d instrs", before, got)
+	}
+	// 1-minimality: it kept exactly one Mul, and removing it would pass.
+	if n := countOp(small, ir.OpMul); n != 1 {
+		t.Errorf("shrunk program has %d Mul instructions, want 1", n)
+	}
+	// The input must not be mutated.
+	if prog.NumInstrs() != before {
+		t.Error("ShrinkProgram mutated its input")
+	}
+}

@@ -18,7 +18,11 @@ import (
 // v2: artifacts no longer carry Result.Timeline (timeline-recording jobs
 // bypass the cache entirely and stores strip the field), so v1 artifacts —
 // which could embed per-task records — are invalidated.
-const SchemaVersion = 2
+//
+// v3: core.Options gained Policy/SizeBudget/CommBudget (the selection-policy
+// zoo), changing the JSON encoding every key hashes; v2 keys for the same
+// logical job no longer match and must be recomputed.
+const SchemaVersion = 3
 
 // schemaFingerprint pins the recursive field shape of core.Options and
 // sim.Config (msvet's cachekey analyzer recomputes it on every run). When a
@@ -26,7 +30,7 @@ const SchemaVersion = 2
 // msvet fails with the new expected value: audit that the JSON encoding
 // still covers every field, bump SchemaVersion if old artifacts are now
 // wrong, and paste the new fingerprint here.
-const schemaFingerprint = "649450b0c43b"
+const schemaFingerprint = "f3a9b33878bd"
 
 // The fingerprint is consumed by tooling, not runtime code; the blank use
 // keeps unused-symbol linters from suggesting its removal.

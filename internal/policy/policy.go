@@ -1,0 +1,155 @@
+// Package policy implements the selection-policy zoo: resource-budgeted
+// task-growth strategies that plug into core.Select beside the paper's
+// heuristics. Where the paper's control-flow heuristic maximizes task size
+// subject only to the hardware target limit, these policies treat selection
+// as allocation under explicit budgets — static instructions per task (the
+// "task size" resource) and distinct defined registers per task (the
+// register-communication resource the forwarding ring pays for) — in the
+// style of budgeted task selection from the edge-scheduling literature
+// (greedy, round-robin, and Lagrangian multi-knapsack selectors).
+//
+// Importing the package (blank import suffices) registers all three with
+// core.RegisterPolicy:
+//
+//	greedy      admit the densest candidate while both budgets hold
+//	roundrobin  rotate over the frontier, spending budgets in rotation
+//	knapsack    Lagrangian multi-knapsack: admit positive reduced-value
+//	            candidates, adjust multipliers between tasks
+//
+// Every policy is deterministic and allocation-free in steady state; each
+// core.Select call gets a fresh instance, so per-run state (rotation
+// cursors, multipliers) needs no locking.
+package policy
+
+import (
+	"multiscalar/internal/core"
+)
+
+func init() {
+	core.RegisterPolicy("greedy", func(cfg core.PolicyConfig) core.Policy { return &greedy{cfg: cfg} })
+	core.RegisterPolicy("roundrobin", func(cfg core.PolicyConfig) core.Policy { return &roundRobin{cfg: cfg} })
+	core.RegisterPolicy("knapsack", func(cfg core.PolicyConfig) core.Policy { return newKnapsack(cfg) })
+}
+
+// Names returns the policy names this package registers, in scoreboard
+// order (the order they appear in msreport -corpus output).
+func Names() []string { return []string{"greedy", "roundrobin", "knapsack"} }
+
+// fits reports whether admitting c keeps task t inside both budgets.
+func fits(cfg core.PolicyConfig, t core.PolicyTask, c core.PolicyCandidate) bool {
+	return t.Instrs+c.Instrs <= cfg.SizeBudget && t.Regs+c.NewRegs <= cfg.CommBudget
+}
+
+// greedy is the budget-greedy selector: among the candidates that fit both
+// remaining budgets it admits the one with the highest benefit density —
+// profiled execution frequency per unit of combined cost — and closes the
+// task as soon as nothing fits. Hot reconverging paths get absorbed first;
+// cold side chains are left to seed their own tasks.
+type greedy struct {
+	cfg core.PolicyConfig
+}
+
+func (g *greedy) Name() string { return "greedy" }
+
+func (g *greedy) Pick(t core.PolicyTask, frontier []core.PolicyCandidate) int {
+	best, bestScore := -1, -1.0
+	for i, c := range frontier {
+		if !fits(g.cfg, t, c) {
+			continue
+		}
+		// Benefit density: +1 smooths never-profiled blocks, the register
+		// term weights communication cost against plain size.
+		score := float64(c.Freq+1) / float64(c.Instrs+4*c.NewRegs+1)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+func (g *greedy) TaskDone(core.PolicyTask) {}
+
+// roundRobin spreads growth across the frontier with a rotation cursor that
+// persists across tasks (the classic fair selector: each task's first choice
+// continues where the previous task's last choice left off). At each step
+// the first fitting candidate at or after the cursor is admitted. The
+// resulting partitions are deliberately shape-diverse: tasks stop early not
+// because nothing fits but because rotation reached a candidate that does
+// not, which makes this the stress baseline for the verify contract.
+type roundRobin struct {
+	cfg  core.PolicyConfig
+	next int
+}
+
+func (r *roundRobin) Name() string { return "roundrobin" }
+
+func (r *roundRobin) Pick(t core.PolicyTask, frontier []core.PolicyCandidate) int {
+	n := len(frontier)
+	for off := 0; off < n; off++ {
+		i := (r.next + off) % n
+		if fits(r.cfg, t, frontier[i]) {
+			r.next = i + 1
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *roundRobin) TaskDone(core.PolicyTask) {}
+
+// knapsack is the Lagrangian multi-knapsack selector: both budgets are
+// priced with multipliers, a candidate is admitted while its reduced value
+//
+//	value(c) − λsize·instrs(c) − λcomm·newRegs(c)
+//
+// stays positive (value is the profiled frequency), and after each task the
+// multipliers follow the subgradient of the dualized constraints — a budget
+// the task overshot gets more expensive, an underused one cheaper. Hard
+// budget checks remain in force (the relaxation prices, the budgets bind),
+// so the multipliers steer which resource the selector economizes rather
+// than how much it may spend.
+type knapsack struct {
+	cfg     core.PolicyConfig
+	lamSize float64
+	lamComm float64
+}
+
+func newKnapsack(cfg core.PolicyConfig) *knapsack {
+	// Initial prices: one unit of value per budget-fraction consumed.
+	return &knapsack{
+		cfg:     cfg,
+		lamSize: 1.0 / float64(cfg.SizeBudget),
+		lamComm: 1.0 / float64(cfg.CommBudget),
+	}
+}
+
+func (k *knapsack) Name() string { return "knapsack" }
+
+func (k *knapsack) Pick(t core.PolicyTask, frontier []core.PolicyCandidate) int {
+	best, bestVal := -1, 0.0
+	for i, c := range frontier {
+		if !fits(k.cfg, t, c) {
+			continue
+		}
+		reduced := float64(c.Freq+1) - k.lamSize*float64(c.Instrs) - k.lamComm*float64(c.NewRegs)
+		if reduced > bestVal {
+			best, bestVal = i, reduced
+		}
+	}
+	return best
+}
+
+// TaskDone applies the subgradient step: multipliers move proportionally to
+// the task's budget utilization error and never go negative.
+func (k *knapsack) TaskDone(t core.PolicyTask) {
+	const step = 0.05
+	k.lamSize = max0(k.lamSize + step*(float64(t.Instrs)-float64(k.cfg.SizeBudget))/float64(k.cfg.SizeBudget))
+	k.lamComm = max0(k.lamComm + step*(float64(t.Regs)-float64(k.cfg.CommBudget))/float64(k.cfg.CommBudget))
+}
+
+func max0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

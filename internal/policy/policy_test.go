@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/verify"
+	"multiscalar/internal/workloads"
+)
+
+func TestNamesMatchRegistry(t *testing.T) {
+	want := append([]string(nil), Names()...)
+	sort.Strings(want)
+	if got := core.PolicyNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry = %v, package registers %v", got, want)
+	}
+}
+
+func TestGreedyPicksDensestThatFits(t *testing.T) {
+	g := &greedy{cfg: core.PolicyConfig{SizeBudget: 48, CommBudget: 8}}
+	task := core.PolicyTask{Instrs: 40, Regs: 6}
+	frontier := []core.PolicyCandidate{
+		{Blk: 1, Instrs: 20, NewRegs: 1, Freq: 1000}, // over size budget
+		{Blk: 2, Instrs: 4, NewRegs: 1, Freq: 100},   // density (100+1)/(4+4+1)
+		{Blk: 3, Instrs: 8, NewRegs: 0, Freq: 400},   // density (400+1)/(8+0+1): best
+		{Blk: 4, Instrs: 2, NewRegs: 4, Freq: 500},   // over comm budget
+	}
+	if got := g.Pick(task, frontier); got != 2 {
+		t.Fatalf("Pick = %d, want 2 (densest fitting candidate)", got)
+	}
+	full := core.PolicyTask{Instrs: 48, Regs: 8}
+	if got := g.Pick(full, frontier); got != -1 {
+		t.Fatalf("Pick with exhausted budgets = %d, want -1", got)
+	}
+}
+
+func TestRoundRobinCursorPersists(t *testing.T) {
+	r := &roundRobin{cfg: core.PolicyConfig{SizeBudget: 100, CommBudget: 100}}
+	frontier := []core.PolicyCandidate{
+		{Blk: 1, Instrs: 1}, {Blk: 2, Instrs: 1}, {Blk: 3, Instrs: 1},
+	}
+	var picks []int
+	for i := 0; i < 4; i++ {
+		picks = append(picks, r.Pick(core.PolicyTask{}, frontier))
+	}
+	if want := []int{0, 1, 2, 0}; !reflect.DeepEqual(picks, want) {
+		t.Fatalf("rotation = %v, want %v", picks, want)
+	}
+	// A non-fitting candidate under the cursor is skipped, not returned.
+	r2 := &roundRobin{cfg: core.PolicyConfig{SizeBudget: 4, CommBudget: 100}}
+	mixed := []core.PolicyCandidate{
+		{Blk: 1, Instrs: 10}, {Blk: 2, Instrs: 2},
+	}
+	if got := r2.Pick(core.PolicyTask{}, mixed); got != 1 {
+		t.Fatalf("Pick over non-fitting head = %d, want 1", got)
+	}
+	if got := r2.Pick(core.PolicyTask{Instrs: 3}, mixed); got != -1 {
+		t.Fatalf("Pick with nothing fitting = %d, want -1", got)
+	}
+}
+
+func TestKnapsackMultipliersFollowSubgradient(t *testing.T) {
+	k := newKnapsack(core.PolicyConfig{SizeBudget: 48, CommBudget: 8})
+	size0, comm0 := k.lamSize, k.lamComm
+	// A task at exactly half the size budget and the full comm budget:
+	// the size price must drop, the comm price must hold.
+	k.TaskDone(core.PolicyTask{Instrs: 24, Regs: 8})
+	if k.lamSize >= size0 {
+		t.Fatalf("lamSize %v did not drop from %v after size slack", k.lamSize, size0)
+	}
+	if k.lamComm != comm0 {
+		t.Fatalf("lamComm %v moved from %v on exact utilization", k.lamComm, comm0)
+	}
+	// Repeated zero-size tasks drive the price to its floor, never below.
+	for i := 0; i < 100; i++ {
+		k.TaskDone(core.PolicyTask{Instrs: 0, Regs: 8})
+	}
+	if k.lamSize != 0 {
+		t.Fatalf("lamSize = %v, want clamped to 0", k.lamSize)
+	}
+	// Overshooting raises the price again.
+	k.TaskDone(core.PolicyTask{Instrs: 96, Regs: 8})
+	if k.lamSize <= 0 {
+		t.Fatalf("lamSize = %v after overshoot, want > 0", k.lamSize)
+	}
+}
+
+func TestKnapsackAdmitsOnlyPositiveReducedValue(t *testing.T) {
+	k := newKnapsack(core.PolicyConfig{SizeBudget: 48, CommBudget: 8})
+	k.lamSize, k.lamComm = 10, 10
+	frontier := []core.PolicyCandidate{
+		{Blk: 1, Instrs: 5, NewRegs: 1, Freq: 10}, // reduced value 11-50-10 < 0
+	}
+	if got := k.Pick(core.PolicyTask{}, frontier); got != -1 {
+		t.Fatalf("Pick = %d, want -1 (no positive reduced value)", got)
+	}
+	k.lamSize, k.lamComm = 0.1, 0.1
+	if got := k.Pick(core.PolicyTask{}, frontier); got != 0 {
+		t.Fatalf("Pick = %d, want 0 once prices fall", got)
+	}
+}
+
+// TestPoliciesVerifyOnBenchmarks is the package's own contract check: every
+// registered policy must produce a PT-clean partition on real benchmark
+// programs, not just the generated corpus (internal/gen covers that side).
+func TestPoliciesVerifyOnBenchmarks(t *testing.T) {
+	for _, wl := range []string{"compress", "go", "tomcatv"} {
+		w, err := workloads.ByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := w.Build()
+		for _, name := range Names() {
+			part, err := core.Select(prog, core.Options{
+				Heuristic: core.ControlFlow, Policy: name, MaxTargets: 4,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wl, name, err)
+			}
+			if fs := verify.Partition(part); fs.Errors() > 0 {
+				t.Errorf("%s/%s: %d contract errors:\n%s", wl, name, fs.Errors(), fs)
+			}
+		}
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"multiscalar/internal/experiment"
+	"multiscalar/internal/gen"
 	"multiscalar/internal/grid"
+	"multiscalar/internal/ir"
 	"multiscalar/internal/verify"
 )
 
@@ -163,11 +165,12 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
-	if err := validateWorkload(req.Workload); err != nil {
+	name, err := resolveWorkload(req.Workload, req.Generator)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "unknown_workload", err.Error())
 		return
 	}
-	part, err := s.eng.PartitionCtx(r.Context(), req.Workload, opts)
+	part, err := s.eng.PartitionCtx(r.Context(), name, opts)
 	if err != nil {
 		s.writeEngineError(w, r, err)
 		return
@@ -175,8 +178,9 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	findings := verify.Partition(part)
 	findings.Sort()
 	resp := PartitionResponse{
-		Workload:  req.Workload,
+		Workload:  name,
 		Heuristic: part.Heuristic.String(),
+		Policy:    part.Opts.Policy,
 		Tasks:     len(part.Tasks),
 		Errors:    findings.Errors(),
 		Warnings:  findings.Warnings(),
@@ -209,21 +213,44 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
-	if err := validateWorkload(req.Workload); err != nil {
+	name, err := resolveWorkload(req.Workload, req.Generator)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "unknown_workload", err.Error())
 		return
 	}
-	job := grid.Job{Workload: req.Workload, Select: opts, Config: cfg}
+	job := grid.Job{Workload: name, Select: opts, Config: cfg}
 	res, err := s.eng.RunCtx(r.Context(), job)
 	if err != nil {
 		s.writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SimulateResponse{
-		Workload: req.Workload,
+		Workload: name,
 		Key:      grid.Key(job),
 		Result:   res,
 	})
+}
+
+// handleGenerate materializes a property-based program: the response's
+// canonical name feeds straight back into /v1/partition, /v1/simulate, or a
+// CLI -workload flag, and the listing lets a client inspect (or archive)
+// exactly what that name denotes.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[GenerateRequest](w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	p := req.Generator.params()
+	prog := gen.Generate(p)
+	resp := GenerateResponse{Name: p.Key(), Program: ir.Format(prog)}
+	for _, fn := range prog.Fns {
+		resp.Funcs++
+		resp.Blocks += len(fn.Blocks)
+		for _, b := range fn.Blocks {
+			resp.Instrs += len(b.Instrs)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // sseWriter emits Server-Sent Events with JSON payloads, flushing after
@@ -304,6 +331,14 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			if err == nil {
 				out.Summaries = experiment.Summarize(cells)
 			}
+		case "corpus":
+			n := req.N
+			if n == 0 {
+				n = 20
+			}
+			out.Corpus, err = runner.Corpus(experiment.CorpusSpec{
+				Seed: req.Seed, N: n, Policies: req.Policies,
+			})
 		}
 		done <- outcome{result: out, err: err}
 	}()

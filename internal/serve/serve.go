@@ -1,8 +1,10 @@
 // Package serve exposes the Multiscalar pipeline as a long-lived HTTP/JSON
 // service: POST /v1/partition (task selection + static verification),
-// POST /v1/simulate (one grid job), POST /v1/experiment (named figure/table
-// with Server-Sent-Events progress), GET /healthz, and GET /metrics
-// (Prometheus text exposition).
+// POST /v1/simulate (one grid job), POST /v1/generate (a property-based
+// program from a seed and shape parameters, named for reuse by the other
+// endpoints), POST /v1/experiment (named figure/table/corpus sweep with
+// Server-Sent-Events progress), GET /healthz, and GET /metrics (Prometheus
+// text exposition).
 //
 // Every request executes through one shared grid.Engine, so identical
 // concurrent requests coalesce into a single simulation and warm-cache
@@ -139,6 +141,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("POST /v1/partition", s.admitted(s.handlePartition))
 	mux.Handle("POST /v1/simulate", s.admitted(s.handleSimulate))
+	mux.Handle("POST /v1/generate", s.admitted(s.handleGenerate))
 	mux.Handle("POST /v1/experiment", s.admitted(s.handleExperiment))
 	// Cache endpoints skip the admission gate: they are cheap key-value
 	// probes serving other machines' hot paths, and shedding them only
@@ -154,6 +157,7 @@ func New(cfg Config) *Server {
 	methods := map[string]string{
 		"/v1/partition":  http.MethodPost,
 		"/v1/simulate":   http.MethodPost,
+		"/v1/generate":   http.MethodPost,
 		"/v1/experiment": http.MethodPost,
 		"/healthz":       http.MethodGet,
 		"/metrics":       http.MethodGet,

@@ -6,6 +6,7 @@ import (
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/experiment"
+	"multiscalar/internal/gen"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/verify"
 	"multiscalar/internal/workloads"
@@ -26,6 +27,13 @@ type SelectOptions struct {
 	LoopThresh int `json:"loop_thresh,omitempty"`
 	// NoGreedy uses first-fit instead of greedy task growth.
 	NoGreedy bool `json:"no_greedy,omitempty"`
+	// Policy replaces the heuristic's growth decisions with a registered
+	// selection policy ("greedy", "roundrobin", "knapsack").
+	Policy string `json:"policy,omitempty"`
+	// SizeBudget and CommBudget are the policy's task-size and register-
+	// communication budgets (0 = policy defaults; ignored without Policy).
+	SizeBudget int `json:"size_budget,omitempty"`
+	CommBudget int `json:"comm_budget,omitempty"`
 }
 
 func (o SelectOptions) core() (core.Options, error) {
@@ -43,6 +51,12 @@ func (o SelectOptions) core() (core.Options, error) {
 	if o.MaxTargets < 0 || o.CallThresh < 0 || o.LoopThresh < 0 {
 		return core.Options{}, fmt.Errorf("select thresholds must be non-negative")
 	}
+	if o.SizeBudget < 0 || o.CommBudget < 0 {
+		return core.Options{}, fmt.Errorf("policy budgets must be non-negative")
+	}
+	if err := validatePolicy(o.Policy); err != nil {
+		return core.Options{}, err
+	}
 	return core.Options{
 		Heuristic:  h,
 		TaskSize:   o.TaskSize,
@@ -50,7 +64,24 @@ func (o SelectOptions) core() (core.Options, error) {
 		CallThresh: o.CallThresh,
 		LoopThresh: o.LoopThresh,
 		NoGreedy:   o.NoGreedy,
+		Policy:     o.Policy,
+		SizeBudget: o.SizeBudget,
+		CommBudget: o.CommBudget,
 	}, nil
+}
+
+// validatePolicy rejects unregistered policy names up front — Select would
+// fail too, but at request-validation time the failure is a clean 400.
+func validatePolicy(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, p := range core.PolicyNames() {
+		if p == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown policy %q (registered: %s)", name, strings.Join(core.PolicyNames(), ", "))
 }
 
 // MachineConfig is the wire form of the simulated machine point; omitted
@@ -100,10 +131,55 @@ func (m MachineConfig) config() (sim.Config, error) {
 	return cfg, nil
 }
 
+// GeneratorSpec is the wire form of gen.Params: a property-based workload
+// described by its seed and shape parameters instead of a benchmark name.
+// Omitted fields take gen.Default()'s values; all fields are clamped to the
+// generator's valid ranges, so the canonical name in the response is the
+// source of truth for what actually ran.
+type GeneratorSpec struct {
+	Seed        int64 `json:"seed"`
+	Funcs       int   `json:"funcs,omitempty"`
+	Blocks      int   `json:"blocks,omitempty"`
+	Branchiness int   `json:"branchiness,omitempty"`
+	LoopDepth   int   `json:"loop_depth,omitempty"`
+	CallDensity int   `json:"call_density,omitempty"`
+	RegDensity  int   `json:"reg_density,omitempty"`
+	MemWords    int   `json:"mem_words,omitempty"`
+}
+
+func (g GeneratorSpec) params() gen.Params {
+	p := gen.Default()
+	p.Seed = g.Seed
+	if g.Funcs != 0 {
+		p.Funcs = g.Funcs
+	}
+	if g.Blocks != 0 {
+		p.Blocks = g.Blocks
+	}
+	if g.Branchiness != 0 {
+		p.Branchiness = g.Branchiness
+	}
+	if g.LoopDepth != 0 {
+		p.LoopDepth = g.LoopDepth
+	}
+	if g.CallDensity != 0 {
+		p.CallDensity = g.CallDensity
+	}
+	if g.RegDensity != 0 {
+		p.RegDensity = g.RegDensity
+	}
+	if g.MemWords != 0 {
+		p.MemWords = g.MemWords
+	}
+	return p.Clamp()
+}
+
 // PartitionRequest asks for a task selection plus its static verification.
+// Exactly one of Workload and Generator names the program.
 type PartitionRequest struct {
-	Workload string        `json:"workload"`
-	Select   SelectOptions `json:"select"`
+	Workload  string         `json:"workload,omitempty"`
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+	Select    SelectOptions  `json:"select"`
 }
 
 // FindingBody is the wire form of one verify.Finding.
@@ -137,6 +213,7 @@ func findingBodies(fs verify.Findings) []FindingBody {
 type PartitionResponse struct {
 	Workload   string  `json:"workload"`
 	Heuristic  string  `json:"heuristic"`
+	Policy     string  `json:"policy,omitempty"`
 	Tasks      int     `json:"tasks"`
 	Blocks     int     `json:"blocks"`
 	AvgBlocks  float64 `json:"avg_blocks_per_task"`
@@ -148,10 +225,31 @@ type PartitionResponse struct {
 }
 
 // SimulateRequest asks for one grid job: workload × selection × machine.
+// Exactly one of Workload and Generator names the program.
 type SimulateRequest struct {
-	Workload string        `json:"workload"`
-	Select   SelectOptions `json:"select"`
-	Machine  MachineConfig `json:"machine"`
+	Workload  string         `json:"workload,omitempty"`
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+	Select    SelectOptions  `json:"select"`
+	Machine   MachineConfig  `json:"machine"`
+}
+
+// GenerateRequest asks POST /v1/generate for a property-based program.
+type GenerateRequest struct {
+	Generator GeneratorSpec `json:"generator"`
+}
+
+// GenerateResponse carries the generated program's canonical name — a valid
+// workload for /v1/partition and /v1/simulate, embedding seed, parameters,
+// and generator schema version — plus shape statistics and the full listing.
+type GenerateResponse struct {
+	// Name is the canonical gen: workload name (clamped parameters).
+	Name   string `json:"name"`
+	Funcs  int    `json:"funcs"`
+	Blocks int    `json:"blocks"`
+	Instrs int    `json:"instrs"`
+	// Program is the deterministic ir.Format listing: same seed and
+	// parameters produce this byte-for-byte on every run and machine.
+	Program string `json:"program"`
 }
 
 // SimulateResponse carries the simulation result plus the job's
@@ -162,22 +260,43 @@ type SimulateResponse struct {
 	Result   *sim.Result `json:"result"`
 }
 
-// ExperimentRequest names a figure or table to regenerate.
+// ExperimentRequest names a figure or table to regenerate, or a generated-
+// corpus sweep.
 type ExperimentRequest struct {
-	// Name is "fig5", "table1", or "summary".
+	// Name is "fig5", "table1", "summary", or "corpus".
 	Name string `json:"name"`
-	// Workloads restricts the run (empty = all 18).
+	// Workloads restricts the run (empty = all 18; ignored by corpus).
 	Workloads []string `json:"workloads,omitempty"`
 	// PUs restricts the machine sizes for fig5/summary (empty = 4 and 8;
 	// table1 is always the paper's 8-PU configuration).
 	PUs []int `json:"pus,omitempty"`
+	// Seed, N, and Policies configure the corpus sweep (corpus only):
+	// N generated programs from the seed, raced across the paper heuristics
+	// plus the named policies. N defaults to 20.
+	Seed     int64    `json:"seed,omitempty"`
+	N        int      `json:"n,omitempty"`
+	Policies []string `json:"policies,omitempty"`
 }
+
+// maxCorpusN bounds the corpus size a single request may ask for, the same
+// way maxPUs bounds machine size.
+const maxCorpusN = 1000
 
 func (r ExperimentRequest) validate() error {
 	switch r.Name {
 	case "fig5", "table1", "summary":
+	case "corpus":
+		if r.N < 0 || r.N > maxCorpusN {
+			return fmt.Errorf("corpus n %d out of range [0,%d]", r.N, maxCorpusN)
+		}
+		for _, p := range r.Policies {
+			if err := validatePolicy(p); err != nil {
+				return err
+			}
+		}
+		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig5, table1, or summary)", r.Name)
+		return fmt.Errorf("unknown experiment %q (want fig5, table1, summary, or corpus)", r.Name)
 	}
 	for _, n := range r.Workloads {
 		if err := validateWorkload(n); err != nil {
@@ -203,12 +322,13 @@ type Progress struct {
 }
 
 // ExperimentResult is the terminal SSE event body: exactly one of Cells,
-// Rows, or Summaries is set, matching the requested experiment.
+// Rows, Summaries, or Corpus is set, matching the requested experiment.
 type ExperimentResult struct {
 	Name      string                    `json:"name"`
 	Cells     []experiment.Fig5Cell     `json:"cells,omitempty"`
 	Rows      []experiment.T1Row        `json:"rows,omitempty"`
 	Summaries []experiment.SuiteSummary `json:"summaries,omitempty"`
+	Corpus    []experiment.CorpusRow    `json:"corpus,omitempty"`
 	Progress  Progress                  `json:"progress"`
 }
 
@@ -253,6 +373,20 @@ type ErrorBody struct {
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+}
+
+// resolveWorkload turns a request's workload/generator pair into the one
+// workload name the engine runs: a generator spec compiles to its canonical
+// gen: name (which workloads.ByName resolves back to the same program), a
+// plain name is validated against the benchmark suite and the gen: grammar.
+func resolveWorkload(name string, g *GeneratorSpec) (string, error) {
+	if g != nil {
+		if name != "" {
+			return "", fmt.Errorf("set either workload or generator, not both")
+		}
+		return g.params().Key(), nil
+	}
+	return name, validateWorkload(name)
 }
 
 // validateWorkload rejects unknown workload names, listing the known ones.

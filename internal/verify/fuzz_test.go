@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/gen"
+	_ "multiscalar/internal/policy" // register the policy zoo
 	"multiscalar/internal/progtest"
 )
 
@@ -11,22 +13,48 @@ import (
 // pipeline and asserts the verifier neither panics nor finds error-severity
 // violations in anything Select produces — the same contract the workload
 // oracle checks, over an open-ended program space.
+//
+// Two generators feed the fuzzer: the lightweight progtest generator
+// (useGen=false) and the full parameter-swept internal/gen generator
+// (useGen=true, params derived from the seed via gen.CorpusParams). The
+// arm byte selects the growth strategy: 0–2 the paper heuristics, 3–5 the
+// policy zoo. The checked-in corpus under testdata/fuzz pins one input per
+// generator×strategy family.
 func FuzzVerifyPartition(f *testing.F) {
-	f.Add(int64(0), byte(0), false)
-	f.Add(int64(1), byte(1), true)
-	f.Add(int64(42), byte(2), true)
-	f.Add(int64(-7), byte(5), false)
-	f.Fuzz(func(t *testing.T, seed int64, heur byte, tasksize bool) {
+	f.Add(int64(0), byte(0), false, false)
+	f.Add(int64(1), byte(1), true, false)
+	f.Add(int64(42), byte(2), true, true)
+	f.Add(int64(-7), byte(5), false, true)
+	f.Add(int64(13), byte(3), false, true)
+	f.Add(int64(99), byte(4), true, false)
+	f.Fuzz(func(t *testing.T, seed int64, arm byte, tasksize bool, useGen bool) {
 		prog := progtest.Generate(seed)
-		h := []core.Heuristic{core.BasicBlock, core.ControlFlow, core.DataDependence}[int(heur)%3]
-		part, err := core.Select(prog, core.Options{Heuristic: h, TaskSize: tasksize})
+		if useGen {
+			prog = gen.Generate(gen.CorpusParams(seed, int(arm)))
+		}
+		opts := core.Options{TaskSize: tasksize}
+		switch arm % 6 {
+		case 0:
+			opts.Heuristic = core.BasicBlock
+		case 1:
+			opts.Heuristic = core.ControlFlow
+		case 2:
+			opts.Heuristic = core.DataDependence
+		case 3:
+			opts.Policy = "greedy"
+		case 4:
+			opts.Policy = "roundrobin"
+		case 5:
+			opts.Policy = "knapsack"
+		}
+		part, err := core.Select(prog, opts)
 		if err != nil {
 			t.Fatalf("Select: %v", err)
 		}
 		fs := Partition(part)
 		if n := fs.Errors(); n != 0 {
-			t.Errorf("seed %d %v/ts=%v: %d error findings:\n%s",
-				seed, h, tasksize, n, fs.MinSeverity(SevError))
+			t.Errorf("seed %d arm %d ts=%v gen=%v: %d error findings:\n%s",
+				seed, arm, tasksize, useGen, n, fs.MinSeverity(SevError))
 		}
 	})
 }

@@ -15,6 +15,7 @@ package workloads
 import (
 	"fmt"
 
+	"multiscalar/internal/gen"
 	"multiscalar/internal/ir"
 )
 
@@ -53,8 +54,19 @@ func All() []Workload {
 	}
 }
 
-// ByName returns the workload with the given name.
+// ByName returns the workload with the given name. Names carrying the
+// generator prefix ("gen:") are resolved through internal/gen: the full
+// parameter vector lives inside the name, so a generated workload flows
+// through the grid engine and its caches exactly like a hand-built one, and
+// equal names always rebuild byte-identical programs.
 func ByName(name string) (Workload, error) {
+	if gen.IsName(name) {
+		p, err := gen.ParseName(name)
+		if err != nil {
+			return Workload{}, fmt.Errorf("workloads: %w", err)
+		}
+		return Workload{Name: name, Build: func() *ir.Program { return gen.Generate(p) }}, nil
+	}
 	for _, w := range All() {
 		if w.Name == name {
 			return w, nil

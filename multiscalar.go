@@ -55,6 +55,17 @@
 // introspection surface (RegisterTraceDebug), and exports any trace as
 // Chrome trace-event JSON with one track per process (WriteSpanTrace). A nil
 // tracer is inert, so an untraced run is byte-identical. See DESIGN.md §13.
+//
+// Beyond the 18 fixed benchmarks, Generate builds property-based workloads
+// from a seed and shape parameters (internal/gen, exported with the Gen
+// prefix): every generated program validates, verifies clean, and halts on
+// the emulator, and the same seed yields byte-identical programs on every
+// machine. Canonical gen: names make generated programs first-class
+// workloads everywhere a benchmark name is accepted. Selection strategy is
+// pluggable through the policy registry (RegisterPolicy, Options.Policy):
+// registered policies — greedy, roundrobin, knapsack in internal/policy —
+// replace the heuristics' growth decisions while the selector keeps every
+// partition invariant intact. See DESIGN.md §14.
 package multiscalar
 
 import (
@@ -67,6 +78,11 @@ import (
 	"multiscalar/internal/dist"
 	"multiscalar/internal/emu"
 	"multiscalar/internal/experiment"
+	"multiscalar/internal/gen"
+
+	// Importing the facade registers the built-in policy zoo (greedy,
+	// roundrobin, knapsack); Options.Policy accepts any PolicyNames entry.
+	_ "multiscalar/internal/policy"
 	"multiscalar/internal/grid"
 	"multiscalar/internal/ir"
 	"multiscalar/internal/obs"
@@ -248,8 +264,61 @@ type (
 // Workloads returns the full benchmark suite (8 integer, 10 floating point).
 func Workloads() []Workload { return workloads.All() }
 
-// WorkloadByName returns one benchmark by its SPEC95 name (e.g. "compress").
+// WorkloadByName returns one benchmark by its SPEC95 name (e.g. "compress")
+// or a generated program by its canonical gen: name.
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// Property-based workload generation (DESIGN.md §14).
+type (
+	// GenParams describes one generated program: seed plus shape parameters
+	// (function count, blocks, branchiness, loop depth, call density,
+	// register-dependence density, memory footprint). Out-of-range values
+	// are clamped, so every GenParams denotes a valid program.
+	GenParams = gen.Params
+)
+
+// GenDefault returns the generator's default parameters (seed 1).
+func GenDefault() GenParams { return gen.Default() }
+
+// Generate builds a program from p. Generation is total and deterministic:
+// any parameters produce a program that validates, verifies clean, and
+// halts, and the same (clamped) parameters produce byte-identical IR on
+// every run and machine. The program's name is p's canonical gen: name,
+// which WorkloadByName resolves back to the same program.
+func Generate(p GenParams) *Program { return gen.Generate(p) }
+
+// GenCorpusParams derives the i'th parameter point of the seed's corpus — a
+// deterministic slice through the parameter cube, used by the corpus
+// experiment, mslint -corpus, and the fuzz seeds.
+func GenCorpusParams(seed int64, i int) GenParams { return gen.CorpusParams(seed, i) }
+
+// ParseGenName parses a canonical gen: workload name back into its
+// parameters, rejecting anything but the exact canonical encoding.
+func ParseGenName(name string) (GenParams, error) { return gen.ParseName(name) }
+
+// Selection policies: pluggable task-growth strategies (DESIGN.md §14).
+type (
+	// Policy decides which admissible frontier block joins the growing task;
+	// the selector enforces every partition invariant regardless of what the
+	// policy prefers. Set Options.Policy to a registered name to use one.
+	Policy = core.Policy
+	// PolicyTask summarizes the task being grown for a Policy.
+	PolicyTask = core.PolicyTask
+	// PolicyCandidate is one admissible frontier block with its cost model.
+	PolicyCandidate = core.PolicyCandidate
+	// PolicyConfig carries the task-size and register-communication budgets.
+	PolicyConfig = core.PolicyConfig
+)
+
+// RegisterPolicy adds a named policy factory to the global registry; use
+// the name in Options.Policy. The built-in zoo (greedy, roundrobin,
+// knapsack) is registered by importing this package.
+func RegisterPolicy(name string, factory func(PolicyConfig) Policy) {
+	core.RegisterPolicy(name, factory)
+}
+
+// PolicyNames lists the registered policies, sorted.
+func PolicyNames() []string { return core.PolicyNames() }
 
 // Grid execution: the parallel, cache-backed engine behind the experiment
 // harness.
