@@ -89,6 +89,8 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		traceRun   = flag.Bool("trace", false, "trace the run end to end, spanning distributed workers (implied by -trace-out)")
 		traceOut   = flag.String("trace-out", "", "write the run's trace as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
+		submitURL  = flag.String("submit", "", "submit the experiment as an async job to this mssrv base URL instead of running locally, poll it to completion, and print the result")
+		apiKey     = flag.String("api-key", "", "X-Api-Key tenant header for -submit (default: the server's anonymous tenant)")
 	)
 	flag.Parse()
 
@@ -150,6 +152,17 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *submitURL != "" {
+		req, err := buildSubmitRequest(*which, *corpus, splitList(*policyList), names, puCounts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runSubmit(ctx, *submitURL, *apiKey, req); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	lru := *lruSize

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"multiscalar/internal/experiment"
+	"multiscalar/internal/serve"
+)
+
+// buildSubmitRequest maps the report flags onto the async experiment job
+// body. Only the experiments the server runs whole are submittable: chart,
+// ablations, and all are client-side compositions of several runs, so they
+// stay local.
+func buildSubmitRequest(which, corpusArg string, policies, names []string, pus []int) (serve.ExperimentRequest, error) {
+	if corpusArg != "" {
+		seed, n, err := parseCorpus(corpusArg)
+		if err != nil {
+			return serve.ExperimentRequest{}, err
+		}
+		return serve.ExperimentRequest{Name: "corpus", Seed: seed, N: n, Policies: policies}, nil
+	}
+	switch which {
+	case "fig5", "table1", "summary":
+		return serve.ExperimentRequest{Name: which, Workloads: names, PUs: pus}, nil
+	}
+	return serve.ExperimentRequest{}, fmt.Errorf(
+		"-submit runs one server-side experiment: fig5, table1, summary, or -corpus (not %q)", which)
+}
+
+// runSubmit is msreport as a thin job client: POST the experiment to an
+// mssrv job surface, poll the record to a terminal state, and print the
+// result with the same formatters a local run uses. Submitting the same
+// flags twice hits the server's terminal cache, so a rerun costs one GET.
+func runSubmit(ctx context.Context, base, apiKey string, req serve.ExperimentRequest) error {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	sub, err := json.Marshal(serve.JobSubmitRequest{Kind: "experiment", Request: body})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	st, err := submitOnce(ctx, client, base, apiKey, sub)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "submitted job %s (%s)\n", st.ID, st.State)
+
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for !terminalState(st.State) {
+		select {
+		case <-ctx.Done():
+			// Best-effort cancel so the server stops burning runner time on
+			// a sweep nobody will read. A fresh context: ours is done.
+			cancelCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			defer cancel()
+			del, _ := http.NewRequestWithContext(cancelCtx, http.MethodDelete, base+"/v1/jobs/"+st.ID, nil)
+			if resp, err := client.Do(del); err == nil {
+				resp.Body.Close()
+			}
+			return ctx.Err()
+		case <-tick.C:
+		}
+		if st, err = getJob(ctx, client, base, apiKey, st.ID); err != nil {
+			return err
+		}
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return printJobResult(req, st.Result)
+}
+
+// submitOnce POSTs the job and decodes the accepted record. 202 means the
+// job was created; 200 means an identical job already exists (shared or
+// already finished) — both return the record to poll.
+func submitOnce(ctx context.Context, client *http.Client, base, apiKey string, body []byte) (serve.JobStatusResponse, error) {
+	var st serve.JobStatusResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		req.Header.Set("X-Api-Key", apiKey)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return st, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// getJob polls one job record.
+func getJob(ctx context.Context, client *http.Client, base, apiKey, id string) (serve.JobStatusResponse, error) {
+	var st serve.JobStatusResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	if apiKey != "" {
+		req.Header.Set("X-Api-Key", apiKey)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return st, fmt.Errorf("poll: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func terminalState(s string) bool {
+	return s == "done" || s == "failed" || s == "canceled"
+}
+
+// printJobResult renders the async result with the local run's formatters,
+// so `msreport -submit URL` and plain `msreport` are diffable.
+func printJobResult(req serve.ExperimentRequest, raw json.RawMessage) error {
+	var res serve.ExperimentResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return fmt.Errorf("decode result: %w", err)
+	}
+	switch req.Name {
+	case "fig5":
+		fmt.Print(experiment.FormatFigure5(res.Cells))
+	case "table1":
+		fmt.Print(experiment.FormatTable1(res.Rows))
+	case "summary":
+		fmt.Print(experiment.FormatSummary(res.Summaries))
+	case "corpus":
+		spec := experiment.CorpusSpec{Seed: req.Seed, N: req.N, Policies: req.Policies}
+		fmt.Print(experiment.FormatCorpus(spec, res.Corpus))
+	default:
+		// Future kinds fall back to the raw payload rather than guessing.
+		os.Stdout.Write(append(bytes.TrimSpace(raw), '\n'))
+	}
+	return nil
+}

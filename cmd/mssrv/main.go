@@ -7,6 +7,13 @@
 // requests coalesce into a single simulation and warm results are served
 // from the cache tiers without touching a worker.
 //
+// Long sweeps can run asynchronously through the durable job surface
+// (POST /v1/jobs, GET /v1/jobs/{id}, SSE at /v1/jobs/{id}/events): jobs are
+// journaled under <cache-dir>/jobs and resume after a restart, tenants
+// (X-Api-Key) share runner time by weighted fair queueing under optional
+// token-bucket submission limits, and -peers/-self spread job ownership over
+// a consistent-hash ring of replicas via 307 redirects.
+//
 // The cache is tiered: -lru puts a bounded in-memory tier in front, -cache-dir
 // adds the content-addressed disk store, and -remote-cache chains another
 // mssrv (or a msreport leader) behind both — remote hits are promoted to the
@@ -45,11 +52,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"multiscalar/internal/dist"
 	"multiscalar/internal/grid"
+	"multiscalar/internal/jobs"
 	"multiscalar/internal/obs"
 	"multiscalar/internal/obs/span"
 	_ "multiscalar/internal/policy" // register the policy zoo for select.policy
@@ -71,6 +82,12 @@ func main() {
 		metricsOut   = flag.String("metrics-out", "", "write the final metrics snapshot (Prometheus text format) to this file on exit (default: stderr)")
 		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
 		traceRing    = flag.Int("trace-ring", 256, "flight-recorder capacity in completed traces; 0 disables tracing and the /debug surface")
+		jobsRunners  = flag.Int("jobs-runners", 2, "concurrent async job executions (0 disables the /v1/jobs surface)")
+		peers        = flag.String("peers", "", "comma-separated replica base URLs forming the job-routing ring (must include -self; every replica needs the same list)")
+		selfURL      = flag.String("self", "", "this replica's base URL as it appears in -peers (required with -peers)")
+		tenantRPS    = flag.Float64("tenant-rps", 0, "per-tenant job submissions per second (0 = unlimited)")
+		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant submission burst (default: -tenant-rps, min 1)")
+		tenantWeight = flag.String("tenant-weights", "", "per-tenant fair-share weights as name=weight pairs, comma-separated (unlisted tenants weigh 1)")
 	)
 	flag.Parse()
 
@@ -138,6 +155,60 @@ func main() {
 		Logger:         logger,
 		Tracer:         tracer,
 	}
+
+	var mgr *jobs.Manager
+	if *jobsRunners > 0 {
+		weights, err := parseWeights(*tenantWeight)
+		if err != nil {
+			fatal(err)
+		}
+		jobsDir := ""
+		if *cacheDir != "" {
+			// The journal rides next to the result cache so one -cache-dir
+			// carries both durability stories across a restart.
+			jobsDir = filepath.Join(*cacheDir, "jobs")
+		}
+		mgr, err = jobs.NewManager(jobs.Options{
+			Runners:   *jobsRunners,
+			Dir:       jobsDir,
+			Executors: serve.Executors(eng, time.Second),
+			Cost:      serve.JobCost,
+			Weights:   weights,
+			Metrics:   reg,
+			Tracer:    tracer,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		mgr.Start(ctx)
+		cfg.Jobs = mgr
+		if *tenantRPS > 0 {
+			cfg.JobLimiter = jobs.NewLimiter(*tenantRPS, *tenantBurst)
+		}
+		if *peers != "" {
+			if *selfURL == "" {
+				fatal(errors.New("-peers requires -self"))
+			}
+			list, err := dist.NormalizePeers(*peers)
+			if err != nil {
+				fatal(err)
+			}
+			self, err := dist.NormalizePeers(*selfURL)
+			if err != nil {
+				fatal(err)
+			}
+			found := false
+			for _, p := range list {
+				if p == self[0] {
+					found = true
+				}
+			}
+			if !found {
+				fatal(fmt.Errorf("-self %q is not in -peers %v", self[0], list))
+			}
+			cfg.Ring = jobs.NewRing(self[0], list)
+		}
+	}
 	if cache != nil {
 		cfg.Cache = cache
 		cfg.Backend = func(ctx context.Context) serve.BackendStatus {
@@ -154,7 +225,8 @@ func main() {
 		fatal(err)
 	}
 	logger.Info("listening", "addr", ln.Addr().String(), "workers", eng.Workers(),
-		"cache", *cacheDir, "lru", lru, "remote", remote, "tracing", tracer != nil)
+		"cache", *cacheDir, "lru", lru, "remote", remote, "tracing", tracer != nil,
+		"jobs", mgr != nil, "ring", cfg.Ring != nil)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -174,6 +246,11 @@ func main() {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	if mgr != nil {
+		// After the HTTP drain: no new submissions can arrive, so Close only
+		// waits for in-flight executions to unwind and journals the requeues.
+		mgr.Close()
 	}
 
 	flushMetrics(reg, *metricsOut)
@@ -225,6 +302,31 @@ func flushMetrics(reg *obs.Registry, path string) {
 	if err := reg.WritePrometheus(out); err != nil {
 		fatal(err)
 	}
+}
+
+// parseWeights decodes "-tenant-weights alice=4,bob=2" into the fair-queue
+// weight map. Weights must be positive; zero would silently starve a tenant.
+func parseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-weights: %q is not name=weight", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights: %q needs a positive weight", pair)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // tierStatus converts dist tier health into the serve wire shape.

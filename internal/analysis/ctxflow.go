@@ -11,8 +11,9 @@ import (
 // if contexts flow from the caller down to every goroutine. Two rules:
 //
 //  1. An exported function or method in internal/grid, internal/serve,
-//     internal/experiment, or internal/dist that starts goroutines must
-//     accept a context.Context, and it must be the first parameter.
+//     internal/experiment, internal/dist, or internal/jobs that starts
+//     goroutines must accept a context.Context, and it must be the first
+//     parameter.
 //  2. Library code in those packages must not synthesize its own root with
 //     context.Background() or context.TODO() — that silently detaches the
 //     work from the caller's cancellation. Deliberate roots (main functions,
@@ -26,7 +27,7 @@ var Ctxflow = &Analyzer{
 
 func runCtxflow(pass *Pass) error {
 	inScope := false
-	for _, suffix := range []string{"internal/grid", "internal/serve", "internal/experiment", "internal/dist"} {
+	for _, suffix := range []string{"internal/grid", "internal/serve", "internal/experiment", "internal/dist", "internal/jobs"} {
 		if pathHasSuffix(pass.Pkg.Path(), suffix) {
 			inScope = true
 		}

@@ -30,8 +30,8 @@ import (
 // with a return statement before it silently leaks the trace on the early
 // path. Ownership transfers when the span escapes — returned, stored in a
 // struct, passed to a call — and spans borrowed via FromContext are never
-// owned. The span rule additionally covers internal/dist and internal/serve,
-// the cross-process hops.
+// owned. The span rule additionally covers internal/dist, internal/serve,
+// and internal/jobs — the cross-process and async-execution hops.
 //
 // internal/obs and internal/obs/span themselves are exempt (methods
 // legitimately run on the receiver), as is internal/serve for the nil rule,
@@ -57,7 +57,7 @@ func runObsguard(pass *Pass) error {
 		}
 	}
 	spanScope := nilScope
-	for _, suffix := range []string{"internal/dist", "internal/serve"} {
+	for _, suffix := range []string{"internal/dist", "internal/serve", "internal/jobs"} {
 		if pathHasSuffix(path, suffix) {
 			spanScope = true
 		}

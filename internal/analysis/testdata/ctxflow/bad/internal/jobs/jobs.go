@@ -1,0 +1,33 @@
+// Package jobs (path suffix internal/jobs → in ctxflow scope) holds the
+// context-propagation violations the async job subsystem must never ship: a
+// runner pool detached from cancellation would keep executing jobs after the
+// process was told to drain, defeating the journal's requeue-on-shutdown.
+package jobs
+
+import "context"
+
+// StartRunners launches the runner pool with no way for the process
+// lifecycle to stop it.
+func StartRunners(n int, dequeue func() (string, bool)) { // want "starts goroutines but does not accept a context.Context"
+	for i := 0; i < n; i++ {
+		go func() {
+			for {
+				if _, ok := dequeue(); !ok {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// execute synthesizes its own root, so a job keeps simulating after the
+// shutdown that should have requeued it.
+func execute(run func(context.Context) error) error {
+	ctx := context.Background() // want "detaches this work from the caller's cancellation"
+	return run(ctx)
+}
+
+// Submit buries the context mid-signature instead of leading with it.
+func Submit(id string, ctx context.Context, enqueue func(context.Context, string)) { // want "not as its first parameter"
+	go enqueue(ctx, id)
+}

@@ -1,0 +1,39 @@
+// Package jobs (path suffix internal/jobs → in obsguard's span scope) holds
+// the span-lifecycle patterns the End rule must flag in the async executor:
+// a jobs.exec root span left open never reaches the flight recorder, so the
+// one execution an operator wants to inspect is the one with no trace.
+package jobs
+
+import (
+	"context"
+	"errors"
+
+	"fixtures/obsguard/internal/obs/span"
+)
+
+// ExecNeverEnded mints the per-job root span and forgets it.
+func ExecNeverEnded(ctx context.Context, t *span.Tracer) {
+	_, sp := t.StartRoot(ctx, "jobs.exec") // want "never ended"
+	sp.SetAttr("kind", "experiment")
+}
+
+// ExecEarlyReturn ends the span by a plain call that the failure path skips,
+// leaking exactly the executions worth tracing.
+func ExecEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := span.Start(ctx, "jobs.run") // want "not guaranteed on all return paths"
+	if fail {
+		return errors.New("executor failed")
+	}
+	sp.End(nil)
+	return nil
+}
+
+// RunnerClosureLeak starts a span inside the runner goroutine and never ends
+// it there; the enclosing function's defers cannot help.
+func RunnerClosureLeak(ctx context.Context, done chan struct{}) {
+	go func() {
+		_, sp := span.Start(ctx, "jobs.dequeue") // want "never ended"
+		sp.Event("dequeued")
+		close(done)
+	}()
+}

@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// NormalizePeers canonicalizes a replica peer list for consistent-hash
+// routing: every replica must hash the exact same strings or their rings
+// disagree and a key has two owners. Each entry becomes scheme://host[:port]
+// — lowercased, default scheme http, trailing slashes and paths rejected
+// rather than silently dropped — then the list is deduplicated and sorted.
+//
+// The flag surface accepts a comma-separated list, so empty segments (a
+// trailing comma) are skipped.
+func NormalizePeers(raw string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := normalizePeer(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// normalizePeer canonicalizes one peer base URL.
+func normalizePeer(raw string) (string, error) {
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("dist: peer %q: %w", raw, err)
+	}
+	switch u.Scheme {
+	case "http", "https":
+	default:
+		return "", fmt.Errorf("dist: peer %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("dist: peer %q: missing host", raw)
+	}
+	if u.Path != "" && u.Path != "/" {
+		return "", fmt.Errorf("dist: peer %q: base URL must not carry a path", raw)
+	}
+	if u.RawQuery != "" || u.Fragment != "" || u.User != nil {
+		return "", fmt.Errorf("dist: peer %q: base URL must not carry query, fragment, or userinfo", raw)
+	}
+	return strings.ToLower(u.Scheme) + "://" + strings.ToLower(u.Host), nil
+}

@@ -1,0 +1,41 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalizePeers(t *testing.T) {
+	got, err := NormalizePeers("http://B:8080, a:9090,HTTP://b:8080,,https://c.example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:9090", "http://b:8080", "https://c.example.com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NormalizePeers = %v, want %v", got, want)
+	}
+
+	if got, err := NormalizePeers(""); err != nil || got != nil {
+		t.Fatalf("empty list = (%v, %v), want (nil, nil)", got, err)
+	}
+
+	for _, bad := range []string{
+		"ftp://a:1",
+		"http://a:1/api",
+		"http://a:1?x=1",
+		"http://user@a:1",
+		"http://",
+	} {
+		if _, err := NormalizePeers(bad); err == nil {
+			t.Errorf("NormalizePeers(%q) accepted, want error", bad)
+		}
+	}
+
+	// Order-independence: two replicas given the list in different orders
+	// must end up hashing identical strings.
+	a, _ := NormalizePeers("x:1,y:2,z:3")
+	b, _ := NormalizePeers("z:3,x:1,y:2")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("order changed canonical form: %v vs %v", a, b)
+	}
+}

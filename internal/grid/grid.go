@@ -79,6 +79,22 @@ type Stats struct {
 	Deduped int64
 }
 
+// Delta returns the counter-wise difference s - base: the engine activity
+// that happened between two snapshots. On a shared engine this is how a
+// caller attributes work to its own window — absolute counters mix every
+// client's jobs together.
+func (s Stats) Delta(base Stats) Stats {
+	return Stats{
+		Jobs:        s.Jobs - base.Jobs,
+		Done:        s.Done - base.Done,
+		Partitions:  s.Partitions - base.Partitions,
+		Sims:        s.Sims - base.Sims,
+		CacheHits:   s.CacheHits - base.CacheHits,
+		CacheMisses: s.CacheMisses - base.CacheMisses,
+		Deduped:     s.Deduped - base.Deduped,
+	}
+}
+
 // Dispatcher is an alternative executor for simulation jobs: the engine
 // hands over (key, job) and blocks until a result arrives from wherever the
 // dispatcher ran it. Returning an error that wraps ErrDispatch instructs

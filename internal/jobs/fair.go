@@ -1,0 +1,254 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// fairItem is one queued job inside the weighted-fair queue.
+type fairItem struct {
+	id     string
+	tenant string
+	// finish is the item's virtual finish time under weighted fair queueing:
+	// the scheduler always dequeues the globally smallest finish tag, so a
+	// tenant's share of dequeues converges to weight/Σweights regardless of
+	// how deep anyone's backlog runs.
+	finish   float64
+	enqueued time.Time
+}
+
+// fairQueue is a virtual-time weighted-fair queue over per-tenant FIFOs.
+// Each enqueue stamps the item with a finish tag
+//
+//	start  = max(queue virtual time, tenant's last finish)
+//	finish = start + cost/weight
+//
+// and dequeue picks the tenant whose head item has the smallest tag
+// (lexicographic tenant name breaks exact ties, so ordering is
+// deterministic). A heavy tenant's items space out by cost/weight while a
+// light tenant's next item tags barely past the current virtual time — the
+// classic WFQ interleave, with no goroutine per tenant and O(tenants)
+// dequeue, which is plenty below the runner counts this system sees.
+type fairQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	vtime   float64
+	tenants map[string]*tenantQueue
+	weights map[string]float64
+	n       int
+	closed  bool
+}
+
+type tenantQueue struct {
+	items []*fairItem
+	last  float64 // virtual finish of the most recently enqueued item
+}
+
+func newFairQueue(weights map[string]float64) *fairQueue {
+	q := &fairQueue{
+		tenants: make(map[string]*tenantQueue),
+		weights: weights,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *fairQueue) weight(tenant string) float64 {
+	if w, ok := q.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// enqueue adds a job for tenant with the given cost and wakes one runner.
+func (q *fairQueue) enqueue(tenant, id string, cost float64, now time.Time) {
+	if cost <= 0 {
+		cost = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenants[tenant]
+	if t == nil {
+		t = &tenantQueue{}
+		q.tenants[tenant] = t
+	}
+	start := q.vtime
+	if t.last > start {
+		start = t.last
+	}
+	t.last = start + cost/q.weight(tenant)
+	t.items = append(t.items, &fairItem{id: id, tenant: tenant, finish: t.last, enqueued: now})
+	q.n++
+	q.cond.Signal()
+}
+
+// dequeue blocks until an item is available or the queue closes. ok=false
+// means the queue closed: runners exit, leaving any backlog for the journal
+// to resurrect on the next start.
+func (q *fairQueue) dequeue() (id string, waited time.Duration, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return "", 0, false
+	}
+	var best *tenantQueue
+	var bestName string
+	for name, t := range q.tenants {
+		if len(t.items) == 0 {
+			continue
+		}
+		head := t.items[0]
+		if best == nil || head.finish < best.items[0].finish ||
+			(head.finish == best.items[0].finish && name < bestName) {
+			best, bestName = t, name
+		}
+	}
+	item := best.items[0]
+	best.items = best.items[1:]
+	q.n--
+	if item.finish > q.vtime {
+		q.vtime = item.finish
+	}
+	// Drop drained tenant queues the virtual clock has passed: their `last`
+	// no longer influences future tags, so keeping them only grows the map.
+	for name, t := range q.tenants {
+		if len(t.items) == 0 && t.last <= q.vtime {
+			delete(q.tenants, name)
+		}
+	}
+	return item.id, time.Since(item.enqueued), true
+}
+
+// remove deletes a queued job (cancellation before a runner took it).
+func (q *fairQueue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for name, t := range q.tenants {
+		for i, item := range t.items {
+			if item.id != id {
+				continue
+			}
+			t.items = append(t.items[:i], t.items[i+1:]...)
+			if len(t.items) == 0 && t.last <= q.vtime {
+				delete(q.tenants, name)
+			}
+			q.n--
+			return true
+		}
+	}
+	return false
+}
+
+// close wakes every blocked runner; subsequent dequeues report ok=false.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// depth reports the queued item count.
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// oldest returns the enqueue time of the longest-waiting item and whether
+// any item is queued at all.
+func (q *fairQueue) oldest() (time.Time, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var t time.Time
+	found := false
+	for _, tq := range q.tenants {
+		for _, item := range tq.items {
+			if !found || item.enqueued.Before(t) {
+				t, found = item.enqueued, true
+			}
+		}
+	}
+	return t, found
+}
+
+// Limiter is a per-tenant token bucket gating job submissions. Each tenant
+// accrues rate tokens per second up to burst; a submission spends one token.
+// The limiter protects the fair queue from pathological submission rates —
+// fairness shapes who runs next, the limiter bounds how fast anyone can make
+// that question matter.
+type Limiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the tenant map: above it, fully-refilled (idle) buckets
+// are dropped, so an adversary minting tenant names cannot grow memory
+// without also spending sustained request volume per name.
+const maxBuckets = 4096
+
+// NewLimiter returns a limiter granting rate tokens/second with the given
+// burst capacity per tenant. rate <= 0 disables limiting (Allow always
+// grants); burst <= 0 defaults to max(rate, 1).
+func NewLimiter(rate, burst float64) *Limiter {
+	if burst <= 0 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &Limiter{rate: rate, burst: burst, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token for tenant. When denied, retryAfter is the time
+// until a full token accrues — the honest Retry-After floor.
+func (l *Limiter) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.evictLocked()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// evictLocked drops idle buckets — those whose lazy refill would already be
+// at burst capacity, i.e. tenants that have been quiet long enough to have
+// nothing throttled. Callers hold l.mu.
+func (l *Limiter) evictLocked() {
+	now := l.now()
+	for name, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, name)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func drain(q *fairQueue, n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		id, _, ok := q.dequeue()
+		if !ok {
+			break
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func TestFairQueueInterleavesEqualWeights(t *testing.T) {
+	q := newFairQueue(nil)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		q.enqueue("a", fmt.Sprintf("a%d", i), 1, now)
+	}
+	for i := 0; i < 3; i++ {
+		q.enqueue("b", fmt.Sprintf("b%d", i), 1, now)
+	}
+	got := drain(q, 6)
+	want := []string{"a0", "b0", "a1", "b1", "a2", "b2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFairQueueHonorsWeights(t *testing.T) {
+	q := newFairQueue(map[string]float64{"heavy": 2})
+	now := time.Now()
+	for i := 0; i < 12; i++ {
+		q.enqueue("heavy", fmt.Sprintf("h%d", i), 1, now)
+		q.enqueue("light", fmt.Sprintf("l%d", i), 1, now)
+	}
+	counts := map[byte]int{}
+	for _, id := range drain(q, 9) {
+		counts[id[0]]++
+	}
+	// Weight 2 vs 1 → the heavy tenant gets ~2/3 of early dequeues.
+	if counts['h'] != 6 || counts['l'] != 3 {
+		t.Fatalf("first 9 dequeues: heavy=%d light=%d, want 6/3", counts['h'], counts['l'])
+	}
+}
+
+func TestFairQueueBacklogCannotStarveNewcomer(t *testing.T) {
+	q := newFairQueue(nil)
+	now := time.Now()
+	for i := 0; i < 100; i++ {
+		q.enqueue("hog", fmt.Sprintf("hog%d", i), 1, now)
+	}
+	// Take a few so the virtual clock has advanced past the hog's early tags.
+	drain(q, 5)
+	q.enqueue("newbie", "n0", 1, now)
+	// The newcomer's tag starts at the current virtual time + 1, so it must
+	// surface within the next couple of dequeues, not after the 95-deep backlog.
+	got := drain(q, 2)
+	if got[0] != "n0" && got[1] != "n0" {
+		t.Fatalf("newcomer buried behind backlog: next dequeues %v", got)
+	}
+}
+
+func TestFairQueueRemoveAndClose(t *testing.T) {
+	q := newFairQueue(nil)
+	now := time.Now()
+	q.enqueue("a", "a0", 1, now)
+	q.enqueue("a", "a1", 1, now)
+	if !q.remove("a0") {
+		t.Fatal("remove existing item failed")
+	}
+	if q.remove("a0") {
+		t.Fatal("remove returned true twice for one item")
+	}
+	if q.depth() != 1 {
+		t.Fatalf("depth %d after remove, want 1", q.depth())
+	}
+	if id, _, ok := q.dequeue(); !ok || id != "a1" {
+		t.Fatalf("dequeue after remove = %q ok=%v", id, ok)
+	}
+
+	done := make(chan bool)
+	go func() {
+		_, _, ok := q.dequeue() // blocks: queue is empty
+		done <- ok
+	}()
+	q.close()
+	if ok := <-done; ok {
+		t.Fatal("dequeue on closed queue reported ok")
+	}
+}
+
+func TestFairQueueOldest(t *testing.T) {
+	q := newFairQueue(nil)
+	if _, ok := q.oldest(); ok {
+		t.Fatal("empty queue reported an oldest item")
+	}
+	early := time.Now().Add(-time.Minute)
+	q.enqueue("a", "a0", 1, time.Now())
+	q.enqueue("b", "b0", 1, early)
+	got, ok := q.oldest()
+	if !ok || !got.Equal(early) {
+		t.Fatalf("oldest = %v ok=%v, want %v", got, ok, early)
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	l := NewLimiter(1, 2)
+	l.now = func() time.Time { return clock }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("t"); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("t")
+	if ok {
+		t.Fatal("third immediate request allowed past burst=2")
+	}
+	if retry <= 0 || retry > time.Second+time.Millisecond {
+		t.Fatalf("retryAfter %v, want (0, 1s]", retry)
+	}
+	clock = clock.Add(1100 * time.Millisecond)
+	if ok, _ := l.Allow("t"); !ok {
+		t.Fatal("request denied after refill interval")
+	}
+	// Tenants are independent buckets.
+	if ok, _ := l.Allow("other"); !ok {
+		t.Fatal("fresh tenant denied")
+	}
+}
+
+func TestLimiterDisabledAndNil(t *testing.T) {
+	var nilLimiter *Limiter
+	if ok, _ := nilLimiter.Allow("t"); !ok {
+		t.Fatal("nil limiter denied")
+	}
+	l := NewLimiter(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("t"); !ok {
+			t.Fatal("disabled limiter denied")
+		}
+	}
+}
+
+func TestLimiterBoundsBucketMap(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	l := NewLimiter(1, 1)
+	l.now = func() time.Time { return clock }
+	for i := 0; i < maxBuckets+100; i++ {
+		// Advance the clock so earlier buckets are fully refilled and evictable.
+		clock = clock.Add(2 * time.Second)
+		l.Allow(fmt.Sprintf("tenant-%d", i))
+	}
+	if n := len(l.buckets); n > maxBuckets+1 {
+		t.Fatalf("bucket map grew to %d, want bounded near %d", n, maxBuckets)
+	}
+}

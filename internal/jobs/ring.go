@@ -1,0 +1,110 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringVnodes is the virtual-node count per peer. 64 points per peer keeps
+// the ownership split within a few percent of even for small fleets while
+// the whole ring stays a few kilobytes.
+const ringVnodes = 64
+
+// Ring maps job and cache keys onto the replica that owns them, so N mssrv
+// instances behave as one coalescing surface: every replica routes a
+// submission to the key's owner, identical submissions from any entry point
+// land on the same engine, and that engine's single-flight and cache do the
+// deduplication they already do for one process.
+//
+// The ring is consistent hashing over SHA-256 points: each peer contributes
+// ringVnodes points, a key is owned by the first point clockwise from its
+// own hash, and adding or removing one replica moves only ~1/N of the key
+// space. Peers must be configured identically (same URL strings) on every
+// replica or their rings disagree — NormalizePeers in internal/dist exists
+// to make that canonical form easy.
+type Ring struct {
+	self   string
+	peers  []string
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring for this replica. self is this replica's public
+// base URL; peers is the full replica list (self is added if absent). A ring
+// with one peer owns everything — callers can treat nil *Ring and a
+// single-peer ring identically.
+func NewRing(self string, peers []string) *Ring {
+	all := make([]string, 0, len(peers)+1)
+	seen := map[string]bool{}
+	for _, p := range append([]string{self}, peers...) {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		all = append(all, p)
+	}
+	sort.Strings(all)
+	r := &Ring{self: self, peers: all}
+	for _, p := range all {
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(p + "#" + strconv.Itoa(i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// ringHash maps a string onto the ring's 64-bit key space.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the base URL of the replica owning key.
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// Owns reports whether this replica owns key. A nil ring owns everything
+// (single-replica deployments route nothing).
+func (r *Ring) Owns(key string) bool {
+	if r == nil || len(r.peers) < 2 {
+		return true
+	}
+	return r.Owner(key) == r.self
+}
+
+// Self returns this replica's base URL ("" on a nil ring).
+func (r *Ring) Self() string {
+	if r == nil {
+		return ""
+	}
+	return r.self
+}
+
+// Peers returns the full normalized peer list.
+func (r *Ring) Peers() []string {
+	if r == nil {
+		return nil
+	}
+	return r.peers
+}

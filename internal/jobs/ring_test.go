@@ -1,0 +1,95 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingAgreementAcrossReplicas(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	// Each replica builds its ring with itself as self and the peer list in a
+	// different order; all must agree on every key's owner.
+	rings := []*Ring{
+		NewRing("http://a:8080", []string{"http://b:8080", "http://c:8080"}),
+		NewRing("http://b:8080", []string{"http://c:8080", "http://a:8080"}),
+		NewRing("http://c:8080", peers), // self also present in the list
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		owner := rings[0].Owner(key)
+		for _, r := range rings[1:] {
+			if got := r.Owner(key); got != owner {
+				t.Fatalf("key %s: ring disagreement %s vs %s", key, got, owner)
+			}
+		}
+		owned := 0
+		for _, r := range rings {
+			if r.Owns(key) {
+				owned++
+			}
+		}
+		if owned != 1 {
+			t.Fatalf("key %s owned by %d replicas, want exactly 1", key, owned)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing("http://a", []string{"http://b", "http://c"})
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for peer, c := range counts {
+		if c < n/10 {
+			t.Fatalf("peer %s owns only %d/%d keys — distribution collapsed", peer, c, n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d peers own keys, want 3", len(counts))
+	}
+}
+
+func TestRingStability(t *testing.T) {
+	before := NewRing("http://a", []string{"http://b", "http://c"})
+	after := NewRing("http://a", []string{"http://b", "http://c", "http://d"})
+	moved := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	// Adding one replica to three should move roughly 1/4 of keys; far more
+	// means the hash is not consistent.
+	if moved > n/2 {
+		t.Fatalf("%d/%d keys moved after adding one peer", moved, n)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new peer")
+	}
+}
+
+func TestRingDegenerateCases(t *testing.T) {
+	var nilRing *Ring
+	if !nilRing.Owns("anything") {
+		t.Fatal("nil ring must own everything")
+	}
+	if nilRing.Owner("k") != "" || nilRing.Self() != "" || nilRing.Peers() != nil {
+		t.Fatal("nil ring accessors not zero")
+	}
+	solo := NewRing("http://a", nil)
+	if !solo.Owns("anything") {
+		t.Fatal("single-peer ring must own everything")
+	}
+	if got := solo.Owner("k"); got != "http://a" {
+		t.Fatalf("solo owner %q", got)
+	}
+	// Duplicate + empty peers collapse.
+	dup := NewRing("http://a", []string{"http://a", "", "http://b", "http://b"})
+	if got := len(dup.Peers()); got != 2 {
+		t.Fatalf("deduped peers = %d, want 2", got)
+	}
+}

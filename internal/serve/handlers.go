@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"multiscalar/internal/core"
 	"multiscalar/internal/experiment"
 	"multiscalar/internal/gen"
 	"multiscalar/internal/grid"
@@ -82,6 +83,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:   status,
 		Inflight: len(s.admit),
 		Workers:  s.eng.Workers(),
+	}
+	if s.cfg.Jobs != nil {
+		js := s.cfg.Jobs.Stats()
+		resp.Jobs = &JobsStatus{
+			Queued:         js.Queued,
+			Running:        js.Running,
+			Done:           js.Done,
+			Failed:         js.Failed,
+			Canceled:       js.Canceled,
+			OldestQueuedMS: js.OldestQueued.Milliseconds(),
+		}
 	}
 	if s.cfg.Backend != nil {
 		b := s.cfg.Backend(r.Context())
@@ -170,10 +182,20 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown_workload", err.Error())
 		return
 	}
-	part, err := s.eng.PartitionCtx(r.Context(), name, opts)
+	resp, err := partitionResult(r.Context(), s.eng, name, opts)
 	if err != nil {
 		s.writeEngineError(w, r, err)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// partitionResult is the transport-free core of /v1/partition, shared with
+// the async job executor so both paths produce identical bodies.
+func partitionResult(ctx context.Context, eng *grid.Engine, name string, opts core.Options) (PartitionResponse, error) {
+	part, err := eng.PartitionCtx(ctx, name, opts)
+	if err != nil {
+		return PartitionResponse{}, err
 	}
 	findings := verify.Partition(part)
 	findings.Sort()
@@ -195,7 +217,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		resp.AvgBlocks = float64(resp.Blocks) / float64(n)
 		resp.AvgTargets = float64(targets) / float64(n)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -218,17 +240,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown_workload", err.Error())
 		return
 	}
-	job := grid.Job{Workload: name, Select: opts, Config: cfg}
-	res, err := s.eng.RunCtx(r.Context(), job)
+	resp, err := simulateResult(r.Context(), s.eng, grid.Job{Workload: name, Select: opts, Config: cfg})
 	if err != nil {
 		s.writeEngineError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SimulateResponse{
-		Workload: name,
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// simulateResult is the transport-free core of /v1/simulate.
+func simulateResult(ctx context.Context, eng *grid.Engine, job grid.Job) (SimulateResponse, error) {
+	res, err := eng.RunCtx(ctx, job)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	return SimulateResponse{
+		Workload: job.Workload,
 		Key:      grid.Key(job),
 		Result:   res,
-	})
+	}, nil
 }
 
 // handleGenerate materializes a property-based program: the response's
@@ -240,7 +270,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	p := req.Generator.params()
+	writeJSON(w, http.StatusOK, generateResult(req.Generator.params()))
+}
+
+// generateResult is the transport-free core of /v1/generate.
+func generateResult(p gen.Params) GenerateResponse {
 	prog := gen.Generate(p)
 	resp := GenerateResponse{Name: p.Key(), Program: ir.Format(prog)}
 	for _, fn := range prog.Fns {
@@ -250,7 +284,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			resp.Instrs += len(b.Instrs)
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // sseWriter emits Server-Sent Events with JSON payloads, flushing after
@@ -276,13 +310,44 @@ func (s *sseWriter) event(name string, v any) error {
 // request start — with a shared engine, absolute counters mix every
 // client's work together.
 func progressSince(base, now grid.Stats, start time.Time) Progress {
+	d := now.Delta(base)
 	return Progress{
-		JobsDone:  now.Done - base.Done,
-		Sims:      now.Sims - base.Sims,
-		CacheHits: now.CacheHits - base.CacheHits,
-		Deduped:   now.Deduped - base.Deduped,
+		JobsDone:  d.Done,
+		Sims:      d.Sims,
+		CacheHits: d.CacheHits,
+		Deduped:   d.Deduped,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}
+}
+
+// runExperiment is the transport-free core of /v1/experiment: one named
+// figure/table/corpus sweep through the engine. Shared by the SSE handler
+// and the async job executor.
+func runExperiment(ctx context.Context, eng *grid.Engine, req ExperimentRequest) (ExperimentResult, error) {
+	runner := experiment.NewRunnerOn(eng).WithContext(ctx)
+	out := ExperimentResult{Name: req.Name}
+	var err error
+	switch req.Name {
+	case "fig5":
+		out.Cells, err = experiment.Figure5(runner, req.PUs, req.Workloads)
+	case "table1":
+		out.Rows, err = experiment.Table1(runner, req.Workloads)
+	case "summary":
+		var cells []experiment.Fig5Cell
+		cells, err = experiment.Figure5(runner, req.PUs, req.Workloads)
+		if err == nil {
+			out.Summaries = experiment.Summarize(cells)
+		}
+	case "corpus":
+		n := req.N
+		if n == 0 {
+			n = 20
+		}
+		out.Corpus, err = runner.Corpus(experiment.CorpusSpec{
+			Seed: req.Seed, N: n, Policies: req.Policies,
+		})
+	}
+	return out, err
 }
 
 // handleExperiment streams a named experiment over SSE: `progress` events at
@@ -310,7 +375,6 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	base := s.eng.Stats()
 	start := time.Now()
-	runner := experiment.NewRunnerOn(s.eng).WithContext(ctx)
 
 	type outcome struct {
 		result ExperimentResult
@@ -318,29 +382,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		out := ExperimentResult{Name: req.Name}
-		var err error
-		switch req.Name {
-		case "fig5":
-			out.Cells, err = experiment.Figure5(runner, req.PUs, req.Workloads)
-		case "table1":
-			out.Rows, err = experiment.Table1(runner, req.Workloads)
-		case "summary":
-			var cells []experiment.Fig5Cell
-			cells, err = experiment.Figure5(runner, req.PUs, req.Workloads)
-			if err == nil {
-				out.Summaries = experiment.Summarize(cells)
-			}
-		case "corpus":
-			n := req.N
-			if n == 0 {
-				n = 20
-			}
-			out.Corpus, err = runner.Corpus(experiment.CorpusSpec{
-				Seed: req.Seed, N: n, Policies: req.Policies,
-			})
-		}
-		done <- outcome{result: out, err: err}
+		res, err := runExperiment(ctx, s.eng, req)
+		done <- outcome{result: res, err: err}
 	}()
 
 	sse.event("progress", progressSince(base, s.eng.Stats(), start))

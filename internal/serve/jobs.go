@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	"multiscalar/internal/grid"
+	"multiscalar/internal/jobs"
+)
+
+// This file is the asynchronous face of the service: POST /v1/jobs accepts
+// the same request bodies as the synchronous endpoints but returns a job ID
+// immediately; GET /v1/jobs/{id} polls status, GET /v1/jobs/{id}/events
+// streams progress over SSE (resumable via Last-Event-ID), DELETE cancels.
+// Job identity is the content address of the canonicalized request, so two
+// tenants submitting the same sweep share one execution and a resubmission
+// after the job finished returns the stored result without running anything.
+
+// JobSubmitRequest asks POST /v1/jobs to run one of the synchronous
+// endpoints' request bodies asynchronously. Kind names the endpoint
+// ("partition", "simulate", "generate", "experiment"); Request is that
+// endpoint's exact JSON body.
+type JobSubmitRequest struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+}
+
+// JobStatusResponse is the wire form of one job record. Result is the
+// terminal payload (the synchronous endpoint's response body) once the job
+// is done; Error explains failed and canceled states.
+type JobStatusResponse struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	State    string          `json:"state"`
+	Tenant   string          `json:"tenant,omitempty"`
+	Created  string          `json:"created,omitempty"`
+	Started  string          `json:"started,omitempty"`
+	Finished string          `json:"finished,omitempty"`
+	Attempts int             `json:"attempts"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+func jobStatus(rec jobs.Record) JobStatusResponse {
+	resp := JobStatusResponse{
+		ID:       rec.ID,
+		Kind:     rec.Spec.Kind,
+		State:    string(rec.State),
+		Tenant:   rec.Tenant,
+		Attempts: rec.Attempts,
+		Error:    rec.Error,
+		Result:   rec.Result,
+	}
+	if !rec.Created.IsZero() {
+		resp.Created = rec.Created.UTC().Format(time.RFC3339Nano)
+	}
+	if !rec.Started.IsZero() {
+		resp.Started = rec.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !rec.Finished.IsZero() {
+		resp.Finished = rec.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	return resp
+}
+
+// JobsStatus is the /healthz jobs block: queue and table counts plus the age
+// of the longest-waiting queued job, the number an operator watches to tell
+// "busy" from "stuck".
+type JobsStatus struct {
+	Queued         int   `json:"queued"`
+	Running        int   `json:"running"`
+	Done           int   `json:"done"`
+	Failed         int   `json:"failed"`
+	Canceled       int   `json:"canceled"`
+	OldestQueuedMS int64 `json:"oldest_queued_ms"`
+}
+
+// strictUnmarshal is decode's transport-free twin: unknown fields and
+// trailing data are errors, so a job payload passes exactly the same gate as
+// the synchronous endpoint's body.
+func strictUnmarshal[T any](raw []byte) (T, error) {
+	var v T
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, err
+	}
+	if dec.More() {
+		return v, fmt.Errorf("trailing data after JSON body")
+	}
+	return v, nil
+}
+
+// canonicalJobSpec validates a submission and re-marshals the typed request,
+// so formatting differences — field order, whitespace, absent-vs-zero fields
+// — never split identical work across distinct job IDs.
+func canonicalJobSpec(kind string, raw json.RawMessage) (jobs.Spec, error) {
+	if len(raw) == 0 {
+		return jobs.Spec{}, fmt.Errorf("missing request body for kind %q", kind)
+	}
+	var canon any
+	switch kind {
+	case "partition":
+		req, err := strictUnmarshal[PartitionRequest](raw)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		if _, err := req.Select.core(); err != nil {
+			return jobs.Spec{}, err
+		}
+		if _, err := resolveWorkload(req.Workload, req.Generator); err != nil {
+			return jobs.Spec{}, err
+		}
+		canon = req
+	case "simulate":
+		req, err := strictUnmarshal[SimulateRequest](raw)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		if _, err := req.Select.core(); err != nil {
+			return jobs.Spec{}, err
+		}
+		if _, err := req.Machine.config(); err != nil {
+			return jobs.Spec{}, err
+		}
+		if _, err := resolveWorkload(req.Workload, req.Generator); err != nil {
+			return jobs.Spec{}, err
+		}
+		canon = req
+	case "generate":
+		req, err := strictUnmarshal[GenerateRequest](raw)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		canon = req
+	case "experiment":
+		req, err := strictUnmarshal[ExperimentRequest](raw)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		if err := req.validate(); err != nil {
+			return jobs.Spec{}, err
+		}
+		canon = req
+	default:
+		return jobs.Spec{}, fmt.Errorf("unknown job kind %q (want partition, simulate, generate, or experiment)", kind)
+	}
+	blob, err := json.Marshal(canon)
+	if err != nil {
+		return jobs.Spec{}, fmt.Errorf("canonicalize request: %w", err)
+	}
+	return jobs.Spec{Kind: kind, Payload: blob}, nil
+}
+
+// Executors builds the job-kind registry the manager runs: each executor is
+// the transport-free core of the matching synchronous handler, so a job and
+// a direct request produce identical result bodies through the same engine
+// (and therefore the same single-flight and cache).
+func Executors(eng *grid.Engine, progressInterval time.Duration) map[string]jobs.Executor {
+	if progressInterval <= 0 {
+		progressInterval = 500 * time.Millisecond
+	}
+	return map[string]jobs.Executor{
+		"partition":  partitionExecutor(eng),
+		"simulate":   simulateExecutor(eng),
+		"generate":   generateExecutor(),
+		"experiment": experimentExecutor(eng, progressInterval),
+	}
+}
+
+// JobCost estimates relative fair-queue cost per kind: an experiment sweep
+// dominates a single simulation, which dominates static analysis. Ordering
+// only — admission is never affected.
+func JobCost(spec jobs.Spec) float64 {
+	switch spec.Kind {
+	case "experiment":
+		return 10
+	case "simulate":
+		return 2
+	default:
+		return 1
+	}
+}
+
+func partitionExecutor(eng *grid.Engine) jobs.Executor {
+	return func(ctx context.Context, spec jobs.Spec, emit jobs.EmitFunc) (any, error) {
+		req, err := strictUnmarshal[PartitionRequest](spec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("decode job payload: %w", err)
+		}
+		opts, err := req.Select.core()
+		if err != nil {
+			return nil, err
+		}
+		name, err := resolveWorkload(req.Workload, req.Generator)
+		if err != nil {
+			return nil, err
+		}
+		return partitionResult(ctx, eng, name, opts)
+	}
+}
+
+func simulateExecutor(eng *grid.Engine) jobs.Executor {
+	return func(ctx context.Context, spec jobs.Spec, emit jobs.EmitFunc) (any, error) {
+		req, err := strictUnmarshal[SimulateRequest](spec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("decode job payload: %w", err)
+		}
+		opts, err := req.Select.core()
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := req.Machine.config()
+		if err != nil {
+			return nil, err
+		}
+		name, err := resolveWorkload(req.Workload, req.Generator)
+		if err != nil {
+			return nil, err
+		}
+		return simulateResult(ctx, eng, grid.Job{Workload: name, Select: opts, Config: cfg})
+	}
+}
+
+func generateExecutor() jobs.Executor {
+	return func(ctx context.Context, spec jobs.Spec, emit jobs.EmitFunc) (any, error) {
+		req, err := strictUnmarshal[GenerateRequest](spec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("decode job payload: %w", err)
+		}
+		return generateResult(req.Generator.params()), nil
+	}
+}
+
+// experimentExecutor runs a named sweep, emitting progress deltas into the
+// job's event stream at the configured cadence. The terminal result carries a
+// zero Progress block: progress is observation, not outcome, and folding live
+// counters into the result would break the byte-identity that lets replicas
+// and restarts serve the same job from its stored bytes.
+func experimentExecutor(eng *grid.Engine, interval time.Duration) jobs.Executor {
+	return func(ctx context.Context, spec jobs.Spec, emit jobs.EmitFunc) (any, error) {
+		req, err := strictUnmarshal[ExperimentRequest](spec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("decode job payload: %w", err)
+		}
+		base := eng.Stats()
+		start := time.Now()
+		type outcome struct {
+			result ExperimentResult
+			err    error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			res, err := runExperiment(ctx, eng, req)
+			done <- outcome{result: res, err: err}
+		}()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		emit("progress", progressSince(base, eng.Stats(), start))
+		for {
+			select {
+			case o := <-done:
+				if o.err != nil {
+					return nil, o.err
+				}
+				return o.result, nil
+			case <-tick.C:
+				emit("progress", progressSince(base, eng.Stats(), start))
+			case <-ctx.Done():
+				o := <-done // the runner unwinds promptly once ctx ends
+				if o.err != nil {
+					return nil, o.err
+				}
+				return o.result, nil
+			}
+		}
+	}
+}
+
+// tenantOf attributes a request for fair queueing and rate limiting. The
+// X-Api-Key header is the tenant identity; absent keys pool into "anonymous"
+// (one shared fair-queue lane and token bucket, so keyless clients cannot
+// mint tenants).
+func tenantOf(r *http.Request) string {
+	if k := r.Header.Get("X-Api-Key"); k != "" {
+		return k
+	}
+	return "anonymous"
+}
+
+// retryAfterSeconds converts backpressure into a retry hint. floorSec is the
+// honest minimum (e.g. the limiter's token-refill time); depth scales the
+// base with queue pressure; the random component spreads a simultaneously
+// shed burst across the window instead of inviting it back as one
+// synchronized stampede.
+func retryAfterSeconds(floorSec, depth int) int {
+	base := floorSec
+	if base < 1 {
+		base = 1
+	}
+	base += depth / 16
+	if base > 30 {
+		base = 30
+	}
+	return base + rand.IntN(base)
+}
+
+// pressure is the server's current backlog estimate for Retry-After scaling.
+func (s *Server) pressure() int {
+	d := len(s.admit)
+	if s.cfg.Jobs != nil {
+		d += s.cfg.Jobs.Stats().Queued
+	}
+	return d
+}
+
+// routeJob redirects a job request to the replica owning id (307 preserves
+// method and body). Reports true when the request was redirected; a nil ring
+// or single-replica deployment owns everything and never routes.
+func (s *Server) routeJob(w http.ResponseWriter, r *http.Request, id string) bool {
+	if s.cfg.Ring.Owns(id) {
+		return false
+	}
+	owner := s.cfg.Ring.Owner(id)
+	http.Redirect(w, r, owner+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	return true
+}
+
+// handleJobSubmit accepts a job, answering 202 when this call scheduled new
+// work and 200 when an identical job already existed (queued, running, or
+// finished — the body's state says which). Submissions are rate limited per
+// tenant; on another replica's key the client is redirected before any
+// limiter token is spent.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[JobSubmitRequest](w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	spec, err := canonicalJobSpec(req.Kind, req.Request)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	id := jobs.IDFor(spec)
+	if s.routeJob(w, r, id) {
+		return
+	}
+	tenant := tenantOf(r)
+	if allowed, retry := s.cfg.JobLimiter.Allow(tenant); !allowed {
+		floor := int(retry / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(floor, s.pressure())))
+		writeError(w, http.StatusTooManyRequests, "rate_limited",
+			fmt.Sprintf("tenant %q exceeded its submission rate; retry later", tenant))
+		return
+	}
+	rec, created, err := s.cfg.Jobs.Submit(tenant, spec)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, jobStatus(rec))
+}
+
+// jobFromPath validates the {id} path segment and resolves the record,
+// writing the error response itself on failure.
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (jobs.Record, bool) {
+	id := r.PathValue("id")
+	if err := jobs.ValidateID(id); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_id", err.Error())
+		return jobs.Record{}, false
+	}
+	if s.routeJob(w, r, id) {
+		return jobs.Record{}, false
+	}
+	rec, ok := s.cfg.Jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no job "+id)
+		return jobs.Record{}, false
+	}
+	return rec, true
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatus(rec))
+}
+
+// handleJobList summarizes retained jobs, newest first, results elided (poll
+// the individual job for its payload).
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	recs := s.cfg.Jobs.List()
+	out := make([]JobStatusResponse, len(recs))
+	for i, rec := range recs {
+		out[i] = jobStatus(rec)
+		out[i].Result = nil
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := jobs.ValidateID(id); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_id", err.Error())
+		return
+	}
+	if s.routeJob(w, r, id) {
+		return
+	}
+	rec, ok := s.cfg.Jobs.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatus(rec))
+}
+
+// lastEventID parses the client's resume cursor: the standard Last-Event-ID
+// header an EventSource sends on reconnect, or an ?after= query parameter
+// for plain HTTP clients. Unparseable cursors restart from the beginning —
+// duplicates are the safe failure mode, silent gaps are not.
+func lastEventID(r *http.Request) int64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// handleJobEvents streams a job's event log over SSE from the client's
+// cursor: progress deltas while it runs, then the terminal result or error
+// event. Every event carries its sequence as the SSE id, so a dropped
+// connection resumes exactly — reconnect with Last-Event-ID=N and the stream
+// continues at N+1, no duplicates, no gaps. Streams on terminal jobs replay
+// the retained log and close.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "internal", "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	after := lastEventID(r)
+	for {
+		evs, more, terminal, ok := s.cfg.Jobs.EventsSince(rec.ID, after)
+		if !ok {
+			return // evicted mid-stream
+		}
+		for _, ev := range evs {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Name, ev.Data); err != nil {
+				return
+			}
+			after = ev.Seq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"multiscalar/internal/grid"
+	"multiscalar/internal/jobs"
 	"multiscalar/internal/obs"
 	"multiscalar/internal/obs/span"
 )
@@ -72,6 +73,19 @@ type Config struct {
 	// context back on the response — and mounts GET /debug/traces,
 	// /debug/traces/{id}, and /debug/requests.
 	Tracer *span.Tracer
+	// Jobs, when non-nil, mounts the async job API (POST/GET /v1/jobs,
+	// GET /v1/jobs/{id}, GET /v1/jobs/{id}/events, DELETE /v1/jobs/{id}) and
+	// adds the jobs block to /healthz. The manager must be built with this
+	// package's Executors over the same Engine, or job results diverge from
+	// synchronous ones. Nil answers 404 on the job routes.
+	Jobs *jobs.Manager
+	// JobLimiter rate-limits job submissions per tenant (X-Api-Key header).
+	// Nil admits every submission.
+	JobLimiter *jobs.Limiter
+	// Ring, when non-nil, routes job requests to the replica owning each job
+	// ID (307 redirect), so a fleet of mssrv instances dedups as one surface.
+	// Nil serves every key locally.
+	Ring *jobs.Ring
 }
 
 // serveMetrics holds the server's registry handles, resolved once at New.
@@ -148,6 +162,17 @@ func New(cfg Config) *Server {
 	// converts a remote hit into a redundant local simulation.
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	// Job endpoints also skip the gate: submission is an enqueue (bounded by
+	// the per-tenant limiter, executed by the manager's own runner pool), and
+	// polls are table reads. Holding an admission slot for a job's lifetime
+	// would let slow sweeps starve the synchronous API.
+	if cfg.Jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	}
 	if s.tracer != nil {
 		span.RegisterDebug(mux, s.tracer)
 	}
@@ -177,6 +202,12 @@ func New(cfg Config) *Server {
 			w.Header().Set("Allow", "GET, PUT")
 			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
 				fmt.Sprintf("%s %s not allowed (use GET or PUT)", r.Method, r.URL.Path))
+			return
+		}
+		if cfg.Jobs != nil && (r.URL.Path == "/v1/jobs" || strings.HasPrefix(r.URL.Path, "/v1/jobs/")) {
+			w.Header().Set("Allow", "GET, POST, DELETE")
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s %s not allowed (use GET, POST, or DELETE)", r.Method, r.URL.Path))
 			return
 		}
 		writeError(w, http.StatusNotFound, "not_found",
@@ -267,7 +298,9 @@ func (s *Server) admitted(h http.HandlerFunc) http.Handler {
 		case s.admit <- struct{}{}:
 		default:
 			s.m.shed.Inc()
-			w.Header().Set("Retry-After", "1")
+			// Jittered, pressure-aware hint: a synchronized retry from every
+			// shed client would just recreate the spike that shed them.
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(1, s.pressure())))
 			writeError(w, http.StatusTooManyRequests, "overloaded",
 				fmt.Sprintf("all %d request slots busy; retry later", cap(s.admit)))
 			return

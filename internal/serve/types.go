@@ -341,6 +341,8 @@ type HealthResponse struct {
 	// Backend reports storage and fleet state when the server was wired
 	// with a Config.Backend probe (mssrv always wires one).
 	Backend *BackendStatus `json:"backend,omitempty"`
+	// Jobs reports the async job subsystem when Config.Jobs is wired.
+	Jobs *JobsStatus `json:"jobs,omitempty"`
 }
 
 // BackendStatus describes the server's cache and fleet backends inside

@@ -66,12 +66,21 @@
 // registered policies — greedy, roundrobin, knapsack in internal/policy —
 // replace the heuristics' growth decisions while the selector keeps every
 // partition invariant intact. See DESIGN.md §14.
+//
+// Long-running sweeps become durable async jobs (internal/jobs, exported
+// with the Jobs prefix): content-addressed specs executed by a bounded
+// runner pool on the shared grid, journaled to disk so a restarted server
+// resumes queued work and serves finished results from the terminal cache,
+// scheduled across tenants by weighted fair queueing, and routable across
+// replicas by a consistent-hash ring. ServerConfig.Jobs mounts the whole
+// surface at /v1/jobs. See DESIGN.md §15.
 package multiscalar
 
 import (
 	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
@@ -82,11 +91,12 @@ import (
 
 	// Importing the facade registers the built-in policy zoo (greedy,
 	// roundrobin, knapsack); Options.Policy accepts any PolicyNames entry.
-	_ "multiscalar/internal/policy"
 	"multiscalar/internal/grid"
 	"multiscalar/internal/ir"
+	"multiscalar/internal/jobs"
 	"multiscalar/internal/obs"
 	"multiscalar/internal/obs/span"
+	_ "multiscalar/internal/policy"
 	"multiscalar/internal/serve"
 	"multiscalar/internal/sim"
 	"multiscalar/internal/verify"
@@ -498,3 +508,70 @@ func RegisterTraceDebug(mux *http.ServeMux, t *SpanTracer) { span.RegisterDebug(
 // WriteSpanTrace writes one finished trace as Chrome trace-event JSON (one
 // track per process). Open the output at ui.perfetto.dev.
 func WriteSpanTrace(w io.Writer, td *SpanTrace) error { return span.WriteChrome(w, td) }
+
+// Durable async jobs: long sweeps as journaled, restartable work
+// (DESIGN.md §15). A JobsManager executes content-addressed job specs on a
+// bounded runner pool over the shared Grid, persists lifecycle records to a
+// disk journal so queued and running work resumes after a crash, and
+// schedules tenants by weighted fair queueing. ServerConfig.Jobs mounts the
+// manager as POST /v1/jobs (+ polling, SSE events, cancel); JobsLimiter and
+// JobsRing add per-tenant submission limits and consistent-hash routing
+// across replicas.
+type (
+	// JobsManager owns the queue, the runner pool, the journal, and the
+	// per-job event streams. Start it with a lifecycle context and Close it
+	// after the HTTP drain so in-flight jobs requeue cleanly.
+	JobsManager = jobs.Manager
+	// JobsOptions configures NewJobsManager. Executors is required; Dir
+	// enables the durability journal (convention: <cache-dir>/jobs).
+	JobsOptions = jobs.Options
+	// JobSpec is the content-addressed unit of async work: a kind plus the
+	// canonicalized request payload. JobIDFor(spec) is its identity.
+	JobSpec = jobs.Spec
+	// JobRecord is one job's full lifecycle state as kept by the manager
+	// and the journal.
+	JobRecord = jobs.Record
+	// JobEvent is one entry in a job's append-only event stream (the SSE
+	// feed); Seq is contiguous from 1 per job.
+	JobEvent = jobs.Event
+	// JobExecutor runs one job kind; serve wires partition, simulate,
+	// generate, and experiment executors over the engine.
+	JobExecutor = jobs.Executor
+	// JobsLimiter is the per-tenant token-bucket submission limiter behind
+	// ServerConfig.JobLimiter.
+	JobsLimiter = jobs.Limiter
+	// JobsRing is the consistent-hash ring that assigns each job ID an
+	// owning replica; non-owners answer with a 307 redirect.
+	JobsRing = jobs.Ring
+	// JobsStats snapshots manager counters for /healthz (queued, running,
+	// terminal counts, oldest queued age).
+	JobsStats = jobs.Stats
+)
+
+// NewJobsManager returns a job manager. Call Start before submitting and
+// Close to drain; both are safe around an HTTP server's own lifecycle.
+func NewJobsManager(opts JobsOptions) (*JobsManager, error) { return jobs.NewManager(opts) }
+
+// NewJobsLimiter returns a token-bucket limiter granting rate submissions
+// per second per tenant with the given burst (0 = rate, min 1).
+func NewJobsLimiter(rate, burst float64) *JobsLimiter { return jobs.NewLimiter(rate, burst) }
+
+// NewJobsRing builds the consistent-hash ring from this replica's base URL
+// and the full peer list (canonicalize both with the same rules on every
+// replica — cmd/mssrv uses dist.NormalizePeers). A nil ring owns everything.
+func NewJobsRing(self string, peers []string) *JobsRing { return jobs.NewRing(self, peers) }
+
+// JobIDFor returns the job's content-addressed identity: submitting two
+// specs with equal IDs yields one execution and one shared record.
+func JobIDFor(spec JobSpec) string { return jobs.IDFor(spec) }
+
+// JobExecutors returns the standard executor set over eng — the async
+// counterparts of the partition, simulate, generate, and experiment
+// endpoints — emitting progress events every progressInterval.
+func JobExecutors(eng *Grid, progressInterval time.Duration) map[string]JobExecutor {
+	return serve.Executors(eng, progressInterval)
+}
+
+// JobCost estimates a spec's relative schedule cost for the fair queue
+// (experiments outweigh single simulations). Pass it as JobsOptions.Cost.
+func JobCost(spec JobSpec) float64 { return serve.JobCost(spec) }
